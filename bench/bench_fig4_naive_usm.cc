@@ -1,0 +1,115 @@
+// Reproduces Figure 4 of the paper: the "naive" USM (all penalty weights
+// zero, so USM == success ratio) for IMU, ODU, QMF and UNIT over the nine
+// update traces — panels (a) uniform, (b) positive, (c) negative, each with
+// low/med/high volume groups — including ASCII bar renderings.
+//
+// Usage: bench_fig4_naive_usm [scale=1.0] [seed=42] [seeds=1]
+//   seeds > 1 appends a multi-seed table (mean +/- stddev over independent
+//   workload replications) for error bars.
+
+#include <iostream>
+#include <vector>
+
+#include "unit/common/config.h"
+#include "unit/sim/experiment.h"
+#include "unit/sim/report.h"
+
+namespace unitdb {
+namespace {
+
+int Main(int argc, char** argv) {
+  auto config = Config::ParseArgs(argc, argv);
+  if (!config.ok()) {
+    std::cerr << config.status().ToString() << "\n";
+    return 1;
+  }
+  const double scale = config->GetDouble("scale", 1.0);
+  const uint64_t seed = config->GetInt("seed", 42);
+  const std::vector<std::string> policies = {"imu", "odu", "qmf", "unit"};
+  const UsmWeights naive;  // all penalties zero: USM == success ratio
+
+  std::cout << "=== Figure 4: naive USM (= success ratio) ===\n";
+
+  const UpdateDistribution dists[] = {UpdateDistribution::kUniform,
+                                      UpdateDistribution::kPositive,
+                                      UpdateDistribution::kNegative};
+  const char* panel[] = {"(a) uniform", "(b) positive correlation",
+                         "(c) negative correlation"};
+  const UpdateVolume volumes[] = {UpdateVolume::kLow, UpdateVolume::kMedium,
+                                  UpdateVolume::kHigh};
+
+  for (int d = 0; d < 3; ++d) {
+    std::cout << "\n--- Fig 4" << panel[d] << " ---\n";
+    TextTable table;
+    table.SetHeader({"trace", "imu", "odu", "qmf", "unit", "winner"});
+    for (UpdateVolume volume : volumes) {
+      auto w = MakeStandardWorkload(volume, dists[d], scale, seed);
+      if (!w.ok()) {
+        std::cerr << w.status().ToString() << "\n";
+        return 1;
+      }
+      auto results = RunPolicies(*w, policies, naive);
+      if (!results.ok()) {
+        std::cerr << results.status().ToString() << "\n";
+        return 1;
+      }
+      std::vector<std::string> row = {w->update_trace_name};
+      double best = -1e9;
+      std::string winner;
+      for (const auto& r : *results) {
+        row.push_back(Fmt(r.usm, 3));
+        if (r.usm > best) {
+          best = r.usm;
+          winner = r.policy;
+        }
+      }
+      row.push_back(winner);
+      table.AddRow(std::move(row));
+
+      // ASCII bars mirroring the paper's grouped bar chart.
+      for (const auto& r : *results) {
+        std::cout << "  " << w->update_trace_name << " " << r.policy << " "
+                  << Bar(r.usm, 1.0) << " " << Fmt(r.usm, 3) << "\n";
+      }
+    }
+    std::cout << "\n";
+    table.Print(std::cout);
+  }
+  // Optional multi-seed replication for error bars.
+  const int seeds = static_cast<int>(config->GetInt("seeds", 1));
+  if (seeds > 1) {
+    std::cout << "\n--- multi-seed (" << seeds
+              << " replications, mean +/- stddev) ---\n";
+    TextTable reps;
+    reps.SetHeader({"trace", "imu", "odu", "qmf", "unit"});
+    for (UpdateDistribution dist : dists) {
+      for (UpdateVolume volume : volumes) {
+        std::vector<std::string> row;
+        for (const auto& policy : policies) {
+          auto r = RunReplicated(volume, dist, policy, naive, seeds, scale,
+                                 seed);
+          if (!r.ok()) {
+            std::cerr << r.status().ToString() << "\n";
+            return 1;
+          }
+          if (row.empty()) row.push_back(r->trace);
+          row.push_back(Fmt(r->usm.mean(), 3) + "+/-" +
+                        Fmt(r->usm.stddev(), 3));
+        }
+        reps.AddRow(std::move(row));
+      }
+    }
+    reps.Print(std::cout);
+  }
+
+  std::cout << "\npaper shape: UNIT leads or ties in every panel; IMU "
+               "collapses at high volume;\nQMF trails ODU at uniform; IMU ~ "
+               "ODU under positive correlation; ODU ~ UNIT\nunder negative "
+               "correlation.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace unitdb
+
+int main(int argc, char** argv) { return unitdb::Main(argc, argv); }

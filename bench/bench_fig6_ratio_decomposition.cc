@@ -1,0 +1,94 @@
+// Reproduces Figure 6 of the paper: the outcome-ratio decomposition
+// (Success / Rejection / DMF / DSF shares of all submitted queries) on the
+// med-unif trace.
+//
+//   6(a) IMU, ODU, QMF — weight-insensitive, one decomposition each
+//   6(b) UNIT under the three Fig 5(a) weight settings — the mix shifts to
+//        shrink whichever failure carries the highest penalty
+//
+// Usage: bench_fig6_ratio_decomposition [scale=1.0] [seed=42]
+
+#include <iostream>
+
+#include "unit/common/config.h"
+#include "unit/sim/experiment.h"
+#include "unit/sim/report.h"
+
+namespace unitdb {
+namespace {
+
+void AddDecomposition(TextTable& table, const std::string& label,
+                      const OutcomeCounts& c) {
+  table.AddRow({label, FmtPercent(c.SuccessRatio()),
+                FmtPercent(c.RejectionRatio()), FmtPercent(c.DmfRatio()),
+                FmtPercent(c.DsfRatio())});
+}
+
+void PrintBars(const std::string& label, const OutcomeCounts& c) {
+  std::cout << "  " << label << "  S " << Bar(c.SuccessRatio(), 1.0, 30)
+            << "  R " << Bar(c.RejectionRatio(), 1.0, 10) << "  M "
+            << Bar(c.DmfRatio(), 1.0, 10) << "  F "
+            << Bar(c.DsfRatio(), 1.0, 10) << "\n";
+}
+
+int Main(int argc, char** argv) {
+  auto config = Config::ParseArgs(argc, argv);
+  if (!config.ok()) {
+    std::cerr << config.status().ToString() << "\n";
+    return 1;
+  }
+  const double scale = config->GetDouble("scale", 1.0);
+  const uint64_t seed = config->GetInt("seed", 42);
+
+  auto w = MakeStandardWorkload(UpdateVolume::kMedium,
+                                UpdateDistribution::kUniform, scale, seed);
+  if (!w.ok()) {
+    std::cerr << w.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "=== Figure 6: outcome-ratio decomposition (med-unif) ===\n";
+
+  std::cout << "\n--- Fig 6(a): IMU / ODU / QMF (weight-insensitive) ---\n";
+  TextTable a;
+  a.SetHeader({"policy", "success", "rejection", "DMF", "DSF"});
+  for (const char* policy : {"imu", "odu", "qmf"}) {
+    auto r = RunExperiment(*w, policy, UsmWeights{});
+    if (!r.ok()) {
+      std::cerr << r.status().ToString() << "\n";
+      return 1;
+    }
+    AddDecomposition(a, policy, r->metrics.counts);
+    PrintBars(policy, r->metrics.counts);
+  }
+  a.Print(std::cout);
+
+  std::cout << "\n--- Fig 6(b): UNIT under the Fig 5(a) weightings ---\n";
+  TextTable b;
+  b.SetHeader({"setting", "success", "rejection", "DMF", "DSF", "USM"});
+  for (const auto& nw : Table2WeightsBelowOne()) {
+    auto r = RunExperiment(*w, "unit", nw.weights);
+    if (!r.ok()) {
+      std::cerr << r.status().ToString() << "\n";
+      return 1;
+    }
+    const OutcomeCounts& c = r->metrics.counts;
+    b.AddRow({nw.name, FmtPercent(c.SuccessRatio()),
+              FmtPercent(c.RejectionRatio()), FmtPercent(c.DmfRatio()),
+              FmtPercent(c.DsfRatio()), Fmt(r->usm, 3)});
+    PrintBars("unit/" + nw.name, c);
+  }
+  b.Print(std::cout);
+
+  std::cout << "\npaper shape: (1) UNIT's success share tops the baselines; "
+               "(2) UNIT's failure mix\nshifts away from whichever failure "
+               "is priciest; (3) the baselines' decompositions\nare "
+               "identical across weightings, with QMF showing a large "
+               "rejection share.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace unitdb
+
+int main(int argc, char** argv) { return unitdb::Main(argc, argv); }

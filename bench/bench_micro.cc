@@ -1,0 +1,232 @@
+// Micro-benchmarks (google-benchmark) of the building blocks: the lottery
+// sampler, admission control's O(N_rq) scan, ready-queue and lock-manager
+// operations, freshness probes, and whole-engine event throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "unit/common/fenwick.h"
+#include "unit/common/rng.h"
+#include "unit/core/admission.h"
+#include "unit/core/lottery.h"
+#include "unit/core/policies/unit_policy.h"
+#include "unit/db/database.h"
+#include "unit/db/lock_manager.h"
+#include "unit/sched/engine.h"
+#include "unit/sched/ready_queue.h"
+#include "unit/sim/experiment.h"
+
+namespace unitdb {
+namespace {
+
+void BM_FenwickSet(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  FenwickTree tree(n);
+  Rng rng(1);
+  size_t i = 0;
+  for (auto _ : state) {
+    tree.Set(i++ % n, rng.NextDouble());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FenwickSet)->Arg(1024)->Arg(65536);
+
+void BM_FenwickFindPrefix(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  FenwickTree tree(n);
+  Rng rng(2);
+  for (size_t i = 0; i < n; ++i) tree.Set(i, rng.NextDouble());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.FindPrefix(rng.NextDouble() * tree.total()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FenwickFindPrefix)->Arg(1024)->Arg(65536);
+
+void BM_LotterySample(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  LotterySampler sampler(n);
+  Rng rng(3);
+  for (int i = 0; i < n; ++i) sampler.SetTicket(i, rng.Uniform(0.0, 5.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LotterySample)->Arg(1024)->Arg(16384);
+
+void BM_LotteryTicketUpdate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  LotterySampler sampler(n);
+  Rng rng(4);
+  for (int i = 0; i < n; ++i) sampler.SetTicket(i, rng.Uniform(0.0, 5.0));
+  int i = 0;
+  for (auto _ : state) {
+    // Mixed raises/lowers like the modulator's ticket churn.
+    sampler.SetTicket(i % n, rng.Uniform(0.0, 5.0));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LotteryTicketUpdate)->Arg(1024)->Arg(16384);
+
+void BM_ReadyQueueInsertPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<Transaction> txns;
+  txns.reserve(n);
+  Rng rng(5);
+  for (int i = 0; i < n; ++i) {
+    txns.push_back(Transaction::MakeQuery(
+        i, 0, MillisToSim(10), SecondsToSim(rng.Uniform(1.0, 100.0)), 0.9,
+        {0}));
+  }
+  for (auto _ : state) {
+    ReadyQueue q;
+    for (auto& t : txns) q.Insert(&t);
+    while (q.PopTop() != nullptr) {
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ReadyQueueInsertPop)->Arg(256)->Arg(4096);
+
+void BM_LockManagerSharedCycle(benchmark::State& state) {
+  LockManager lm(1024);
+  Rng rng(6);
+  TxnId id = 0;
+  for (auto _ : state) {
+    std::vector<ItemId> items = {
+        static_cast<ItemId>(rng.UniformInt(0, 1023)),
+        static_cast<ItemId>(rng.UniformInt(0, 1023))};
+    lm.TryAcquireSharedAll(id, items);
+    lm.ReleaseAll(id);
+    ++id;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LockManagerSharedCycle);
+
+void BM_FreshnessProbe(benchmark::State& state) {
+  Database db(1024);
+  Rng rng(7);
+  std::vector<ItemUpdateSpec> specs;
+  for (int i = 0; i < 1024; ++i) {
+    ItemUpdateSpec s;
+    s.item = i;
+    s.ideal_period = SecondsToSim(rng.Uniform(1.0, 100.0));
+    s.update_exec = MillisToSim(10);
+    s.phase = 0;
+    specs.push_back(s);
+  }
+  (void)db.ApplySpecs(specs);
+  SimTime t = 0;
+  for (auto _ : state) {
+    t += 1000;
+    benchmark::DoNotOptimize(
+        db.Freshness(static_cast<ItemId>(rng.UniformInt(0, 1023)), t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FreshnessProbe);
+
+// Admission control's O(N_rq) scan: cost of one Admit() decision as the
+// ready queue grows. Built by flooding an engine with long-deadline queries
+// behind a long-running head query, then timing decisions via the policy
+// hook on repeated replays.
+void BM_AdmissionScan(benchmark::State& state) {
+  const int queue_len = static_cast<int>(state.range(0));
+  Workload w;
+  w.num_items = 16;
+  w.duration = SecondsToSim(1000.0);
+  // Head query pins the CPU; `queue_len` queries pile up behind it; the
+  // last arrival is the measured candidate (via AdmissionController).
+  QueryRequest head;
+  head.id = 0;
+  head.arrival = 0;
+  head.exec = SecondsToSim(900.0);
+  head.relative_deadline = SecondsToSim(950.0);
+  head.items = {0};
+  w.queries.push_back(head);
+  for (int i = 0; i < queue_len; ++i) {
+    QueryRequest q;
+    q.id = i + 1;
+    q.arrival = SecondsToSim(0.001 * (i + 1));
+    q.exec = MillisToSim(10.0);
+    q.relative_deadline = SecondsToSim(990.0);
+    q.items = {static_cast<ItemId>(i % 16)};
+    w.queries.push_back(q);
+  }
+  // The candidate arrives last.
+  QueryRequest cand = w.queries.back();
+  cand.id = queue_len + 1;
+  cand.arrival = SecondsToSim(1.0);
+  w.queries.push_back(cand);
+
+  struct Probe : Policy {
+    AdmissionController* ac = nullptr;
+    benchmark::State* state = nullptr;
+    TxnId candidate_id = 0;
+    std::string name() const override { return "probe"; }
+    bool AdmitQuery(Engine& e, const Transaction& q) override {
+      if (q.id() == candidate_id) {
+        const auto t0 = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(ac->Admit(e, q));
+        const auto t1 = std::chrono::steady_clock::now();
+        state->SetIterationTime(
+            std::chrono::duration<double>(t1 - t0).count());
+      }
+      return true;
+    }
+  };
+  AdmissionController ac({}, UsmWeights{1.0, 0.5, 1.0, 0.5});
+  for (auto _ : state) {
+    Probe probe;
+    probe.ac = &ac;
+    probe.state = &state;
+    probe.candidate_id = queue_len + 1;
+    Engine engine(w, &probe, {});
+    engine.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * queue_len);
+}
+BENCHMARK(BM_AdmissionScan)
+    ->Arg(64)
+    ->Arg(512)
+    ->Arg(4096)
+    ->UseManualTime()
+    ->Iterations(30)  // each iteration replays a whole engine run
+    ->Unit(benchmark::kMicrosecond);
+
+// Whole-engine throughput: events per second of simulated serving, for each
+// policy on a scaled-down standard workload.
+void BM_EngineRun(benchmark::State& state) {
+  const char* kPolicies[] = {"unit", "imu", "odu", "qmf"};
+  const char* policy = kPolicies[state.range(0)];
+  auto w = MakeStandardWorkload(UpdateVolume::kMedium,
+                                UpdateDistribution::kUniform, 0.1, 42);
+  if (!w.ok()) {
+    state.SkipWithError("workload generation failed");
+    return;
+  }
+  int64_t txns = 0;
+  for (auto _ : state) {
+    auto r = RunExperiment(*w, policy, UsmWeights{});
+    if (!r.ok()) {
+      state.SkipWithError("run failed");
+      return;
+    }
+    txns += r->metrics.counts.submitted + r->metrics.updates_generated;
+  }
+  state.SetItemsProcessed(txns);
+  state.SetLabel(policy);
+}
+BENCHMARK(BM_EngineRun)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace unitdb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+#include "unit/common/config.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace unitdb {
+
+namespace {
+
+// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+Status ParseEntry(const std::string& token, Config& config) {
+  std::string t = Trim(token);
+  if (t.rfind("--", 0) == 0) t = t.substr(2);
+  const size_t eq = t.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return Status::InvalidArgument("expected key=value, got '" + token + "'");
+  }
+  config.Set(Trim(t.substr(0, eq)), Trim(t.substr(eq + 1)));
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<Config> Config::ParseArgs(int argc, const char* const* argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    Status s = ParseEntry(argv[i], config);
+    if (!s.ok()) return s;
+  }
+  return config;
+}
+
+StatusOr<Config> Config::ParseString(const std::string& text) {
+  Config config;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    if (Trim(line).empty()) continue;
+    Status s = ParseEntry(line, config);
+    if (!s.ok()) return s;
+  }
+  return config;
+}
+
+void Config::Set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Config::GetString(const std::string& key,
+                              const std::string& def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+int64_t Config::GetInt(const std::string& key, int64_t def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Config::GetDouble(const std::string& key, double def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Config::GetBool(const std::string& key, bool def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+std::vector<std::string> Config::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(values_.size());
+  for (const auto& [k, _] : values_) keys.push_back(k);
+  return keys;
+}
+
+}  // namespace unitdb

@@ -1,0 +1,47 @@
+#ifndef UNIT_COMMON_CONFIG_H_
+#define UNIT_COMMON_CONFIG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "unit/common/status.h"
+
+namespace unitdb {
+
+/// Flat key=value configuration used by the example binaries and benches so
+/// experiments can be tweaked from the command line without recompiling.
+///
+/// Accepted syntax per entry: `key=value`. `ParseArgs` also accepts
+/// `--key=value`. Lookup is typed with defaults; unknown keys can be listed
+/// for "did you mean" style validation by the caller.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses argv-style arguments (skipping argv[0]). Non `key=value` tokens
+  /// produce an error.
+  static StatusOr<Config> ParseArgs(int argc, const char* const* argv);
+
+  /// Parses a multi-line "key=value\n" blob; '#' starts a comment.
+  static StatusOr<Config> ParseString(const std::string& text);
+
+  void Set(const std::string& key, const std::string& value);
+  bool Has(const std::string& key) const;
+
+  std::string GetString(const std::string& key,
+                        const std::string& def = "") const;
+  int64_t GetInt(const std::string& key, int64_t def) const;
+  double GetDouble(const std::string& key, double def) const;
+  bool GetBool(const std::string& key, bool def) const;
+
+  /// All keys, sorted, for help/debug output.
+  std::vector<std::string> Keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace unitdb
+
+#endif  // UNIT_COMMON_CONFIG_H_

@@ -1,0 +1,48 @@
+#ifndef UNIT_COMMON_LOGGING_H_
+#define UNIT_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace unitdb {
+
+/// Log severities, in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum severity; messages below it are dropped. Defaults to
+/// kWarning so that library users see problems but simulations stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log line; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define UNIT_LOG(level)                                      \
+  ::unitdb::internal_logging::LogMessage(                    \
+      ::unitdb::LogLevel::k##level, __FILE__, __LINE__)
+
+}  // namespace unitdb
+
+#endif  // UNIT_COMMON_LOGGING_H_

@@ -1,0 +1,146 @@
+#include "unit/common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace unitdb {
+
+namespace {
+
+// SplitMix64, used only to expand the seed into the xoshiro state.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(x);
+  // Avoid the all-zero state (cannot occur with SplitMix64, but be safe).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1) with full double precision.
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<int64_t>(NextU64());
+  }
+  // Rejection sampling to remove modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t v = NextU64();
+  while (v >= limit) v = NextU64();
+  return lo + static_cast<int64_t>(v % span);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0.0);
+  double u = NextDouble();
+  // Guard log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = NextDouble();
+  const double u2 = NextDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+double Rng::BoundedPareto(double alpha, double lo, double hi) {
+  assert(alpha > 0.0 && lo > 0.0 && lo < hi);
+  const double u = NextDouble();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+Rng Rng::Fork() { return Rng(NextU64()); }
+
+ZipfSampler::ZipfSampler(int n, double s) {
+  assert(n >= 1);
+  assert(s >= 0.0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (int k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+  cdf_.back() = 1.0;  // exact, despite rounding
+}
+
+int ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  // First index with cdf_[i] > u.
+  int lo = 0;
+  int hi = static_cast<int>(cdf_.size()) - 1;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] > u) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+double ZipfSampler::Pmf(int k) const {
+  assert(k >= 0 && k < static_cast<int>(cdf_.size()));
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace unitdb

@@ -1,0 +1,81 @@
+#ifndef UNIT_COMMON_RNG_H_
+#define UNIT_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace unitdb {
+
+/// Deterministic pseudo-random generator (xoshiro256**) plus the handful of
+/// distributions the workload generators need. We own the implementation so
+/// that traces are bit-reproducible across platforms and standard-library
+/// versions (std::*_distribution is not portable across implementations).
+class Rng {
+ public:
+  /// Seeds the generator; the same seed always yields the same stream.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double Uniform(double lo, double hi);
+
+  /// Exponential with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double Normal();
+
+  /// Normal with given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Lognormal: exp(Normal(mu, sigma)) of the underlying normal.
+  double LogNormal(double mu, double sigma);
+
+  /// Bounded Pareto on [lo, hi) with tail index alpha > 0.
+  double BoundedPareto(double alpha, double lo, double hi);
+
+  /// Returns true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Derives an independently-seeded child generator; useful for giving each
+  /// workload component its own stream so adding one component does not
+  /// perturb the others.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Sampler for a Zipf(s) distribution over ranks {0, 1, ..., n-1}:
+/// P(rank k) proportional to 1/(k+1)^s. Precomputes the CDF once and samples
+/// by binary search in O(log n). Rank 0 is the most popular.
+class ZipfSampler {
+ public:
+  /// Builds the sampler. n >= 1; s >= 0 (s == 0 degenerates to uniform).
+  ZipfSampler(int n, double s);
+
+  /// Draws a rank in [0, n).
+  int Sample(Rng& rng) const;
+
+  /// Probability mass of rank k.
+  double Pmf(int k) const;
+
+  int n() const { return static_cast<int>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;  // inclusive cumulative probabilities
+};
+
+}  // namespace unitdb
+
+#endif  // UNIT_COMMON_RNG_H_

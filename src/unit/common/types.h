@@ -1,0 +1,44 @@
+#ifndef UNIT_COMMON_TYPES_H_
+#define UNIT_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace unitdb {
+
+/// Simulated time, in microseconds since simulation start. The whole system
+/// runs on a deterministic virtual clock; wall-clock time never enters the
+/// simulation.
+using SimTime = int64_t;
+
+/// A duration on the simulated clock, also in microseconds.
+using SimDuration = int64_t;
+
+/// Identifier of a data item in the database, 0-based and dense.
+using ItemId = int32_t;
+
+/// Identifier of a transaction (query or update), unique within one run.
+using TxnId = int64_t;
+
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+inline constexpr ItemId kInvalidItem = -1;
+inline constexpr TxnId kInvalidTxn = -1;
+
+/// Converts seconds (as used throughout the paper's prose) to SimTime.
+constexpr SimDuration SecondsToSim(double seconds) {
+  return static_cast<SimDuration>(seconds * 1e6);
+}
+
+/// Converts milliseconds to SimTime.
+constexpr SimDuration MillisToSim(double millis) {
+  return static_cast<SimDuration>(millis * 1e3);
+}
+
+/// Converts SimTime back to (fractional) seconds for reporting.
+constexpr double SimToSeconds(SimDuration t) {
+  return static_cast<double>(t) / 1e6;
+}
+
+}  // namespace unitdb
+
+#endif  // UNIT_COMMON_TYPES_H_

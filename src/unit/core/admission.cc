@@ -1,0 +1,96 @@
+#include "unit/core/admission.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "unit/sched/engine.h"
+
+namespace unitdb {
+
+AdmissionController::AdmissionController(const AdmissionParams& params,
+                                         const UsmWeights& weights)
+    : params_(params), weights_(weights), c_flex_(params.initial_c_flex) {}
+
+bool AdmissionController::Admit(const Engine& engine,
+                                const Transaction& candidate) {
+  return Admit(engine, candidate, weights_);
+}
+
+bool AdmissionController::Admit(const Engine& engine,
+                                const Transaction& candidate,
+                                const UsmWeights& weights) {
+  // One O(N_rq) pass over queued queries gathers both the earlier-deadline
+  // work (for EST) and the later-deadline schedule (for the USM check).
+  SimDuration earlier_work = 0;
+  struct Later {
+    SimTime deadline;
+    SimDuration remaining;
+  };
+  std::vector<Later> later;
+  engine.ForEachReadyQuery([&](const Transaction& q) {
+    if (q.absolute_deadline() <= candidate.absolute_deadline()) {
+      earlier_work += q.remaining();
+    } else {
+      later.push_back({q.absolute_deadline(), q.remaining()});
+    }
+  });
+
+  const SimDuration est = engine.RunningRemaining() +
+                          engine.QueuedUpdateWork() + earlier_work;
+
+  // 1. Transaction deadline check: C_flex * EST + qe < qt. Rejecting an
+  // unpromising query only raises user satisfaction when a rejection costs
+  // no more than the deadline miss it prevents; with C_r > C_fm the
+  // USM-rational move is to admit and let the firm deadline decide (the
+  // system USM check below still protects the other transactions).
+  const bool naive = weights.AllZeroPenalties();
+  if (naive || weights.c_r <= weights.c_fm) {
+    const double lhs = c_flex_ * static_cast<double>(est) +
+                       static_cast<double>(candidate.estimate());
+    const double qt = static_cast<double>(candidate.absolute_deadline() -
+                                          engine.now());
+    if (lhs >= qt) {
+      ++rejected_by_deadline_;
+      return false;
+    }
+  }
+
+  // 2. System USM check: which later-deadline queries would newly miss if
+  // we slot the candidate in? (`later` is already in EDF order.)
+  if (params_.usm_check_enabled && !later.empty()) {
+    const double dmf_cost =
+        naive ? params_.zero_weight_unit_cost : weights.c_fm;
+    const double rejection_cost =
+        naive ? params_.zero_weight_unit_cost : weights.c_r;
+    if (dmf_cost > 0.0) {
+      const SimTime start = engine.now() + est;
+      SimTime with = start + candidate.estimate();
+      SimTime without = start;
+      double endangered_cost = 0.0;
+      for (const Later& q : later) {
+        with += q.remaining;
+        without += q.remaining;
+        if (with > q.deadline && without <= q.deadline) {
+          endangered_cost += dmf_cost;
+        }
+      }
+      if (endangered_cost > rejection_cost) {
+        ++rejected_by_usm_;
+        return false;
+      }
+    }
+  }
+
+  ++admitted_;
+  return true;
+}
+
+void AdmissionController::Tighten() {
+  c_flex_ = std::min(params_.max_c_flex, c_flex_ * (1.0 + params_.adjust_step));
+}
+
+void AdmissionController::Loosen() {
+  c_flex_ = std::max(params_.min_c_flex, c_flex_ * (1.0 - params_.adjust_step));
+}
+
+}  // namespace unitdb

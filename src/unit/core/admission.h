@@ -1,0 +1,74 @@
+#ifndef UNIT_CORE_ADMISSION_H_
+#define UNIT_CORE_ADMISSION_H_
+
+#include <cstdint>
+
+#include "unit/core/usm.h"
+#include "unit/txn/transaction.h"
+
+namespace unitdb {
+
+class Engine;
+
+/// Tunables of the paper's Query Admission Control (Section 3.3).
+struct AdmissionParams {
+  double initial_c_flex = 1.0;  ///< lag ratio C_flex (larger = tighter)
+  double adjust_step = 0.10;    ///< TAC/LAC adjust C_flex by +/-10%
+  double min_c_flex = 0.1;
+  double max_c_flex = 16.0;
+  /// Enables the system USM check on top of the deadline check.
+  bool usm_check_enabled = true;
+  /// Effective per-query cost used by the USM check when every weight is
+  /// zero (the naive setting): endangered transactions and the candidate are
+  /// then compared at unit cost.
+  double zero_weight_unit_cost = 1.0;
+};
+
+/// The paper's two-stage admission control:
+///
+///  1. *Transaction deadline check*: the query is promising iff
+///     C_flex * EST_i + qe_i < qt_i, where EST_i (earliest possible start)
+///     sums the remaining demand of the running transaction, all queued
+///     updates, and queued queries with earlier deadlines.
+///  2. *System USM check*: simulate inserting the query into the EDF
+///     schedule; transactions that would newly miss their deadlines are
+///     "endangered". Reject when their total DMF cost exceeds the rejection
+///     cost C_r of turning the candidate away.
+///
+/// Both checks are O(N_rq) in the ready-queue length, as the paper states.
+class AdmissionController {
+ public:
+  AdmissionController(const AdmissionParams& params,
+                      const UsmWeights& weights);
+
+  /// Full admission decision for `candidate` at its arrival instant, using
+  /// the controller's default weights.
+  bool Admit(const Engine& engine, const Transaction& candidate);
+
+  /// Same, valuing the candidate and the endangered transactions with
+  /// caller-chosen weights (multi-preference support).
+  bool Admit(const Engine& engine, const Transaction& candidate,
+             const UsmWeights& weights);
+
+  /// TAC signal: tighten (C_flex up by adjust_step).
+  void Tighten();
+  /// LAC signal: loosen (C_flex down by adjust_step).
+  void Loosen();
+
+  double c_flex() const { return c_flex_; }
+  int64_t rejected_by_deadline() const { return rejected_by_deadline_; }
+  int64_t rejected_by_usm() const { return rejected_by_usm_; }
+  int64_t admitted() const { return admitted_; }
+
+ private:
+  AdmissionParams params_;
+  UsmWeights weights_;
+  double c_flex_;
+  int64_t rejected_by_deadline_ = 0;
+  int64_t rejected_by_usm_ = 0;
+  int64_t admitted_ = 0;
+};
+
+}  // namespace unitdb
+
+#endif  // UNIT_CORE_ADMISSION_H_

@@ -1,0 +1,183 @@
+#include "unit/core/lbc.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace unitdb {
+
+namespace {
+
+// Diffs two cumulative per-class series (the newer one may have grown).
+std::vector<OutcomeCounts> Diff(const std::vector<OutcomeCounts>& now,
+                                const std::vector<OutcomeCounts>& past) {
+  std::vector<OutcomeCounts> window(now.size());
+  for (size_t i = 0; i < now.size(); ++i) {
+    window[i] = i < past.size() ? now[i] - past[i] : now[i];
+  }
+  return window;
+}
+
+int64_t TotalResolved(const std::vector<OutcomeCounts>& counts) {
+  int64_t n = 0;
+  for (const auto& c : counts) n += c.resolved();
+  return n;
+}
+
+// Average USM over a window of *resolved* queries. Windows diff cumulative
+// counters, whose `submitted` field is arrival-timed while the outcome
+// fields are resolution-timed; normalizing by resolved() keeps the cohorts
+// consistent.
+double WindowUsm(const std::vector<OutcomeCounts>& window,
+                 const std::vector<UsmWeights>& class_weights) {
+  const int64_t resolved = TotalResolved(window);
+  if (resolved <= 0) return 0.0;
+  return UsmTotalMulti(window, class_weights) / static_cast<double>(resolved);
+}
+
+}  // namespace
+
+const char* ControlSignalName(ControlSignal s) {
+  switch (s) {
+    case ControlSignal::kNone:
+      return "none";
+    case ControlSignal::kLoosenAdmission:
+      return "loosen-ac";
+    case ControlSignal::kDegradeAndTighten:
+      return "degrade+tighten";
+    case ControlSignal::kUpgradeUpdates:
+      return "upgrade";
+    case ControlSignal::kPreventiveDegrade:
+      return "preventive-degrade";
+  }
+  return "?";
+}
+
+LoadBalancingController::LoadBalancingController(const LbcParams& params,
+                                                 const UsmWeights& weights)
+    : LoadBalancingController(params, std::vector<UsmWeights>{weights}) {}
+
+LoadBalancingController::LoadBalancingController(
+    const LbcParams& params, std::vector<UsmWeights> class_weights)
+    : params_(params), class_weights_(std::move(class_weights)) {
+  assert(!class_weights_.empty());
+}
+
+bool LoadBalancingController::AllClassesNaive() const {
+  for (const auto& w : class_weights_) {
+    if (!w.AllZeroPenalties()) return false;
+  }
+  return true;
+}
+
+double LoadBalancingController::RangeOverClasses() const {
+  double range = 0.0;
+  for (const auto& w : class_weights_) range = std::max(range, w.Range());
+  return range;
+}
+
+ControlSignal LoadBalancingController::Tick(
+    SimTime now, const std::vector<OutcomeCounts>& per_class_cumulative,
+    double tick_utilization, Rng& rng) {
+  utilization_ewma_ = 0.3 * tick_utilization + 0.7 * utilization_ewma_;
+
+  // --- per-tick USM monitoring (drop detector) ---
+  const std::vector<OutcomeCounts> tick_window =
+      Diff(per_class_cumulative, last_tick_counts_);
+  last_tick_counts_ = per_class_cumulative;
+  bool dropped = false;
+  if (TotalResolved(tick_window) > 0) {
+    const double usm = WindowUsm(tick_window, class_weights_);
+    if (!ewma_initialized_) {
+      usm_ewma_ = usm;
+      ewma_initialized_ = true;
+    } else {
+      const double next = params_.usm_ewma_alpha * usm +
+                          (1.0 - params_.usm_ewma_alpha) * usm_ewma_;
+      dropped =
+          (usm_ewma_ - next) > params_.drop_threshold * RangeOverClasses();
+      usm_ewma_ = next;
+    }
+  }
+
+  const bool periodic = (now - last_eval_) >= params_.grace_period;
+  if (!periodic && !dropped) return ControlSignal::kNone;
+
+  // --- adaptive allocation over the cohort since the last evaluation ---
+  const std::vector<OutcomeCounts> window =
+      Diff(per_class_cumulative, last_eval_counts_);
+  last_eval_counts_ = per_class_cumulative;
+  last_eval_ = now;
+  const int64_t resolved = TotalResolved(window);
+  if (resolved <= 0) return ControlSignal::kNone;
+  if (dropped) ++drop_triggers_;
+
+  // Paper Fig. 2: weigh each failure ratio by its (per-class) penalty; with
+  // all-zero penalties the raw ratios themselves drive the decision.
+  const bool naive = AllClassesNaive();
+  const double n = static_cast<double>(resolved);
+  double r = 0.0, fm = 0.0, fs = 0.0;
+  int64_t r_count = 0, fm_count = 0, fs_count = 0;
+  for (size_t c = 0; c < window.size(); ++c) {
+    const UsmWeights& w =
+        WeightsForClass(class_weights_, static_cast<int>(c));
+    r += static_cast<double>(window[c].rejected) * (naive ? 1.0 : w.c_r);
+    fm += static_cast<double>(window[c].dmf) * (naive ? 1.0 : w.c_fm);
+    fs += static_cast<double>(window[c].dsf) * (naive ? 1.0 : w.c_fs);
+    r_count += window[c].rejected;
+    fm_count += window[c].dmf;
+    fs_count += window[c].dsf;
+  }
+  r /= n;
+  fm /= n;
+  fs /= n;
+  // Sub-floor ratios are noise, not a dominant cost; acting on them
+  // thrashes (notably: one stray DSF would un-degrade every update).
+  const double floor = params_.min_actionable_ratio;
+  if (static_cast<double>(r_count) / n < floor ||
+      r_count < params_.min_actionable_count) {
+    r = 0.0;
+  }
+  if (static_cast<double>(fm_count) / n < floor ||
+      fm_count < params_.min_actionable_count) {
+    fm = 0.0;
+  }
+  if (static_cast<double>(fs_count) / n < floor ||
+      fs_count < params_.min_actionable_count) {
+    fs = 0.0;
+  }
+
+  const double top = std::max({r, fm, fs});
+  if (top <= 0.0) {
+    // Nothing is failing (yet). If the CPU is saturating, shed update load
+    // preventively instead of waiting for the first deadline misses.
+    if (utilization_ewma_ >= params_.preventive_utilization) {
+      ++triggers_;
+      return ControlSignal::kPreventiveDegrade;
+    }
+    return ControlSignal::kNone;
+  }
+
+  // Break ties randomly among the maximal costs.
+  ControlSignal candidates[3];
+  int n_candidates = 0;
+  if (r == top) candidates[n_candidates++] = ControlSignal::kLoosenAdmission;
+  if (fm == top) {
+    candidates[n_candidates++] = ControlSignal::kDegradeAndTighten;
+  }
+  if (fs == top) candidates[n_candidates++] = ControlSignal::kUpgradeUpdates;
+  const ControlSignal signal =
+      candidates[n_candidates == 1 ? 0 : rng.UniformInt(0, n_candidates - 1)];
+
+  ++triggers_;
+  return signal;
+}
+
+ControlSignal LoadBalancingController::Tick(SimTime now,
+                                            const OutcomeCounts& cumulative,
+                                            double tick_utilization,
+                                            Rng& rng) {
+  return Tick(now, std::vector<OutcomeCounts>{cumulative}, tick_utilization,
+              rng);
+}
+
+}  // namespace unitdb

@@ -1,0 +1,119 @@
+#ifndef UNIT_CORE_LBC_H_
+#define UNIT_CORE_LBC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "unit/common/rng.h"
+#include "unit/common/types.h"
+#include "unit/core/usm.h"
+#include "unit/txn/outcome.h"
+
+namespace unitdb {
+
+/// Control signals the Load Balancing Controller emits (paper Fig. 2).
+enum class ControlSignal {
+  kNone = 0,
+  /// Rejection cost dominates: Loosen Admission Control (LAC).
+  kLoosenAdmission,
+  /// DMF cost dominates: Degrade Updates + Tighten Admission Control (TAC).
+  kDegradeAndTighten,
+  /// DSF cost dominates: Upgrade Updates.
+  kUpgradeUpdates,
+  /// No failure dominates yet, but the CPU is saturating: shed update load
+  /// before queries start missing (the paper's stated aim is to *prevent*
+  /// overload rather than react to it — Section 5).
+  kPreventiveDegrade,
+};
+
+const char* ControlSignalName(ControlSignal s);
+
+/// LBC tunables.
+struct LbcParams {
+  /// Periodic trigger: at least one adaptive-allocation pass per grace
+  /// period, even without a USM drop.
+  SimDuration grace_period = SecondsToSim(2.0);
+  /// Drop trigger: act when the smoothed per-tick USM falls by more than
+  /// this fraction of the USM range between consecutive monitoring ticks.
+  /// (The paper quotes 1% of the range over far longer windows; per-second
+  /// windows need a larger threshold to avoid thrashing.)
+  double drop_threshold = 0.05;
+  /// Smoothing weight of the per-tick USM monitor.
+  double usm_ewma_alpha = 0.2;
+  /// Failure ratios below this floor are not actionable: a lone DSF in an
+  /// otherwise healthy window must not trigger a global update upgrade that
+  /// erases accumulated degradation (and symmetrically for R / F_m).
+  double min_actionable_ratio = 0.01;
+  /// ... and at least this many failures of the type in the window (small
+  /// windows make a single failure look like a large ratio).
+  int64_t min_actionable_count = 1;
+  /// Preventive trigger: when windowed CPU utilization exceeds this and no
+  /// failure cost dominates yet, emit kPreventiveDegrade. Set > 1 to
+  /// disable (reactive-only, the literal Fig. 2 algorithm).
+  double preventive_utilization = 0.97;
+};
+
+/// The paper's Load Balancing Controller: monitors the USM and the outcome
+/// ratios, and runs the Adaptive Allocation Algorithm (Fig. 2) whenever the
+/// grace period elapses or the (smoothed) USM drops sharply — reduce
+/// whichever average penalty (R, F_m, F_s) currently dominates; when every
+/// weight is zero, reduce the failure with the highest raw ratio instead.
+///
+/// Multi-preference support: construct with one UsmWeights per user class
+/// and feed Tick the per-class cumulative counters; each class's failures
+/// are valued by its own penalties (class indices beyond the table fall
+/// back to its last entry).
+///
+/// Windowing: the controller is fed *cumulative* outcome counters each
+/// monitoring tick. Per-tick diffs drive the USM drop detector; decision
+/// ratios are computed over everything resolved since the previous
+/// adaptive-allocation pass, so each decision looks at a full cohort
+/// instead of a noisy one-tick slice.
+class LoadBalancingController {
+ public:
+  LoadBalancingController(const LbcParams& params, const UsmWeights& weights);
+  LoadBalancingController(const LbcParams& params,
+                          std::vector<UsmWeights> class_weights);
+
+  /// One monitoring tick. `per_class_cumulative` holds the engine's
+  /// cumulative per-class outcome counters (a single entry when preference
+  /// classes are unused); `tick_utilization` is the CPU utilization
+  /// observed over the last tick. Returns the signal to apply (kNone when
+  /// not triggered or when nothing is failing).
+  ControlSignal Tick(SimTime now,
+                     const std::vector<OutcomeCounts>& per_class_cumulative,
+                     double tick_utilization, Rng& rng);
+
+  /// Single-class convenience overload.
+  ControlSignal Tick(SimTime now, const OutcomeCounts& cumulative,
+                     double tick_utilization, Rng& rng);
+
+  /// Number of adaptive-allocation evaluations that produced a signal.
+  int64_t triggers() const { return triggers_; }
+  /// How many evaluations were caused by a USM drop (vs. the grace period).
+  int64_t drop_triggers() const { return drop_triggers_; }
+
+ private:
+  bool AllClassesNaive() const;
+  double RangeOverClasses() const;
+
+  LbcParams params_;
+  std::vector<UsmWeights> class_weights_;
+
+  // Per-tick USM drop monitor.
+  std::vector<OutcomeCounts> last_tick_counts_;
+  double usm_ewma_ = 0.0;
+  bool ewma_initialized_ = false;
+  double utilization_ewma_ = 0.0;
+
+  // Decision window (since the previous evaluation).
+  std::vector<OutcomeCounts> last_eval_counts_;
+  SimTime last_eval_ = 0;
+
+  int64_t triggers_ = 0;
+  int64_t drop_triggers_ = 0;
+};
+
+}  // namespace unitdb
+
+#endif  // UNIT_CORE_LBC_H_

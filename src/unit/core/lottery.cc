@@ -1,0 +1,100 @@
+#include "unit/core/lottery.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace unitdb {
+
+LotterySampler::LotterySampler(int n)
+    : tree_(static_cast<size_t>(n)),
+      tickets_(n, 0.0),
+      eligible_(n, true),
+      eligible_count_(n) {
+  assert(n > 0);
+  eligible_items_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    eligible_items_.push_back(i);
+    min_tracker_.insert(0.0);
+  }
+  // floor_ == 0 == every ticket: weights start at zero (uniform fallback).
+}
+
+void LotterySampler::SetEligible(int i, bool eligible) {
+  if (eligible_[i] == eligible) return;
+  eligible_[i] = eligible;
+  eligible_count_ += eligible ? 1 : -1;
+  if (eligible) {
+    min_tracker_.insert(tickets_[i]);
+  } else {
+    min_tracker_.erase(min_tracker_.find(tickets_[i]));
+  }
+  eligible_items_.clear();
+  for (int j = 0; j < size(); ++j) {
+    if (eligible_[j]) eligible_items_.push_back(j);
+  }
+  Rebase();
+}
+
+void LotterySampler::SetTicket(int i, double ticket) {
+  if (eligible_[i]) {
+    min_tracker_.erase(min_tracker_.find(tickets_[i]));
+    min_tracker_.insert(ticket);
+  }
+  tickets_[i] = ticket;
+  if (!eligible_[i]) return;
+  if (ticket < floor_) {
+    // Weights must stay non-negative: re-anchor at the new minimum.
+    Rebase();
+  } else {
+    RefreshWeight(i);
+  }
+}
+
+double LotterySampler::WeightOf(int i) const {
+  return eligible_[i] ? tree_.Get(static_cast<size_t>(i)) : 0.0;
+}
+
+int LotterySampler::Sample(Rng& rng) const {
+  if (eligible_count_ == 0) return -1;
+  // The floor may be stale (above-minimum ticket raises don't re-anchor);
+  // re-anchor exactly before drawing so probabilities match the paper's
+  // (T_j - T_min) weights. The multiset gives the exact minimum in O(1);
+  // the O(n) re-anchor only runs when the minimum actually moved.
+  const double true_min = *min_tracker_.begin();
+  if (true_min != floor_) {
+    const_cast<LotterySampler*>(this)->Rebase();
+  }
+  const double total = tree_.total();
+  if (total <= 1e-12) {
+    // All shifted weights are zero: uniform lottery over eligible items.
+    const size_t k = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(eligible_items_.size()) - 1));
+    return eligible_items_[k];
+  }
+  const double dart = rng.NextDouble() * total;
+  int pick = static_cast<int>(tree_.FindPrefix(dart));
+  if (!eligible_[pick]) {
+    // Rounding landed on a zero-weight slot; fall back to uniform-eligible.
+    const size_t k = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(eligible_items_.size()) - 1));
+    pick = eligible_items_[k];
+  }
+  return pick;
+}
+
+void LotterySampler::Rebase() {
+  floor_ = min_tracker_.empty() ? 0.0 : *min_tracker_.begin();
+  for (int j = 0; j < size(); ++j) {
+    if (eligible_[j]) {
+      tree_.Set(static_cast<size_t>(j), tickets_[j] - floor_);
+    } else {
+      tree_.Set(static_cast<size_t>(j), 0.0);
+    }
+  }
+}
+
+void LotterySampler::RefreshWeight(int i) {
+  tree_.Set(static_cast<size_t>(i), tickets_[i] - floor_);
+}
+
+}  // namespace unitdb

@@ -1,0 +1,26 @@
+#include "unit/core/policies/hybrid.h"
+
+#include "unit/sched/engine.h"
+
+namespace unitdb {
+
+bool HybridPolicy::BeforeQueryDispatch(Engine& engine, Transaction& query) {
+  if (query.refresh_rounds() >= engine.params().max_refresh_rounds) {
+    return true;
+  }
+  bool issued = false;
+  for (ItemId item : query.items()) {
+    if (engine.db().Freshness(item, engine.now()) >= query.freshness_req()) {
+      continue;
+    }
+    if (engine.PendingUpdatesForItem(item) > 0) continue;
+    engine.IssueOnDemandUpdate(item);  // applies the buffered feed value
+    ++repairs_issued_;
+    issued = true;
+  }
+  if (!issued) return true;
+  query.IncrementRefreshRounds();
+  return false;
+}
+
+}  // namespace unitdb

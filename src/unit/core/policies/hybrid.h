@@ -1,0 +1,40 @@
+#ifndef UNIT_CORE_POLICIES_HYBRID_H_
+#define UNIT_CORE_POLICIES_HYBRID_H_
+
+#include <cstdint>
+#include <string>
+
+#include "unit/core/policies/unit_policy.h"
+
+namespace unitdb {
+
+/// UNIT + just-in-time repair — the natural "future work" extension of the
+/// paper (discussed in DESIGN.md and EXPERIMENTS.md): keep UNIT's feedback
+/// loop, admission control, and lottery-driven update shedding, but when a
+/// query is about to read an item whose application was shed, apply the
+/// push feed's buffered newest value first (an on-demand update at update
+/// priority), exactly like ODU's refresh.
+///
+/// This combines UNIT's proactive overload prevention with ODU's
+/// just-in-time coalescing — the mechanism that lets plain ODU edge UNIT
+/// out at extreme update volumes (see EXPERIMENTS.md, Figure 4 deviation).
+class HybridPolicy : public UnitPolicy {
+ public:
+  explicit HybridPolicy(const UsmWeights& weights, UnitParams params = {})
+      : UnitPolicy(weights, params) {}
+
+  std::string name() const override { return "unit-hybrid"; }
+
+  /// Issues buffered-value refreshes for stale read-set items before the
+  /// query occupies the CPU (bounded by EngineParams::max_refresh_rounds).
+  bool BeforeQueryDispatch(Engine& engine, Transaction& query) override;
+
+  int64_t repairs_issued() const { return repairs_issued_; }
+
+ private:
+  int64_t repairs_issued_ = 0;
+};
+
+}  // namespace unitdb
+
+#endif  // UNIT_CORE_POLICIES_HYBRID_H_

@@ -1,0 +1,5 @@
+#include "unit/core/policies/imu.h"
+
+// IMU is fully described by the Policy defaults; this translation unit only
+// anchors the class for the library archive.
+namespace unitdb {}  // namespace unitdb

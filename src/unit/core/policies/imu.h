@@ -1,0 +1,21 @@
+#ifndef UNIT_CORE_POLICIES_IMU_H_
+#define UNIT_CORE_POLICIES_IMU_H_
+
+#include <string>
+
+#include "unit/core/policy.h"
+
+namespace unitdb {
+
+/// Baseline IMU (Immediate Update, paper Section 4.1): every update executes
+/// at its source rate and no admission control is applied. Freshness is
+/// maximal, but update work starves queries under heavy update load.
+class ImuPolicy : public Policy {
+ public:
+  std::string name() const override { return "imu"; }
+  // All defaults: admit everything, periodic updates at ideal rate.
+};
+
+}  // namespace unitdb
+
+#endif  // UNIT_CORE_POLICIES_IMU_H_

@@ -1,0 +1,58 @@
+#include "unit/core/policies/odu.h"
+
+#include "unit/sched/engine.h"
+
+namespace unitdb {
+
+int OduPolicy::RefreshStaleItems(Engine& engine, const Transaction& query) {
+  int issued = 0;
+  for (ItemId item : query.items()) {
+    if (engine.db().Freshness(item, engine.now()) >= query.freshness_req()) {
+      continue;
+    }
+    if (dedupe_in_flight_ && engine.PendingUpdatesForItem(item) > 0) {
+      continue;
+    }
+    engine.IssueOnDemandUpdate(item);
+    ++issued;
+  }
+  refreshes_issued_ += issued;
+  return issued;
+}
+
+bool OduPolicy::AdmitQuery(Engine& engine, const Transaction& query) {
+  RefreshStaleItems(engine, query);
+  return true;  // ODU never rejects
+}
+
+bool OduPolicy::BeforeQueryDispatch(Engine& engine, Transaction& query) {
+  if (query.refresh_rounds() >= engine.params().max_refresh_rounds) {
+    return true;  // stop chasing a source that outruns us; read what we have
+  }
+  bool stale = false;
+  for (ItemId item : query.items()) {
+    if (engine.db().Freshness(item, engine.now()) < query.freshness_req()) {
+      stale = true;
+      break;
+    }
+  }
+  if (!stale) return true;
+  // Re-issue for whatever went stale while queued; if another refresh is
+  // already in flight (it outranks us), just step aside for it.
+  const int issued = RefreshStaleItems(engine, query);
+  bool in_flight = issued > 0;
+  if (!in_flight) {
+    for (ItemId item : query.items()) {
+      if (engine.PendingUpdatesForItem(item) > 0) {
+        in_flight = true;
+        break;
+      }
+    }
+  }
+  if (!in_flight) return true;  // nothing we can do; read stale data
+  query.IncrementRefreshRounds();
+  ++postponements_;
+  return false;
+}
+
+}  // namespace unitdb

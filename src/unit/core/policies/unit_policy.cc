@@ -1,0 +1,109 @@
+#include "unit/core/policies/unit_policy.h"
+
+#include "unit/sched/engine.h"
+
+namespace unitdb {
+
+UnitPolicy::UnitPolicy(const UsmWeights& weights, UnitParams params)
+    : UnitPolicy(std::vector<UsmWeights>{weights}, params) {}
+
+UnitPolicy::UnitPolicy(std::vector<UsmWeights> class_weights,
+                       UnitParams params)
+    : class_weights_(std::move(class_weights)),
+      params_(params),
+      admission_(params.admission, WeightsForClass(class_weights_, 0)),
+      modulator_(1, params.modulation),
+      lbc_(params.lbc, class_weights_),
+      rng_(params.seed) {}
+
+void UnitPolicy::Attach(Engine& engine) {
+  modulator_ = UpdateModulator(engine.db().num_items(), params_.modulation);
+  modulator_.AttachSources(engine.db());
+}
+
+bool UnitPolicy::AdmitQuery(Engine& engine, const Transaction& query) {
+  if (!params_.enable_admission_control) return true;
+  return admission_.Admit(
+      engine, query,
+      WeightsForClass(class_weights_, query.preference_class()));
+}
+
+void UnitPolicy::OnQueryResolved(Engine& engine, const Transaction& query,
+                                 Outcome outcome) {
+  // Ticket accounting counts actual data accesses: queries that committed
+  // (successfully or stale) read their items; rejected/aborted ones did not.
+  if (outcome != Outcome::kSuccess && outcome != Outcome::kDataStale) return;
+  for (ItemId item : query.items()) {
+    modulator_.OnQueryAccess(item, query, engine.now());
+    const DataItemState& state = engine.db().item(item);
+    if (outcome == Outcome::kDataStale &&
+        engine.db().Freshness(item, engine.now()) < query.freshness_req()) {
+      modulator_.OnStaleAccess(item);
+      // The push feed has the newest value buffered; repair the observed
+      // staleness right away so followers read fresh data.
+      if (engine.PendingUpdatesForItem(item) == 0) {
+        engine.IssueOnDemandUpdate(item);
+      }
+    } else if (state.current_period > state.ideal_period &&
+               modulator_.ticket(item) <= 0.0) {
+      // A user touched a degraded, demand-heavy item: register demand so
+      // the next Upgrade signal restores it before a freshness miss
+      // accrues. (Over-updated items — positive tickets — are degraded on
+      // purpose; touching them is not a reason to restore.)
+      modulator_.OnDegradedAccess(item);
+    }
+  }
+}
+
+void UnitPolicy::OnUpdateSourceArrival(Engine& engine, ItemId item) {
+  modulator_.OnUpdateArrival(item, engine.db().item(item).update_exec,
+                             engine.now());
+}
+
+void UnitPolicy::OnControlTick(Engine& engine) {
+  // Windowed CPU utilization over the last tick, for the preventive trigger.
+  const double busy = engine.BusySeconds();
+  const double window_s = SimToSeconds(engine.now() - last_tick_);
+  const double utilization =
+      window_s > 0.0 ? (busy - last_busy_s_) / window_s : 0.0;
+  last_busy_s_ = busy;
+  last_tick_ = engine.now();
+
+  const ControlSignal signal = lbc_.Tick(engine.now(),
+                                         engine.per_class_counts(),
+                                         utilization, rng_);
+  ++signal_counts_[static_cast<int>(signal)];
+  switch (signal) {
+    case ControlSignal::kNone:
+      break;
+    case ControlSignal::kLoosenAdmission:
+      if (params_.enable_admission_control) admission_.Loosen();
+      break;
+    case ControlSignal::kDegradeAndTighten:
+      if (params_.enable_update_modulation) {
+        modulator_.Degrade(engine.db(), rng_);
+      }
+      if (params_.enable_admission_control) admission_.Tighten();
+      break;
+    case ControlSignal::kPreventiveDegrade:
+      if (params_.enable_update_modulation) {
+        modulator_.Degrade(engine.db(), rng_);
+      }
+      break;
+    case ControlSignal::kUpgradeUpdates:
+      if (params_.enable_update_modulation) {
+        // Push feeds keep delivering values while application is shed; on
+        // restore, apply the buffered newest value right away instead of
+        // waiting up to a full period for the next arrival.
+        for (ItemId item : modulator_.Upgrade(engine.db())) {
+          if (engine.db().Udrop(item, engine.now()) > 0 &&
+              engine.PendingUpdatesForItem(item) == 0) {
+            engine.IssueOnDemandUpdate(item);
+          }
+        }
+      }
+      break;
+  }
+}
+
+}  // namespace unitdb

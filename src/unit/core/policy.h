@@ -1,0 +1,81 @@
+#ifndef UNIT_CORE_POLICY_H_
+#define UNIT_CORE_POLICY_H_
+
+#include <string>
+
+#include "unit/txn/outcome.h"
+#include "unit/txn/transaction.h"
+
+namespace unitdb {
+
+class Engine;
+
+/// Extension point through which a transaction-management policy (UNIT, IMU,
+/// ODU, QMF, or a user-defined scheme) steers the engine. All hooks run on
+/// the simulation thread; the engine passed in is fully usable (database,
+/// queue introspection, on-demand updates, period modulation).
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Short policy name for reports ("unit", "imu", ...).
+  virtual std::string name() const = 0;
+
+  /// Called once before the run starts, after the engine is fully built.
+  virtual void Attach(Engine& engine) { (void)engine; }
+
+  /// Admission control: called when a user query arrives; returning false
+  /// rejects it outright (paper outcome "Rejection").
+  virtual bool AdmitQuery(Engine& engine, const Transaction& query) {
+    (void)engine;
+    (void)query;
+    return true;
+  }
+
+  /// Called when an admitted query is about to occupy the CPU for the first
+  /// time (and again after lock restarts / refresh postponements). Returning
+  /// false postpones the query — legal only if the hook enqueued at least
+  /// one transaction that now outranks it (e.g. ODU's on-demand refreshes);
+  /// otherwise the engine would spin.
+  virtual bool BeforeQueryDispatch(Engine& engine, Transaction& query) {
+    (void)engine;
+    (void)query;
+    return true;
+  }
+
+  /// Called exactly once per submitted query when its fortune is decided
+  /// (success / rejected / DMF / DSF).
+  virtual void OnQueryResolved(Engine& engine, const Transaction& query,
+                               Outcome outcome) {
+    (void)engine;
+    (void)query;
+    (void)outcome;
+  }
+
+  /// Called when an update transaction commits.
+  virtual void OnUpdateCommit(Engine& engine, const Transaction& update) {
+    (void)engine;
+    (void)update;
+  }
+
+  /// Called on every periodic update *arrival* from the source, including
+  /// the ones frequency modulation subsequently drops. "There is an update
+  /// on d_j" in the paper's ticket accounting (Eq. 7) is an arrival — tying
+  /// it to commits would let degradation starve its own signal.
+  virtual void OnUpdateSourceArrival(Engine& engine, ItemId item) {
+    (void)engine;
+    (void)item;
+  }
+
+  /// Called every engine control period (EngineParams::control_period).
+  virtual void OnControlTick(Engine& engine) { (void)engine; }
+
+  /// Whether the engine should generate periodic update transactions from
+  /// the items' (current) periods. ODU turns this off and refreshes data
+  /// on demand instead.
+  virtual bool UsesPeriodicUpdates() const { return true; }
+};
+
+}  // namespace unitdb
+
+#endif  // UNIT_CORE_POLICY_H_

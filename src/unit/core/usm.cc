@@ -1,0 +1,60 @@
+#include "unit/core/usm.h"
+
+#include <algorithm>
+
+namespace unitdb {
+
+double UsmTotal(const OutcomeCounts& c, const UsmWeights& w) {
+  return w.gain * static_cast<double>(c.success) -
+         w.c_r * static_cast<double>(c.rejected) -
+         w.c_fm * static_cast<double>(c.dmf) -
+         w.c_fs * static_cast<double>(c.dsf);
+}
+
+double UsmAverage(const OutcomeCounts& c, const UsmWeights& w) {
+  if (c.submitted <= 0) return 0.0;
+  return UsmTotal(c, w) / static_cast<double>(c.submitted);
+}
+
+UsmBreakdown UsmDecompose(const OutcomeCounts& c, const UsmWeights& w) {
+  UsmBreakdown b;
+  if (c.submitted <= 0) return b;
+  const double n = static_cast<double>(c.submitted);
+  b.s = w.gain * static_cast<double>(c.success) / n;
+  b.r = w.c_r * static_cast<double>(c.rejected) / n;
+  b.fm = w.c_fm * static_cast<double>(c.dmf) / n;
+  b.fs = w.c_fs * static_cast<double>(c.dsf) / n;
+  return b;
+}
+
+const UsmWeights& WeightsForClass(const std::vector<UsmWeights>& class_weights,
+                                  int preference_class) {
+  static const UsmWeights kNaive;
+  if (class_weights.empty()) return kNaive;
+  const size_t i = preference_class < 0
+                       ? 0
+                       : std::min(static_cast<size_t>(preference_class),
+                                  class_weights.size() - 1);
+  return class_weights[i];
+}
+
+double UsmTotalMulti(const std::vector<OutcomeCounts>& per_class_counts,
+                     const std::vector<UsmWeights>& class_weights) {
+  double total = 0.0;
+  for (size_t c = 0; c < per_class_counts.size(); ++c) {
+    total += UsmTotal(per_class_counts[c],
+                      WeightsForClass(class_weights, static_cast<int>(c)));
+  }
+  return total;
+}
+
+double UsmAverageMulti(const std::vector<OutcomeCounts>& per_class_counts,
+                       const std::vector<UsmWeights>& class_weights) {
+  int64_t submitted = 0;
+  for (const auto& c : per_class_counts) submitted += c.submitted;
+  if (submitted <= 0) return 0.0;
+  return UsmTotalMulti(per_class_counts, class_weights) /
+         static_cast<double>(submitted);
+}
+
+}  // namespace unitdb

@@ -1,0 +1,54 @@
+#ifndef UNIT_DB_DATA_ITEM_H_
+#define UNIT_DB_DATA_ITEM_H_
+
+#include <cstdint>
+
+#include "unit/common/types.h"
+
+namespace unitdb {
+
+/// Static description of one data item's update source: the source (e.g. a
+/// stock feed) generates a fresh value every `ideal_period` starting at
+/// `phase`; applying one of those values costs `update_exec` CPU time.
+/// An item with no update source uses kNoUpdates as its period.
+struct ItemUpdateSpec {
+  ItemId item = kInvalidItem;
+  SimDuration ideal_period = 0;  ///< pi_j, > 0 (kNoUpdates => never updated)
+  SimDuration update_exec = 0;   ///< ue_j, > 0
+  SimTime phase = 0;             ///< first generation instant, in [0, pi_j)
+};
+
+/// Sentinel ideal period for items that receive no updates at all.
+inline constexpr SimDuration kNoUpdates = kSimTimeMax / 4;
+
+/// Mutable per-item state maintained by the database during a run.
+struct DataItemState {
+  // Source description (fixed for a run).
+  SimDuration ideal_period = kNoUpdates;  ///< pi_j
+  SimDuration update_exec = 0;            ///< ue_j
+  SimTime phase = 0;
+
+  /// pc_j: the period the server currently polls/applies updates with.
+  /// Invariant: current_period >= ideal_period (modulation only stretches).
+  SimDuration current_period = kNoUpdates;
+
+  /// Newest source generation whose value has been applied; -1 means the
+  /// initial (time-0) value, which counts as fresh until the first source
+  /// generation occurs.
+  int64_t installed_generation = -1;
+
+  /// Arrival time of the last update transaction the server chose to apply.
+  /// Update messages always arrive at the source rate (every ideal_period);
+  /// frequency modulation *drops* arrivals so that applications happen about
+  /// once per current_period, keeping applied values aligned with source
+  /// generations (see Engine::HandleUpdateArrival).
+  SimTime last_pull = kSimTimeMax * -1;
+
+  // Bookkeeping for Figure 3 and the modulation policies.
+  int64_t applied_updates = 0;  ///< committed update transactions
+  int64_t query_accesses = 0;   ///< committed queries that read this item
+};
+
+}  // namespace unitdb
+
+#endif  // UNIT_DB_DATA_ITEM_H_

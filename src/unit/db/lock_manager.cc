@@ -1,0 +1,69 @@
+#include "unit/db/lock_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace unitdb {
+
+LockManager::LockManager(int num_items) {
+  assert(num_items > 0);
+  locks_.resize(num_items);
+}
+
+bool LockManager::TryAcquireSharedAll(TxnId txn,
+                                      const std::vector<ItemId>& items) {
+  assert(held_.find(txn) == held_.end() && "txn already holds locks");
+  for (ItemId id : items) {
+    const ItemLocks& l = locks_[id];
+    if (l.exclusive != kInvalidTxn && l.exclusive != txn) return false;
+  }
+  std::vector<ItemId>& held = held_[txn];
+  for (ItemId id : items) {
+    if (locks_[id].shared.insert(txn).second) {
+      held.push_back(id);
+    }
+  }
+  return true;
+}
+
+LockManager::XAttempt LockManager::TryAcquireExclusive(TxnId txn,
+                                                       ItemId item) {
+  XAttempt result;
+  ItemLocks& l = locks_[item];
+  if (l.exclusive != kInvalidTxn && l.exclusive != txn) {
+    result.blocked_by_exclusive = true;
+    return result;
+  }
+  if (!l.shared.empty()) {
+    result.shared_holders.assign(l.shared.begin(), l.shared.end());
+    // Deterministic order for the engine's abort loop.
+    std::sort(result.shared_holders.begin(), result.shared_holders.end());
+    return result;
+  }
+  l.exclusive = txn;
+  held_[txn].push_back(item);
+  result.granted = true;
+  return result;
+}
+
+std::vector<ItemId> LockManager::ReleaseAll(TxnId txn) {
+  auto it = held_.find(txn);
+  if (it == held_.end()) return {};
+  std::vector<ItemId> freed = std::move(it->second);
+  held_.erase(it);
+  for (ItemId id : freed) {
+    ItemLocks& l = locks_[id];
+    if (l.exclusive == txn) l.exclusive = kInvalidTxn;
+    l.shared.erase(txn);
+  }
+  return freed;
+}
+
+bool LockManager::HoldsAny(TxnId txn) const { return held_.count(txn) > 0; }
+
+bool LockManager::IsLocked(ItemId item) const {
+  const ItemLocks& l = locks_[item];
+  return l.exclusive != kInvalidTxn || !l.shared.empty();
+}
+
+}  // namespace unitdb

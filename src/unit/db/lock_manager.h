@@ -1,0 +1,69 @@
+#ifndef UNIT_DB_LOCK_MANAGER_H_
+#define UNIT_DB_LOCK_MANAGER_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "unit/common/types.h"
+
+namespace unitdb {
+
+/// Item-granularity shared/exclusive lock table implementing the data-access
+/// rules of 2PL-HP (Abbott & Garcia-Molina): the *policy* half of 2PL-HP —
+/// "a higher-priority requester aborts lower-priority holders" — is driven by
+/// the engine, which knows transaction priorities; the lock manager only
+/// reports conflicts and tracks ownership.
+///
+/// Usage pattern enforced by the engine keeps the protocol deadlock-free:
+/// queries acquire their whole read set atomically (all-or-nothing S locks),
+/// updates acquire a single X lock, and blocked transactions hold nothing.
+class LockManager {
+ public:
+  explicit LockManager(int num_items);
+
+  /// Result of an exclusive-lock attempt.
+  struct XAttempt {
+    bool granted = false;
+    /// Non-empty when the item is share-locked: the engine must abort these
+    /// (lower-priority) holders and retry, per 2PL-HP.
+    std::vector<TxnId> shared_holders;
+    /// True when another transaction holds the X lock; requester must wait.
+    bool blocked_by_exclusive = false;
+  };
+
+  /// Atomically acquires S locks on all `items` for `txn`. Fails (acquiring
+  /// nothing) if any item is X-locked by another transaction. Duplicate item
+  /// ids in `items` are allowed and collapse to one lock.
+  bool TryAcquireSharedAll(TxnId txn, const std::vector<ItemId>& items);
+
+  /// Attempts the X lock on `item`. Grants only if no other transaction
+  /// holds any lock on it; otherwise reports who is in the way.
+  XAttempt TryAcquireExclusive(TxnId txn, ItemId item);
+
+  /// Releases everything `txn` holds; returns the freed items (possibly
+  /// empty). Safe to call for transactions holding nothing.
+  std::vector<ItemId> ReleaseAll(TxnId txn);
+
+  /// True if `txn` holds at least one lock.
+  bool HoldsAny(TxnId txn) const;
+
+  /// True if any transaction holds a lock on `item`.
+  bool IsLocked(ItemId item) const;
+
+  /// Number of transactions currently holding locks.
+  int holder_count() const { return static_cast<int>(held_.size()); }
+
+ private:
+  struct ItemLocks {
+    TxnId exclusive = kInvalidTxn;
+    std::unordered_set<TxnId> shared;
+  };
+
+  std::vector<ItemLocks> locks_;                       // per item
+  std::unordered_map<TxnId, std::vector<ItemId>> held_;  // txn -> items
+};
+
+}  // namespace unitdb
+
+#endif  // UNIT_DB_LOCK_MANAGER_H_

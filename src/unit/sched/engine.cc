@@ -1,0 +1,408 @@
+#include "unit/sched/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "unit/common/logging.h"
+
+namespace unitdb {
+
+Engine::Engine(const Workload& workload, Policy* policy, EngineParams params)
+    : workload_(workload),
+      policy_(policy),
+      params_(params),
+      db_(workload.num_items),
+      locks_(workload.num_items),
+      ready_(params.discipline),
+      rng_(params.seed),
+      pending_updates_per_item_(workload.num_items, 0) {
+  assert(policy_ != nullptr);
+  db_.SetSourceHorizon(workload.duration);
+  Status s = db_.ApplySpecs(workload.updates);
+  if (!s.ok()) {
+    UNIT_LOG(Error) << "bad workload update specs: " << s.ToString();
+  }
+  metrics_.duration_s = SimToSeconds(workload.duration);
+}
+
+RunMetrics Engine::Run() {
+  assert(!ran_ && "Engine::Run must be called at most once");
+  ran_ = true;
+  policy_->Attach(*this);
+  ScheduleInitialEvents();
+  while (!events_.empty()) {
+    const Event e = events_.Pop();
+    assert(e.time >= now_);
+    now_ = e.time;
+    switch (e.type) {
+      case EventType::kQueryArrival:
+        HandleQueryArrival(e.payload);
+        break;
+      case EventType::kUpdateArrival:
+        HandleUpdateArrival(static_cast<ItemId>(e.payload));
+        break;
+      case EventType::kCompletion:
+        HandleCompletion(e.payload, e.generation);
+        break;
+      case EventType::kQueryDeadline:
+        HandleQueryDeadline(e.payload);
+        break;
+      case EventType::kControlTick:
+        HandleControlTick();
+        break;
+    }
+  }
+  assert(running_ == nullptr);
+  assert(ready_.empty());
+  // Copy per-item bookkeeping out of the database.
+  metrics_.per_item_accesses.resize(db_.num_items());
+  metrics_.per_item_applied_updates.resize(db_.num_items());
+  for (ItemId i = 0; i < db_.num_items(); ++i) {
+    metrics_.per_item_accesses[i] = db_.item(i).query_accesses;
+    metrics_.per_item_applied_updates[i] = db_.item(i).applied_updates;
+  }
+  return metrics_;
+}
+
+Transaction* Engine::NewQueryTxn(const QueryRequest& request) {
+  const TxnId id = static_cast<TxnId>(txns_.size());
+  txns_.push_back(Transaction::MakeQuery(
+      id, request.arrival, request.exec, request.relative_deadline,
+      request.freshness_req, request.items, request.preference_class));
+  Transaction* t = &txns_.back();
+  if (params_.estimate_noise_sigma > 0.0) {
+    const double factor =
+        rng_.LogNormal(0.0, params_.estimate_noise_sigma);
+    t->set_estimate(std::max<SimDuration>(
+        1, static_cast<SimDuration>(
+               static_cast<double>(t->exec_time()) * factor)));
+  }
+  return t;
+}
+
+Transaction* Engine::NewUpdateTxn(ItemId item, SimDuration relative_deadline,
+                                  bool on_demand) {
+  const TxnId id = static_cast<TxnId>(txns_.size());
+  const SimDuration exec = db_.item(item).update_exec;
+  txns_.push_back(Transaction::MakeUpdate(
+      id, now_, exec, std::max<SimDuration>(1, relative_deadline), item,
+      on_demand));
+  ++pending_updates_per_item_[item];
+  ++metrics_.updates_generated;
+  return &txns_.back();
+}
+
+void Engine::ScheduleInitialEvents() {
+  for (size_t i = 0; i < workload_.queries.size(); ++i) {
+    events_.Push(workload_.queries[i].arrival, EventType::kQueryArrival,
+                 static_cast<int64_t>(i));
+  }
+  if (policy_->UsesPeriodicUpdates()) {
+    for (const auto& spec : workload_.updates) {
+      if (spec.ideal_period <= 0 || spec.ideal_period >= kNoUpdates) continue;
+      if (spec.phase < workload_.duration) {
+        events_.Push(spec.phase, EventType::kUpdateArrival, spec.item);
+      }
+    }
+  }
+  if (params_.control_period > 0 &&
+      params_.control_period <= workload_.duration) {
+    events_.Push(params_.control_period, EventType::kControlTick, 0);
+  }
+}
+
+void Engine::HandleQueryArrival(int64_t query_index) {
+  const QueryRequest& request = workload_.queries[query_index];
+  Transaction* t = NewQueryTxn(request);
+  ++metrics_.counts.submitted;
+  if (!policy_->AdmitQuery(*this, *t)) {
+    t->set_state(TxnState::kAborted);
+    ResolveQuery(t, Outcome::kRejected);
+    return;
+  }
+  t->set_state(TxnState::kReady);
+  ready_.Insert(t);
+  events_.Push(t->absolute_deadline(), EventType::kQueryDeadline, t->id());
+  TryDispatch();
+}
+
+void Engine::HandleUpdateArrival(ItemId item) {
+  if (now_ >= workload_.duration) return;
+  DataItemState& state = db_.mutable_item(item);
+  // Update messages stream in at the source rate (one per ideal period,
+  // aligned with generations). Frequency modulation drops arrivals: the
+  // server only turns an arrival into an update *transaction* when the
+  // current (possibly stretched) period has elapsed since the last one it
+  // applied. Dropped arrivals cost no CPU — that is the load shed.
+  const SimTime next = now_ + state.ideal_period;
+  if (next < workload_.duration) {
+    events_.Push(next, EventType::kUpdateArrival, item);
+  }
+  policy_->OnUpdateSourceArrival(*this, item);
+  const bool due = state.last_pull < 0 ||
+                   (now_ - state.last_pull) + state.ideal_period / 2 >=
+                       state.current_period;
+  if (!due) {
+    ++metrics_.updates_dropped;
+    return;
+  }
+  state.last_pull = now_;
+  Transaction* t = NewUpdateTxn(item, state.current_period,
+                                /*on_demand=*/false);
+  t->set_state(TxnState::kReady);
+  ready_.Insert(t);
+  TryDispatch();
+}
+
+TxnId Engine::IssueOnDemandUpdate(ItemId item) {
+  const DataItemState& state = db_.item(item);
+  // Urgent internal deadline: outranks queued periodic updates under EDF.
+  Transaction* t = NewUpdateTxn(item, std::max<SimDuration>(1, state.update_exec),
+                                /*on_demand=*/true);
+  t->set_state(TxnState::kReady);
+  ready_.Insert(t);
+  ++metrics_.on_demand_updates;
+  return t->id();
+}
+
+void Engine::HandleCompletion(TxnId id, uint64_t generation) {
+  Transaction* t = &txns_[id];
+  if (t != running_ || t->state() != TxnState::kRunning ||
+      t->dispatch_generation() != generation) {
+    return;  // stale completion (preempted or aborted since scheduling)
+  }
+  CompleteRunning(t);
+  TryDispatch();
+}
+
+void Engine::HandleQueryDeadline(TxnId id) {
+  Transaction* t = &txns_[id];
+  if (t->Terminal()) return;
+  AbortQuery(t, Outcome::kDeadlineMiss);
+  TryDispatch();
+}
+
+void Engine::HandleControlTick() {
+  policy_->OnControlTick(*this);
+  const SimTime next = now_ + params_.control_period;
+  if (next <= workload_.duration) {
+    events_.Push(next, EventType::kControlTick, 0);
+  }
+  // A control action (e.g. admission loosening) never needs an immediate
+  // dispatch, but period upgrades may have added update arrivals only at the
+  // next arrival event; nothing to do here.
+}
+
+SimDuration Engine::RunningRemaining() const {
+  if (running_ == nullptr) return 0;
+  return running_->remaining() - (now_ - run_start_);
+}
+
+void Engine::TryDispatch() {
+  while (true) {
+    Transaction* top = ready_.Top();
+    if (running_ != nullptr) {
+      if (top == nullptr || !ready_.HigherPriority(*top, *running_)) {
+        return;
+      }
+      PreemptRunning();
+      continue;
+    }
+    if (top == nullptr) return;
+    ready_.Remove(top);
+    if (top->is_query() && !policy_->BeforeQueryDispatch(*this, *top)) {
+      // The policy issued refreshes that now outrank this query; requeue it.
+      top->set_state(TxnState::kReady);
+      ready_.Insert(top);
+      Transaction* new_top = ready_.Top();
+      if (new_top == top) {
+        UNIT_LOG(Error) << "policy postponed query " << top->id()
+                        << " without enqueueing higher-priority work";
+        ready_.Remove(top);
+        // Fall through and run it anyway to preserve progress.
+      } else {
+        continue;
+      }
+    }
+    if (!top->holds_locks() && !AcquireLocks(top)) {
+      continue;  // blocked; try the next candidate
+    }
+    StartRunning(top);
+    return;
+  }
+}
+
+void Engine::StartRunning(Transaction* t) {
+  t->set_state(TxnState::kRunning);
+  t->BumpDispatchGeneration();
+  running_ = t;
+  run_start_ = now_;
+  events_.Push(now_ + t->remaining(), EventType::kCompletion, t->id(),
+               t->dispatch_generation());
+}
+
+void Engine::PreemptRunning() {
+  Transaction* t = running_;
+  const SimDuration ran = now_ - run_start_;
+  metrics_.busy_s += SimToSeconds(ran);
+  t->set_remaining(t->remaining() - ran);
+  t->BumpDispatchGeneration();
+  t->set_state(TxnState::kReady);
+  running_ = nullptr;
+  ready_.Insert(t);
+  ++metrics_.preemptions;
+}
+
+bool Engine::AcquireLocks(Transaction* t) {
+  if (t->is_query()) {
+    if (locks_.TryAcquireSharedAll(t->id(), t->items())) {
+      t->set_holds_locks(true);
+      return true;
+    }
+    BlockOnLocks(t);
+    return false;
+  }
+  // Update: X lock on its single item, applying the 2PL-HP rule against
+  // lower-priority shared holders (queries).
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    LockManager::XAttempt result =
+        locks_.TryAcquireExclusive(t->id(), t->update_item());
+    if (result.granted) {
+      t->set_holds_locks(true);
+      return true;
+    }
+    if (result.blocked_by_exclusive) {
+      BlockOnLocks(t);
+      return false;
+    }
+    // Shared holders are queries (strictly lower priority class): abort and
+    // restart them, then retry — the retry must succeed.
+    for (TxnId victim : result.shared_holders) {
+      RestartQuery(&txns_[victim]);
+    }
+  }
+  UNIT_LOG(Error) << "exclusive lock acquisition failed twice for txn "
+                  << t->id();
+  BlockOnLocks(t);
+  return false;
+}
+
+void Engine::BlockOnLocks(Transaction* t) {
+  assert(!t->holds_locks());
+  t->set_state(TxnState::kBlocked);
+  blocked_.push_back(t);
+}
+
+void Engine::UnblockAll() {
+  if (blocked_.empty()) return;
+  for (Transaction* t : blocked_) {
+    if (t->Terminal()) continue;  // deadline fired while blocked
+    t->set_state(TxnState::kReady);
+    ready_.Insert(t);
+  }
+  blocked_.clear();
+}
+
+void Engine::RestartQuery(Transaction* t) {
+  assert(t->is_query());
+  assert(t->state() == TxnState::kReady && "2PL-HP victims sit in the ready queue");
+  ready_.Remove(t);
+  ReleaseLocksOf(t);
+  t->ResetWork();
+  t->IncrementRestarts();
+  t->BumpDispatchGeneration();
+  t->set_state(TxnState::kReady);
+  ready_.Insert(t);
+  ++metrics_.lock_restarts;
+}
+
+void Engine::AbortQuery(Transaction* t, Outcome outcome) {
+  assert(t->is_query());
+  if (t == running_) {
+    const SimDuration ran = now_ - run_start_;
+    metrics_.busy_s += SimToSeconds(ran);
+    t->set_remaining(t->remaining() - ran);
+    t->BumpDispatchGeneration();
+    running_ = nullptr;
+  } else if (t->state() == TxnState::kReady) {
+    ready_.Remove(t);
+  } else if (t->state() == TxnState::kBlocked) {
+    auto it = std::find(blocked_.begin(), blocked_.end(), t);
+    if (it != blocked_.end()) blocked_.erase(it);
+  }
+  ReleaseLocksOf(t);
+  t->set_state(TxnState::kAborted);
+  ResolveQuery(t, outcome);
+}
+
+void Engine::ResolveQuery(Transaction* t, Outcome outcome) {
+  t->set_outcome(outcome);
+  const size_t cls = static_cast<size_t>(t->preference_class());
+  if (metrics_.per_class_counts.size() <= cls) {
+    metrics_.per_class_counts.resize(cls + 1);
+  }
+  OutcomeCounts& class_counts = metrics_.per_class_counts[cls];
+  ++class_counts.submitted;
+  switch (outcome) {
+    case Outcome::kSuccess:
+      ++metrics_.counts.success;
+      ++class_counts.success;
+      break;
+    case Outcome::kRejected:
+      ++metrics_.counts.rejected;
+      ++class_counts.rejected;
+      break;
+    case Outcome::kDeadlineMiss:
+      ++metrics_.counts.dmf;
+      ++class_counts.dmf;
+      break;
+    case Outcome::kDataStale:
+      ++metrics_.counts.dsf;
+      ++class_counts.dsf;
+      break;
+    case Outcome::kPending:
+      assert(false && "resolving with pending outcome");
+      break;
+  }
+  policy_->OnQueryResolved(*this, *t, outcome);
+}
+
+void Engine::ReleaseLocksOf(Transaction* t) {
+  if (!t->holds_locks()) return;
+  locks_.ReleaseAll(t->id());
+  t->set_holds_locks(false);
+  UnblockAll();
+}
+
+void Engine::CompleteRunning(Transaction* t) {
+  const SimDuration ran = now_ - run_start_;
+  metrics_.busy_s += SimToSeconds(ran);
+  t->set_remaining(0);
+  running_ = nullptr;
+  t->set_state(TxnState::kCommitted);
+  t->set_commit_time(now_);
+  if (t->is_update()) {
+    // Install the newest source value available when this update was pulled.
+    db_.ApplyUpdate(t->update_item(), t->arrival());
+    --pending_updates_per_item_[t->update_item()];
+    ++metrics_.update_commits;
+    metrics_.update_latency_s.Add(SimToSeconds(now_ - t->arrival()));
+    ReleaseLocksOf(t);
+    policy_->OnUpdateCommit(*this, *t);
+    return;
+  }
+  // Query commit: evaluate read-set freshness at commit time (Eq. 1).
+  const double freshness = db_.QueryFreshness(t->items(), now_);
+  t->set_observed_freshness(freshness);
+  for (ItemId item : t->items()) db_.RecordAccess(item);
+  ReleaseLocksOf(t);
+  metrics_.query_response_s.Add(SimToSeconds(now_ - t->arrival()));
+  metrics_.query_freshness.Add(freshness);
+  const Outcome outcome = freshness >= t->freshness_req()
+                              ? Outcome::kSuccess
+                              : Outcome::kDataStale;
+  ResolveQuery(t, outcome);
+}
+
+}  // namespace unitdb

@@ -1,0 +1,169 @@
+#ifndef UNIT_SCHED_ENGINE_H_
+#define UNIT_SCHED_ENGINE_H_
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "unit/common/rng.h"
+#include "unit/common/types.h"
+#include "unit/core/policy.h"
+#include "unit/db/database.h"
+#include "unit/db/lock_manager.h"
+#include "unit/sched/event_queue.h"
+#include "unit/sched/metrics.h"
+#include "unit/sched/ready_queue.h"
+#include "unit/txn/transaction.h"
+#include "unit/workload/spec.h"
+
+namespace unitdb {
+
+/// Engine tunables.
+struct EngineParams {
+  /// Policy control-tick period (the paper triggers its Load Balancing
+  /// Controller periodically; 1 simulated second by default).
+  SimDuration control_period = SecondsToSim(1.0);
+  /// Multiplicative lognormal noise (sigma of the underlying normal) applied
+  /// to the execution-time estimates admission control sees; 0 = exact.
+  double estimate_noise_sigma = 0.0;
+  /// Engine-internal RNG seed (estimate noise; policies fork their own).
+  uint64_t seed = 1;
+  /// Cap on ODU-style refresh rounds per query dispatch, preventing a query
+  /// from chasing a fast source forever.
+  int max_refresh_rounds = 3;
+  /// Intra-class dispatch order (EDF per the paper; FCFS for the
+  /// scheduling ablation).
+  QueueDiscipline discipline = QueueDiscipline::kEdf;
+};
+
+/// Single-CPU discrete-event web-database server: dual-priority preemptive
+/// EDF dispatch, 2PL-HP concurrency control, firm query deadlines, lag-based
+/// freshness, and policy hooks for admission control and update frequency
+/// modulation. Deterministic for a fixed (workload, policy, params) triple.
+class Engine {
+ public:
+  /// `workload` and `policy` must outlive the engine; neither is owned.
+  Engine(const Workload& workload, Policy* policy, EngineParams params);
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs the whole workload to completion and returns the collected
+  /// metrics. Call at most once.
+  RunMetrics Run();
+
+  // --- introspection for policies (valid during hooks) ---
+
+  SimTime now() const { return now_; }
+  const Workload& workload() const { return workload_; }
+  Database& db() { return db_; }
+  const Database& db() const { return db_; }
+  Rng& rng() { return rng_; }
+  const EngineParams& params() const { return params_; }
+
+  /// Cumulative outcome counters (policies diff snapshots for windows).
+  const OutcomeCounts& counts() const { return metrics_.counts; }
+
+  /// Cumulative per-preference-class outcome counters (empty until the
+  /// first query resolves; index = preference_class).
+  const std::vector<OutcomeCounts>& per_class_counts() const {
+    return metrics_.per_class_counts;
+  }
+
+  /// CPU busy time so far, seconds, including the in-progress slice of the
+  /// currently running transaction (feedback controllers diff snapshots to
+  /// measure windowed utilization).
+  double BusySeconds() const {
+    double busy = metrics_.busy_s;
+    if (running_ != nullptr) busy += SimToSeconds(now_ - run_start_);
+    return busy;
+  }
+
+  /// Remaining service demand of the transaction on the CPU (0 if idle).
+  SimDuration RunningRemaining() const;
+  /// Whether the CPU is currently executing an update.
+  bool RunningIsUpdate() const {
+    return running_ != nullptr && running_->is_update();
+  }
+  /// Total remaining demand of queued (not running) update transactions.
+  SimDuration QueuedUpdateWork() const { return ready_.TotalUpdateWork(); }
+  /// Number of queued queries.
+  int ReadyQueryCount() const { return ready_.query_count(); }
+  /// Number of queued updates.
+  int ReadyUpdateCount() const { return ready_.update_count(); }
+  /// Visits queued queries in EDF order (admission control's O(N_rq) scan).
+  void ForEachReadyQuery(
+      const std::function<void(const Transaction&)>& fn) const {
+    ready_.ForEachQuery(fn);
+  }
+
+  /// Update transactions for `item` currently in the system (queued,
+  /// blocked, or running) — lets ODU avoid issuing duplicate refreshes.
+  int64_t PendingUpdatesForItem(ItemId item) const {
+    return pending_updates_per_item_[item];
+  }
+
+  /// Creates an on-demand update transaction for `item` right now, with an
+  /// urgent internal deadline so it outranks queued periodic updates.
+  /// Returns its transaction id.
+  TxnId IssueOnDemandUpdate(ItemId item);
+
+  /// Exposed for tests: the live transaction table.
+  const Transaction& txn(TxnId id) const { return txns_[id]; }
+
+ private:
+  Transaction* NewQueryTxn(const QueryRequest& request);
+  Transaction* NewUpdateTxn(ItemId item, SimDuration relative_deadline,
+                            bool on_demand);
+
+  void ScheduleInitialEvents();
+  void HandleQueryArrival(int64_t query_index);
+  void HandleUpdateArrival(ItemId item);
+  void HandleCompletion(TxnId id, uint64_t generation);
+  void HandleQueryDeadline(TxnId id);
+  void HandleControlTick();
+
+  /// Core dispatch loop: preempts, acquires locks (applying 2PL-HP aborts),
+  /// starts the highest-priority runnable transaction.
+  void TryDispatch();
+  void StartRunning(Transaction* t);
+  void PreemptRunning();
+  void CompleteRunning(Transaction* t);
+  /// Attempts lock acquisition for t; may block t or restart S holders.
+  /// Returns true when t holds everything it needs.
+  bool AcquireLocks(Transaction* t);
+  void BlockOnLocks(Transaction* t);
+  /// Moves every blocked transaction back to the ready queue.
+  void UnblockAll();
+  /// 2PL-HP restart of a lock-holding query displaced by an update.
+  void RestartQuery(Transaction* t);
+  /// Terminal failure of a query (deadline abort); releases everything.
+  void AbortQuery(Transaction* t, Outcome outcome);
+  void ResolveQuery(Transaction* t, Outcome outcome);
+  void ReleaseLocksOf(Transaction* t);
+
+  const Workload& workload_;
+  Policy* policy_;
+  EngineParams params_;
+
+  Database db_;
+  LockManager locks_;
+  ReadyQueue ready_;
+  EventQueue events_;
+  Rng rng_;
+
+  std::deque<Transaction> txns_;  ///< id == index; stable addresses
+  std::vector<Transaction*> blocked_;
+  std::vector<int64_t> pending_updates_per_item_;
+
+  Transaction* running_ = nullptr;
+  SimTime run_start_ = 0;
+  SimTime now_ = 0;
+  bool ran_ = false;
+
+  RunMetrics metrics_;
+};
+
+}  // namespace unitdb
+
+#endif  // UNIT_SCHED_ENGINE_H_

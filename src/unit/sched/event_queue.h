@@ -1,0 +1,65 @@
+#ifndef UNIT_SCHED_EVENT_QUEUE_H_
+#define UNIT_SCHED_EVENT_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "unit/common/types.h"
+
+namespace unitdb {
+
+/// Kinds of events the discrete-event engine processes.
+enum class EventType {
+  kQueryArrival = 0,   ///< payload: index into the workload's query trace
+  kUpdateArrival,      ///< payload: item id
+  kCompletion,         ///< payload: txn id + dispatch generation
+  kQueryDeadline,      ///< payload: txn id (firm-deadline expiry)
+  kControlTick,        ///< periodic policy/monitoring tick
+};
+
+/// One scheduled event. `seq` breaks time ties deterministically in FIFO
+/// order (events scheduled earlier fire earlier at equal timestamps).
+struct Event {
+  SimTime time = 0;
+  uint64_t seq = 0;
+  EventType type = EventType::kControlTick;
+  int64_t payload = 0;      ///< txn id, item id, or query index per type
+  uint64_t generation = 0;  ///< dispatch generation for kCompletion
+};
+
+/// Deterministic min-heap of events ordered by (time, seq).
+class EventQueue {
+ public:
+  void Push(SimTime time, EventType type, int64_t payload,
+            uint64_t generation = 0) {
+    heap_.push(Event{time, next_seq_++, type, payload, generation});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  const Event& Top() const { return heap_.top(); }
+
+  Event Pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace unitdb
+
+#endif  // UNIT_SCHED_EVENT_QUEUE_H_

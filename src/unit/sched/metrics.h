@@ -1,0 +1,49 @@
+#ifndef UNIT_SCHED_METRICS_H_
+#define UNIT_SCHED_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "unit/common/stats.h"
+#include "unit/common/types.h"
+#include "unit/txn/outcome.h"
+
+namespace unitdb {
+
+/// Everything one engine run records. Outcome counts feed the USM; the rest
+/// supports the paper's distribution plots (Fig. 3), the ratio decomposition
+/// (Fig. 6), and general sanity reporting.
+struct RunMetrics {
+  OutcomeCounts counts;
+  /// Per-preference-class outcome counters (index = preference_class;
+  /// sized to the largest class seen; empty when no query resolved).
+  std::vector<OutcomeCounts> per_class_counts;
+
+  /// Response time of committed queries, seconds.
+  RunningStat query_response_s;
+  /// Observed read-set freshness of committed queries (Eq. 1 value).
+  RunningStat query_freshness;
+  /// Arrival-to-commit latency of update transactions, seconds.
+  RunningStat update_latency_s;
+
+  double duration_s = 0.0;
+  double busy_s = 0.0;  ///< CPU busy time
+  double Utilization() const {
+    return duration_s > 0.0 ? busy_s / duration_s : 0.0;
+  }
+
+  int64_t preemptions = 0;
+  int64_t lock_restarts = 0;      ///< 2PL-HP aborts of shared holders
+  int64_t update_commits = 0;
+  int64_t on_demand_updates = 0;  ///< refresh transactions issued by ODU-style policies
+  int64_t updates_generated = 0;  ///< update txns the server created (periodic + on-demand)
+  int64_t updates_dropped = 0;    ///< source arrivals shed by frequency modulation
+
+  /// Per-item counters copied from the database at end of run.
+  std::vector<int64_t> per_item_accesses;
+  std::vector<int64_t> per_item_applied_updates;
+};
+
+}  // namespace unitdb
+
+#endif  // UNIT_SCHED_METRICS_H_

@@ -1,0 +1,72 @@
+#include "unit/sched/ready_queue.h"
+
+#include <cassert>
+
+namespace unitdb {
+
+ReadyQueue::ReadyQueue(QueueDiscipline discipline)
+    : discipline_(discipline),
+      updates_(Order{discipline}),
+      queries_(Order{discipline}) {}
+
+void ReadyQueue::Insert(Transaction* txn) {
+  assert(txn != nullptr);
+  if (txn->is_update()) {
+    const bool inserted = updates_.insert(txn).second;
+    assert(inserted);
+    (void)inserted;
+    update_work_ += txn->remaining();
+  } else {
+    const bool inserted = queries_.insert(txn).second;
+    assert(inserted);
+    (void)inserted;
+  }
+}
+
+bool ReadyQueue::Remove(const Transaction* txn) {
+  Transaction* t = const_cast<Transaction*>(txn);
+  if (t->is_update()) {
+    if (updates_.erase(t) > 0) {
+      update_work_ -= t->remaining();
+      return true;
+    }
+    return false;
+  }
+  return queries_.erase(t) > 0;
+}
+
+bool ReadyQueue::Contains(const Transaction* txn) const {
+  Transaction* t = const_cast<Transaction*>(txn);
+  return t->is_update() ? updates_.count(t) > 0 : queries_.count(t) > 0;
+}
+
+Transaction* ReadyQueue::Top() const {
+  if (!updates_.empty()) return *updates_.begin();
+  if (!queries_.empty()) return *queries_.begin();
+  return nullptr;
+}
+
+Transaction* ReadyQueue::PopTop() {
+  Transaction* top = Top();
+  if (top != nullptr) Remove(top);
+  return top;
+}
+
+void ReadyQueue::ForEachQuery(
+    const std::function<void(const Transaction&)>& fn) const {
+  for (const Transaction* t : queries_) fn(*t);
+}
+
+void ReadyQueue::ForEachUpdate(
+    const std::function<void(const Transaction&)>& fn) const {
+  for (const Transaction* t : updates_) fn(*t);
+}
+
+bool ReadyQueue::HigherPriority(const Transaction& a,
+                                const Transaction& b) const {
+  if (a.cls() != b.cls()) return a.is_update();
+  return Order{discipline_}(const_cast<Transaction*>(&a),
+                             const_cast<Transaction*>(&b));
+}
+
+}  // namespace unitdb

@@ -1,0 +1,86 @@
+#ifndef UNIT_SCHED_READY_QUEUE_H_
+#define UNIT_SCHED_READY_QUEUE_H_
+
+#include <functional>
+#include <set>
+
+#include "unit/common/types.h"
+#include "unit/txn/transaction.h"
+
+namespace unitdb {
+
+/// Intra-class ordering of the ready queue. The paper uses EDF within each
+/// class; FCFS is provided as the classic baseline discipline for the
+/// scheduling ablation (bench_ablation_sched).
+enum class QueueDiscipline {
+  kEdf = 0,   ///< earliest absolute deadline first (paper)
+  kFcfs = 1,  ///< first-come-first-served (by transaction id = arrival order)
+};
+
+/// The paper's dispatching discipline: a dual-priority ready queue where
+/// update transactions always rank above user queries, with EDF (or FCFS)
+/// ordering transactions within each class. Ties break by transaction id
+/// (arrival order), making dispatch deterministic.
+///
+/// Stores non-owning pointers; the engine owns all transactions.
+class ReadyQueue {
+ public:
+  explicit ReadyQueue(QueueDiscipline discipline = QueueDiscipline::kEdf);
+
+  QueueDiscipline discipline() const { return discipline_; }
+
+  /// Inserts a transaction (must not already be present).
+  void Insert(Transaction* txn);
+
+  /// Removes a transaction if present; returns whether it was present.
+  bool Remove(const Transaction* txn);
+
+  bool Contains(const Transaction* txn) const;
+
+  /// Highest-priority transaction (first update, else first query), or
+  /// nullptr when empty.
+  Transaction* Top() const;
+
+  /// Removes and returns Top(); nullptr when empty.
+  Transaction* PopTop();
+
+  bool empty() const { return updates_.empty() && queries_.empty(); }
+  int update_count() const { return static_cast<int>(updates_.size()); }
+  int query_count() const { return static_cast<int>(queries_.size()); }
+  int size() const { return update_count() + query_count(); }
+
+  /// Sum of remaining service demand of every queued update.
+  SimDuration TotalUpdateWork() const { return update_work_; }
+
+  /// Visits queued queries in queue order (EDF order under the default
+  /// discipline — what admission control's O(N_rq) scan expects).
+  void ForEachQuery(const std::function<void(const Transaction&)>& fn) const;
+
+  /// Visits queued updates in queue order.
+  void ForEachUpdate(const std::function<void(const Transaction&)>& fn) const;
+
+  /// True iff `a` should dispatch before `b` under this queue's discipline
+  /// (class first, then intra-class order, then id).
+  bool HigherPriority(const Transaction& a, const Transaction& b) const;
+
+ private:
+  struct Order {
+    QueueDiscipline discipline = QueueDiscipline::kEdf;
+    bool operator()(const Transaction* a, const Transaction* b) const {
+      if (discipline == QueueDiscipline::kEdf &&
+          a->absolute_deadline() != b->absolute_deadline()) {
+        return a->absolute_deadline() < b->absolute_deadline();
+      }
+      return a->id() < b->id();
+    }
+  };
+
+  QueueDiscipline discipline_;
+  std::set<Transaction*, Order> updates_;
+  std::set<Transaction*, Order> queries_;
+  SimDuration update_work_ = 0;
+};
+
+}  // namespace unitdb
+
+#endif  // UNIT_SCHED_READY_QUEUE_H_

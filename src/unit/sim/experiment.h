@@ -1,0 +1,81 @@
+#ifndef UNIT_SIM_EXPERIMENT_H_
+#define UNIT_SIM_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "unit/common/stats.h"
+#include "unit/common/status.h"
+#include "unit/core/usm.h"
+#include "unit/sched/engine.h"
+#include "unit/sched/metrics.h"
+#include "unit/sim/server.h"
+#include "unit/workload/query_trace.h"
+#include "unit/workload/update_trace.h"
+
+namespace unitdb {
+
+/// Everything one (workload, policy, weights) run produced.
+struct ExperimentResult {
+  std::string trace;   ///< e.g. "med-unif"
+  std::string policy;  ///< e.g. "unit"
+  UsmWeights weights;
+  RunMetrics metrics;
+  double usm = 0.0;  ///< average USM (Eq. 5)
+  UsmBreakdown breakdown;
+};
+
+/// Runs `policy` on `workload` under `weights`. Fails on an unknown policy.
+StatusOr<ExperimentResult> RunExperiment(const Workload& workload,
+                                         const std::string& policy,
+                                         const UsmWeights& weights,
+                                         const EngineParams& engine = {},
+                                         const PolicyOptions& options = {});
+
+/// Runs several policies over one workload (same weights, same engine).
+StatusOr<std::vector<ExperimentResult>> RunPolicies(
+    const Workload& workload, const std::vector<std::string>& policies,
+    const UsmWeights& weights, const EngineParams& engine = {},
+    const PolicyOptions& options = {});
+
+/// Builds the paper's standard evaluation workload: the cello-like query
+/// trace plus one of Table 1's nine update traces. `scale` multiplies the
+/// default 2000 s duration (benches use < 1 for quick runs).
+StatusOr<Workload> MakeStandardWorkload(UpdateVolume volume,
+                                        UpdateDistribution distribution,
+                                        double scale = 1.0,
+                                        uint64_t seed = 42);
+
+/// Aggregate of several independent replications (different workload
+/// seeds) of one (trace, policy, weights) cell — use for error bars.
+struct ReplicatedResult {
+  std::string trace;
+  std::string policy;
+  int replications = 0;
+  RunningStat usm;
+  RunningStat success_ratio;
+  RunningStat rejection_ratio;
+  RunningStat dmf_ratio;
+  RunningStat dsf_ratio;
+};
+
+/// Runs `replications` standard workloads (seeds base_seed, base_seed+100,
+/// ...) through `policy` and aggregates the headline metrics.
+StatusOr<ReplicatedResult> RunReplicated(
+    UpdateVolume volume, UpdateDistribution distribution,
+    const std::string& policy, const UsmWeights& weights, int replications,
+    double scale = 1.0, uint64_t base_seed = 42,
+    const EngineParams& engine = {}, const PolicyOptions& options = {});
+
+/// The six weight settings of the paper's Table 2 (rows named
+/// "high-Cr"/"high-Cfm"/"high-Cfs", first with penalties < 1, then > 1).
+struct NamedWeights {
+  std::string name;
+  UsmWeights weights;
+};
+std::vector<NamedWeights> Table2WeightsBelowOne();
+std::vector<NamedWeights> Table2WeightsAboveOne();
+
+}  // namespace unitdb
+
+#endif  // UNIT_SIM_EXPERIMENT_H_

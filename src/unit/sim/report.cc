@@ -1,0 +1,83 @@
+#include "unit/sim/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace unitdb {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddSeparator() { rows_.emplace_back(); }
+
+void TextTable::Print(std::ostream& os) const {
+  // Column widths over header + rows.
+  std::vector<size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << (i == 0 ? "" : "  ");
+      // Left-align the first column (labels), right-align the rest.
+      if (i == 0) {
+        os << cell << std::string(widths[i] - cell.size(), ' ');
+      } else {
+        os << std::string(widths[i] - cell.size(), ' ') << cell;
+      }
+    }
+    os << '\n';
+  };
+  auto print_sep = [&] {
+    size_t total = 0;
+    for (size_t w : widths) total += w;
+    if (!widths.empty()) total += 2 * (widths.size() - 1);
+    os << std::string(total, '-') << '\n';
+  };
+
+  if (!header_.empty()) {
+    print_row(header_);
+    print_sep();
+  }
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_sep();
+    } else {
+      print_row(row);
+    }
+  }
+}
+
+std::string Fmt(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string FmtPercent(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, 100.0 * v);
+  return buf;
+}
+
+std::string Bar(double value, double max_value, int width) {
+  if (max_value <= 0.0 || width <= 0) return "";
+  const double frac = std::clamp(value / max_value, 0.0, 1.0);
+  const int filled = static_cast<int>(std::lround(frac * width));
+  return std::string(filled, '#') + std::string(width - filled, '.');
+}
+
+}  // namespace unitdb

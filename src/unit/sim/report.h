@@ -1,0 +1,39 @@
+#ifndef UNIT_SIM_REPORT_H_
+#define UNIT_SIM_REPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace unitdb {
+
+/// Fixed-width text table for bench/experiment output (right-aligned
+/// numeric-looking cells, left-aligned text).
+class TextTable {
+ public:
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+  /// Adds a horizontal separator line at the current position.
+  void AddSeparator();
+  void Print(std::ostream& os) const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/// Formats with fixed decimals ("0.4375").
+std::string Fmt(double v, int decimals = 4);
+/// Formats as a percentage ("43.8%").
+std::string FmtPercent(double v, int decimals = 1);
+
+/// One-line sparkline-style bar of width `width` proportional to
+/// value/max_value, e.g. "#######....". Used for ASCII renderings of the
+/// paper's bar charts.
+std::string Bar(double value, double max_value, int width = 40);
+
+}  // namespace unitdb
+
+#endif  // UNIT_SIM_REPORT_H_

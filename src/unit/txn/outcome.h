@@ -1,0 +1,78 @@
+#ifndef UNIT_TXN_OUTCOME_H_
+#define UNIT_TXN_OUTCOME_H_
+
+#include <cstdint>
+
+namespace unitdb {
+
+/// The four user-query fortunes of the paper (Section 2.1) plus kPending for
+/// queries still in flight.
+enum class Outcome {
+  kPending = 0,
+  kSuccess,       ///< met both deadline and freshness requirement
+  kRejected,      ///< turned away by admission control
+  kDeadlineMiss,  ///< admitted but missed its firm deadline (DMF)
+  kDataStale,     ///< met the deadline but not the freshness requirement (DSF)
+};
+
+/// Short stable name for reports ("success", "rejected", "dmf", "dsf").
+inline const char* OutcomeName(Outcome o) {
+  switch (o) {
+    case Outcome::kPending:
+      return "pending";
+    case Outcome::kSuccess:
+      return "success";
+    case Outcome::kRejected:
+      return "rejected";
+    case Outcome::kDeadlineMiss:
+      return "dmf";
+    case Outcome::kDataStale:
+      return "dsf";
+  }
+  return "?";
+}
+
+/// Cumulative outcome counters over submitted user queries. Policies diff two
+/// snapshots to obtain per-control-window ratios.
+struct OutcomeCounts {
+  int64_t submitted = 0;  ///< every query that arrived (success+rejected+dmf+dsf+pending)
+  int64_t success = 0;
+  int64_t rejected = 0;
+  int64_t dmf = 0;
+  int64_t dsf = 0;
+
+  int64_t resolved() const { return success + rejected + dmf + dsf; }
+
+  /// Success ratio over all submitted queries (the paper's naive USM).
+  double SuccessRatio() const {
+    return submitted > 0 ? static_cast<double>(success) /
+                               static_cast<double>(submitted)
+                         : 0.0;
+  }
+  double RejectionRatio() const {
+    return submitted > 0 ? static_cast<double>(rejected) /
+                               static_cast<double>(submitted)
+                         : 0.0;
+  }
+  double DmfRatio() const {
+    return submitted > 0 ? static_cast<double>(dmf) /
+                               static_cast<double>(submitted)
+                         : 0.0;
+  }
+  double DsfRatio() const {
+    return submitted > 0 ? static_cast<double>(dsf) /
+                               static_cast<double>(submitted)
+                         : 0.0;
+  }
+
+  OutcomeCounts operator-(const OutcomeCounts& rhs) const {
+    return OutcomeCounts{submitted - rhs.submitted, success - rhs.success,
+                         rejected - rhs.rejected, dmf - rhs.dmf,
+                         dsf - rhs.dsf};
+  }
+  bool operator==(const OutcomeCounts&) const = default;
+};
+
+}  // namespace unitdb
+
+#endif  // UNIT_TXN_OUTCOME_H_

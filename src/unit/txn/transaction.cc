@@ -1,0 +1,59 @@
+#include "unit/txn/transaction.h"
+
+#include <cassert>
+#include <utility>
+
+namespace unitdb {
+
+Transaction Transaction::MakeQuery(TxnId id, SimTime arrival, SimDuration exec,
+                                   SimDuration relative_deadline,
+                                   double freshness_req,
+                                   std::vector<ItemId> items,
+                                   int preference_class) {
+  assert(id >= 0);
+  assert(exec > 0);
+  assert(relative_deadline > 0);
+  assert(freshness_req >= 0.0 && freshness_req <= 1.0);
+  assert(!items.empty());
+  Transaction t;
+  t.id_ = id;
+  t.cls_ = TxnClass::kQuery;
+  t.arrival_ = arrival;
+  t.exec_ = exec;
+  t.relative_deadline_ = relative_deadline;
+  t.freshness_req_ = freshness_req;
+  t.items_ = std::move(items);
+  t.preference_class_ = preference_class < 0 ? 0 : preference_class;
+  t.estimate_ = exec;
+  t.remaining_ = exec;
+  return t;
+}
+
+Transaction Transaction::MakeUpdate(TxnId id, SimTime arrival,
+                                    SimDuration exec,
+                                    SimDuration relative_deadline, ItemId item,
+                                    bool on_demand) {
+  assert(id >= 0);
+  assert(exec > 0);
+  assert(relative_deadline > 0);
+  assert(item >= 0);
+  Transaction t;
+  t.id_ = id;
+  t.cls_ = TxnClass::kUpdate;
+  t.arrival_ = arrival;
+  t.exec_ = exec;
+  t.relative_deadline_ = relative_deadline;
+  t.items_ = {item};
+  t.on_demand_ = on_demand;
+  t.estimate_ = exec;
+  t.remaining_ = exec;
+  return t;
+}
+
+double Transaction::CpuUtilizationShare() const {
+  if (relative_deadline_ <= 0) return 0.0;
+  return static_cast<double>(estimate_) /
+         static_cast<double>(relative_deadline_);
+}
+
+}  // namespace unitdb

@@ -1,0 +1,96 @@
+#include "unit/workload/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "unit/common/stats.h"
+
+namespace unitdb {
+
+namespace {
+
+// Normalizes to sum 1 (input must have a positive sum).
+void Normalize(std::vector<double>& v) {
+  const double sum = std::accumulate(v.begin(), v.end(), 0.0);
+  for (auto& x : v) x /= sum;
+}
+
+}  // namespace
+
+StatusOr<std::vector<double>> CorrelatedWeights(
+    const std::vector<int64_t>& reference, double target_rho, Rng& rng) {
+  const size_t n = reference.size();
+  if (n < 2) return Status::InvalidArgument("reference needs >= 2 items");
+  if (std::abs(target_rho) > 1.0) {
+    return Status::InvalidArgument("|target_rho| > 1");
+  }
+  const auto [min_it, max_it] =
+      std::minmax_element(reference.begin(), reference.end());
+  if (*min_it == *max_it) {
+    return Status::InvalidArgument("reference is constant; no rank order");
+  }
+
+  std::vector<double> ref(n);
+  for (size_t i = 0; i < n; ++i) ref[i] = static_cast<double>(reference[i]);
+
+  // Base shape: the reference's own value multiset, assigned in matching
+  // (positive target) or inverted (negative target) rank order. Small random
+  // jitter breaks ties so the base correlates as strongly as ties permit.
+  std::vector<size_t> by_ref(n);
+  std::iota(by_ref.begin(), by_ref.end(), 0);
+  std::sort(by_ref.begin(), by_ref.end(),
+            [&ref](size_t a, size_t b) { return ref[a] < ref[b]; });
+  std::vector<double> sorted_vals(n);
+  for (size_t r = 0; r < n; ++r) sorted_vals[r] = ref[by_ref[r]] + 1.0;
+  std::vector<double> base(n);
+  const bool negative = target_rho < 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    const size_t src_rank = negative ? (n - 1 - r) : r;
+    base[by_ref[r]] = sorted_vals[src_rank];
+  }
+  Normalize(base);
+
+  std::vector<double> noise(n);
+  for (auto& x : noise) x = rng.Exponential(1.0);
+  Normalize(noise);
+
+  auto blend = [&](double lambda) {
+    std::vector<double> w(n);
+    for (size_t i = 0; i < n; ++i) {
+      w[i] = lambda * base[i] + (1.0 - lambda) * noise[i];
+    }
+    return w;
+  };
+  auto rho_of = [&](const std::vector<double>& w) {
+    return SpearmanCorrelation(w, ref);
+  };
+
+  // |rho(lambda)| grows (approximately monotonically) with lambda; bisect.
+  const double want = target_rho;
+  double lo = 0.0, hi = 1.0;
+  std::vector<double> w_hi = blend(1.0);
+  const double rho_hi = rho_of(w_hi);
+  // Target beyond what ties allow: return the strongest correlation we have.
+  if ((negative && rho_hi >= want) || (!negative && rho_hi <= want)) {
+    return w_hi;
+  }
+  std::vector<double> best = std::move(w_hi);
+  for (int iter = 0; iter < 40; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    std::vector<double> w = blend(mid);
+    const double rho = rho_of(w);
+    const bool too_strong = negative ? (rho < want) : (rho > want);
+    if (too_strong) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+    if (std::abs(rho - want) < std::abs(rho_of(best) - want)) {
+      best = std::move(w);
+    }
+  }
+  return best;
+}
+
+}  // namespace unitdb

@@ -1,0 +1,31 @@
+#ifndef UNIT_WORKLOAD_CORRELATION_H_
+#define UNIT_WORKLOAD_CORRELATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "unit/common/rng.h"
+#include "unit/common/status.h"
+
+namespace unitdb {
+
+/// Generates non-negative per-item weights (summing to 1) whose Spearman
+/// rank correlation with `reference` approximates `target_rho` in [-1, 1].
+///
+/// Method: blend a base shape with independent exponential noise,
+///   w(lambda) = lambda * base + (1 - lambda) * noise,
+/// where base mirrors `reference`'s own (sign-adjusted) shape — for a
+/// negative target, the shape is assigned in inverted rank order, producing
+/// the "hot-updated vs cold-updated" dichotomy the paper observes in
+/// Fig. 3(c). `lambda` is found by monotone bisection on the achieved
+/// Spearman correlation. The achievable |rho| is capped by ties in
+/// `reference` (many items with identical counts); if the target exceeds the
+/// cap, the closest attainable weights (lambda = 1) are returned.
+///
+/// Fails if `reference` is empty or all-equal, or |target_rho| > 1.
+StatusOr<std::vector<double>> CorrelatedWeights(
+    const std::vector<int64_t>& reference, double target_rho, Rng& rng);
+
+}  // namespace unitdb
+
+#endif  // UNIT_WORKLOAD_CORRELATION_H_

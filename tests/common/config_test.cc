@@ -1,0 +1,90 @@
+#include "unit/common/config.h"
+
+#include <gtest/gtest.h>
+
+namespace unitdb {
+namespace {
+
+TEST(ConfigTest, ParseArgsBasic) {
+  const char* argv[] = {"prog", "alpha=1", "--beta=2.5", "name=unit"};
+  auto c = Config::ParseArgs(4, argv);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->GetInt("alpha", 0), 1);
+  EXPECT_DOUBLE_EQ(c->GetDouble("beta", 0.0), 2.5);
+  EXPECT_EQ(c->GetString("name"), "unit");
+}
+
+TEST(ConfigTest, ParseArgsRejectsBareToken) {
+  const char* argv[] = {"prog", "oops"};
+  auto c = Config::ParseArgs(2, argv);
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConfigTest, ParseArgsRejectsEmptyKey) {
+  const char* argv[] = {"prog", "=value"};
+  auto c = Config::ParseArgs(2, argv);
+  EXPECT_FALSE(c.ok());
+}
+
+TEST(ConfigTest, ParseStringWithCommentsAndBlanks) {
+  auto c = Config::ParseString(
+      "# a comment\n"
+      "a = 1\n"
+      "\n"
+      "b=two # trailing comment\n");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->GetInt("a", 0), 1);
+  EXPECT_EQ(c->GetString("b"), "two");
+}
+
+TEST(ConfigTest, DefaultsWhenMissing) {
+  Config c;
+  EXPECT_EQ(c.GetInt("nope", -7), -7);
+  EXPECT_DOUBLE_EQ(c.GetDouble("nope", 1.5), 1.5);
+  EXPECT_EQ(c.GetString("nope", "d"), "d");
+  EXPECT_TRUE(c.GetBool("nope", true));
+  EXPECT_FALSE(c.Has("nope"));
+}
+
+TEST(ConfigTest, BoolParsing) {
+  Config c;
+  c.Set("t1", "true");
+  c.Set("t2", "1");
+  c.Set("t3", "yes");
+  c.Set("t4", "on");
+  c.Set("f1", "false");
+  c.Set("f2", "0");
+  EXPECT_TRUE(c.GetBool("t1", false));
+  EXPECT_TRUE(c.GetBool("t2", false));
+  EXPECT_TRUE(c.GetBool("t3", false));
+  EXPECT_TRUE(c.GetBool("t4", false));
+  EXPECT_FALSE(c.GetBool("f1", true));
+  EXPECT_FALSE(c.GetBool("f2", true));
+}
+
+TEST(ConfigTest, SetOverwrites) {
+  Config c;
+  c.Set("k", "1");
+  c.Set("k", "2");
+  EXPECT_EQ(c.GetInt("k", 0), 2);
+}
+
+TEST(ConfigTest, KeysAreSorted) {
+  Config c;
+  c.Set("zebra", "1");
+  c.Set("apple", "2");
+  auto keys = c.Keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "apple");
+  EXPECT_EQ(keys[1], "zebra");
+}
+
+TEST(ConfigTest, ValueMayContainEquals) {
+  auto c = Config::ParseString("expr=a=b\n");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->GetString("expr"), "a=b");
+}
+
+}  // namespace
+}  // namespace unitdb

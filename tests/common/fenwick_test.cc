@@ -1,0 +1,104 @@
+#include "unit/common/fenwick.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "unit/common/rng.h"
+
+namespace unitdb {
+namespace {
+
+TEST(FenwickTest, EmptyAfterReset) {
+  FenwickTree t(8);
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_DOUBLE_EQ(t.total(), 0.0);
+  for (size_t i = 0; i <= 8; ++i) {
+    EXPECT_DOUBLE_EQ(t.PrefixSum(i), 0.0);
+  }
+}
+
+TEST(FenwickTest, SetAndGet) {
+  FenwickTree t(5);
+  t.Set(2, 3.5);
+  EXPECT_DOUBLE_EQ(t.Get(2), 3.5);
+  EXPECT_DOUBLE_EQ(t.total(), 3.5);
+  t.Set(2, 1.0);
+  EXPECT_DOUBLE_EQ(t.Get(2), 1.0);
+  EXPECT_DOUBLE_EQ(t.total(), 1.0);
+}
+
+TEST(FenwickTest, AddAccumulates) {
+  FenwickTree t(4);
+  t.Add(1, 2.0);
+  t.Add(1, 3.0);
+  EXPECT_DOUBLE_EQ(t.Get(1), 5.0);
+}
+
+TEST(FenwickTest, PrefixSumsMatchBruteForce) {
+  const size_t n = 37;  // deliberately not a power of two
+  FenwickTree t(n);
+  std::vector<double> ref(n, 0.0);
+  Rng rng(61);
+  for (int iter = 0; iter < 500; ++iter) {
+    const size_t i = rng.UniformInt(0, n - 1);
+    const double w = rng.Uniform(0.0, 10.0);
+    t.Set(i, w);
+    ref[i] = w;
+    const size_t q = rng.UniformInt(0, n);
+    double expect = 0.0;
+    for (size_t j = 0; j < q; ++j) expect += ref[j];
+    ASSERT_NEAR(t.PrefixSum(q), expect, 1e-9);
+  }
+}
+
+TEST(FenwickTest, FindPrefixLandsInCorrectSlot) {
+  FenwickTree t(6);
+  const double w[] = {1.0, 0.0, 2.0, 0.5, 0.0, 1.5};
+  for (size_t i = 0; i < 6; ++i) t.Set(i, w[i]);
+  // Cumulative boundaries: [0,1) -> 0, [1,3) -> 2, [3,3.5) -> 3, [3.5,5) -> 5.
+  EXPECT_EQ(t.FindPrefix(0.0), 0u);
+  EXPECT_EQ(t.FindPrefix(0.999), 0u);
+  EXPECT_EQ(t.FindPrefix(1.0), 2u);
+  EXPECT_EQ(t.FindPrefix(2.999), 2u);
+  EXPECT_EQ(t.FindPrefix(3.0), 3u);
+  EXPECT_EQ(t.FindPrefix(3.499), 3u);
+  EXPECT_EQ(t.FindPrefix(3.5), 5u);
+  EXPECT_EQ(t.FindPrefix(4.999), 5u);
+}
+
+TEST(FenwickTest, FindPrefixSamplingIsProportional) {
+  FenwickTree t(4);
+  t.Set(0, 1.0);
+  t.Set(1, 2.0);
+  t.Set(2, 0.0);
+  t.Set(3, 1.0);
+  Rng rng(67);
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[t.FindPrefix(rng.NextDouble() * t.total())];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.25, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.50, 0.01);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.25, 0.01);
+}
+
+TEST(FenwickTest, ResetClears) {
+  FenwickTree t(3);
+  t.Set(0, 1.0);
+  t.Reset(10);
+  EXPECT_EQ(t.size(), 10u);
+  EXPECT_DOUBLE_EQ(t.total(), 0.0);
+}
+
+TEST(FenwickTest, SingleSlot) {
+  FenwickTree t(1);
+  t.Set(0, 5.0);
+  EXPECT_EQ(t.FindPrefix(2.5), 0u);
+  EXPECT_DOUBLE_EQ(t.PrefixSum(1), 5.0);
+}
+
+}  // namespace
+}  // namespace unitdb

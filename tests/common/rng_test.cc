@@ -1,0 +1,187 @@
+#include "unit/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace unitdb {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, UniformIntSingleValue) {
+  Rng rng(5);
+  EXPECT_EQ(rng.UniformInt(42, 42), 42);
+}
+
+TEST(RngTest, UniformIntIsUnbiased) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformInt(0, 9)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+  }
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(RngTest, ExponentialIsNonNegative) {
+  Rng rng(29);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.Exponential(0.5), 0.0);
+  }
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(31);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(2.0, 3.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RngTest, LogNormalMedianMatches) {
+  Rng rng(37);
+  std::vector<double> xs;
+  const int n = 100001;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) xs.push_back(rng.LogNormal(std::log(20.0), 1.0));
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[n / 2], 20.0, 1.0);
+}
+
+TEST(RngTest, BoundedParetoStaysInRange) {
+  Rng rng(41);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.BoundedPareto(1.1, 1.0, 100.0);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 100.0);
+  }
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng rng(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(47);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(99);
+  Rng child = a.Fork();
+  Rng b(99);
+  b.Fork();
+  // The child must not replay its parent's (identically-seeded) stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(ZipfSamplerTest, UniformWhenExponentZero) {
+  ZipfSampler zipf(4, 0.0);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_NEAR(zipf.Pmf(k), 0.25, 1e-12);
+  }
+}
+
+TEST(ZipfSamplerTest, PmfSumsToOne) {
+  ZipfSampler zipf(100, 1.2);
+  double sum = 0.0;
+  for (int k = 0; k < 100; ++k) sum += zipf.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, PmfIsDecreasing) {
+  ZipfSampler zipf(50, 0.9);
+  for (int k = 1; k < 50; ++k) {
+    EXPECT_LT(zipf.Pmf(k), zipf.Pmf(k - 1));
+  }
+}
+
+TEST(ZipfSamplerTest, SampleFrequenciesMatchPmf) {
+  ZipfSampler zipf(8, 1.0);
+  Rng rng(53);
+  std::vector<int> counts(8, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng)];
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, zipf.Pmf(k), 0.01);
+  }
+}
+
+TEST(ZipfSamplerTest, SingleItem) {
+  ZipfSampler zipf(1, 2.0);
+  Rng rng(59);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 0);
+  EXPECT_NEAR(zipf.Pmf(0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace unitdb

@@ -1,0 +1,190 @@
+#include "unit/core/lbc.h"
+
+#include <gtest/gtest.h>
+
+namespace unitdb {
+namespace {
+
+OutcomeCounts Cumulative(int64_t success, int64_t rejected, int64_t dmf,
+                         int64_t dsf) {
+  OutcomeCounts c;
+  c.success = success;
+  c.rejected = rejected;
+  c.dmf = dmf;
+  c.dsf = dsf;
+  c.submitted = success + rejected + dmf + dsf;
+  return c;
+}
+
+LbcParams FastParams() {
+  LbcParams p;
+  p.grace_period = SecondsToSim(2.0);
+  p.min_actionable_ratio = 0.01;
+  p.min_actionable_count = 1;
+  return p;
+}
+
+TEST(LbcTest, SilentBeforeGracePeriod) {
+  LoadBalancingController lbc(FastParams(), UsmWeights{});
+  Rng rng(1);
+  // t=1s: inside the grace period, no USM drop yet.
+  EXPECT_EQ(lbc.Tick(SecondsToSim(1.0), Cumulative(5, 0, 5, 0), 0.5, rng),
+            ControlSignal::kNone);
+}
+
+TEST(LbcTest, GracePeriodTriggersDominantFailure) {
+  LoadBalancingController lbc(FastParams(), UsmWeights{});
+  Rng rng(2);
+  EXPECT_EQ(lbc.Tick(SecondsToSim(2.0), Cumulative(5, 1, 7, 2), 0.5, rng),
+            ControlSignal::kDegradeAndTighten);
+  EXPECT_EQ(lbc.triggers(), 1);
+}
+
+TEST(LbcTest, NothingFailingMeansNoSignal) {
+  LoadBalancingController lbc(FastParams(), UsmWeights{});
+  Rng rng(3);
+  EXPECT_EQ(lbc.Tick(SecondsToSim(2.0), Cumulative(10, 0, 0, 0), 0.5, rng),
+            ControlSignal::kNone);
+  EXPECT_EQ(lbc.triggers(), 0);
+}
+
+TEST(LbcTest, EmptyWindowIsIgnored) {
+  LoadBalancingController lbc(FastParams(), UsmWeights{});
+  Rng rng(4);
+  EXPECT_EQ(lbc.Tick(SecondsToSim(5.0), OutcomeCounts{}, 0.5, rng),
+            ControlSignal::kNone);
+}
+
+TEST(LbcTest, RejectionDominantLoosensAdmission) {
+  LoadBalancingController lbc(FastParams(), UsmWeights{});
+  Rng rng(5);
+  EXPECT_EQ(lbc.Tick(SecondsToSim(2.0), Cumulative(5, 9, 2, 1), 0.5, rng),
+            ControlSignal::kLoosenAdmission);
+}
+
+TEST(LbcTest, DsfDominantUpgradesUpdates) {
+  LoadBalancingController lbc(FastParams(), UsmWeights{});
+  Rng rng(6);
+  EXPECT_EQ(lbc.Tick(SecondsToSim(2.0), Cumulative(5, 1, 2, 9), 0.5, rng),
+            ControlSignal::kUpgradeUpdates);
+}
+
+TEST(LbcTest, WeightsFlipTheDominantCost) {
+  // Raw ratios say DMF dominates; a heavy rejection penalty says otherwise.
+  UsmWeights weights{1.0, 10.0, 0.1, 0.1};
+  LoadBalancingController lbc(FastParams(), weights);
+  Rng rng(7);
+  EXPECT_EQ(lbc.Tick(SecondsToSim(2.0), Cumulative(5, 2, 6, 1), 0.5, rng),
+            ControlSignal::kLoosenAdmission);
+}
+
+TEST(LbcTest, WindowResetsAfterEvaluation) {
+  LoadBalancingController lbc(FastParams(), UsmWeights{});
+  Rng rng(8);
+  // First evaluation consumes the DMF-heavy cohort.
+  EXPECT_EQ(lbc.Tick(SecondsToSim(2.0), Cumulative(5, 0, 7, 0), 0.5, rng),
+            ControlSignal::kDegradeAndTighten);
+  // Next window adds only rejections on top of the consumed cohort.
+  EXPECT_EQ(lbc.Tick(SecondsToSim(4.0), Cumulative(5, 6, 7, 0), 0.5, rng),
+            ControlSignal::kLoosenAdmission);
+}
+
+TEST(LbcTest, FloorsSuppressNoise) {
+  LbcParams params = FastParams();
+  params.min_actionable_count = 3;
+  LoadBalancingController lbc(params, UsmWeights{});
+  Rng rng(9);
+  // Two DSFs among 100 resolved: below both floors -> no action.
+  EXPECT_EQ(lbc.Tick(SecondsToSim(2.0), Cumulative(98, 0, 0, 2), 0.5, rng),
+            ControlSignal::kNone);
+}
+
+TEST(LbcTest, RatioFloorSuppressesTinyFractions) {
+  LbcParams params = FastParams();
+  params.min_actionable_ratio = 0.05;
+  LoadBalancingController lbc(params, UsmWeights{});
+  Rng rng(10);
+  // 2% DMF ratio is under the 5% floor.
+  EXPECT_EQ(lbc.Tick(SecondsToSim(2.0), Cumulative(98, 0, 2, 0), 0.5, rng),
+            ControlSignal::kNone);
+}
+
+TEST(LbcTest, UsmDropTriggersBeforeGracePeriod) {
+  LbcParams params;
+  params.grace_period = SecondsToSim(1000.0);  // periodic path disabled
+  params.drop_threshold = 0.05;
+  params.usm_ewma_alpha = 1.0;  // no smoothing: per-tick USM directly
+  params.min_actionable_ratio = 0.01;
+  params.min_actionable_count = 1;
+  LoadBalancingController lbc(params, UsmWeights{});
+  Rng rng(11);
+  // Tick 1: all good (initializes the monitor).
+  EXPECT_EQ(lbc.Tick(SecondsToSim(1.0), Cumulative(10, 0, 0, 0), 0.5, rng),
+            ControlSignal::kNone);
+  // Tick 2: the window collapses to 50% success: a huge USM drop.
+  EXPECT_EQ(lbc.Tick(SecondsToSim(2.0), Cumulative(15, 0, 5, 0), 0.5, rng),
+            ControlSignal::kDegradeAndTighten);
+  EXPECT_EQ(lbc.drop_triggers(), 1);
+}
+
+TEST(LbcTest, TieBreaksAmongMaximaAreValid) {
+  LoadBalancingController lbc(FastParams(), UsmWeights{});
+  Rng rng(12);
+  const ControlSignal s =
+      lbc.Tick(SecondsToSim(2.0), Cumulative(4, 3, 3, 3), 0.5, rng);
+  EXPECT_TRUE(s == ControlSignal::kLoosenAdmission ||
+              s == ControlSignal::kDegradeAndTighten ||
+              s == ControlSignal::kUpgradeUpdates);
+}
+
+TEST(LbcTest, PreventiveDegradeFiresOnSaturationWithoutFailures) {
+  LbcParams params = FastParams();
+  params.preventive_utilization = 0.9;
+  LoadBalancingController lbc(params, UsmWeights{});
+  Rng rng(13);
+  // All queries succeed, but the CPU is pinned: shed load preventively.
+  // (The utilization EWMA needs a few ticks to cross the threshold.)
+  ControlSignal s = ControlSignal::kNone;
+  for (int i = 1; i <= 12; ++i) {
+    s = lbc.Tick(SecondsToSim(2.0 * i), Cumulative(10 * i, 0, 0, 0), 0.99,
+                 rng);
+    if (s != ControlSignal::kNone) break;
+  }
+  EXPECT_EQ(s, ControlSignal::kPreventiveDegrade);
+}
+
+TEST(LbcTest, PreventiveDegradeCanBeDisabled) {
+  LbcParams params = FastParams();
+  params.preventive_utilization = 2.0;  // unreachable
+  LoadBalancingController lbc(params, UsmWeights{});
+  Rng rng(14);
+  for (int i = 1; i <= 12; ++i) {
+    EXPECT_EQ(lbc.Tick(SecondsToSim(2.0 * i), Cumulative(10 * i, 0, 0, 0),
+                       0.99, rng),
+              ControlSignal::kNone);
+  }
+}
+
+TEST(LbcTest, IdleSystemNeverDegradesPreventively) {
+  LoadBalancingController lbc(FastParams(), UsmWeights{});
+  Rng rng(15);
+  for (int i = 1; i <= 12; ++i) {
+    EXPECT_EQ(lbc.Tick(SecondsToSim(2.0 * i), Cumulative(10 * i, 0, 0, 0),
+                       0.3, rng),
+              ControlSignal::kNone);
+  }
+}
+
+TEST(LbcTest, SignalNames) {
+  EXPECT_STREQ(ControlSignalName(ControlSignal::kNone), "none");
+  EXPECT_STREQ(ControlSignalName(ControlSignal::kLoosenAdmission),
+               "loosen-ac");
+  EXPECT_STREQ(ControlSignalName(ControlSignal::kDegradeAndTighten),
+               "degrade+tighten");
+  EXPECT_STREQ(ControlSignalName(ControlSignal::kUpgradeUpdates), "upgrade");
+  EXPECT_STREQ(ControlSignalName(ControlSignal::kPreventiveDegrade),
+               "preventive-degrade");
+}
+
+}  // namespace
+}  // namespace unitdb

@@ -1,0 +1,153 @@
+// Tests of the multi-preference-class extension (paper Section 3.1 sketch):
+// per-class USM accounting, per-class admission weighting, and the
+// multi-class Load Balancing Controller.
+
+#include <gtest/gtest.h>
+
+#include "unit/core/policies/unit_policy.h"
+#include "unit/core/usm.h"
+#include "unit/sched/engine.h"
+#include "unit/sim/experiment.h"
+#include "unit/workload/query_trace.h"
+#include "unit/workload/trace_io.h"
+#include "unit/workload/update_trace.h"
+
+namespace unitdb {
+namespace {
+
+TEST(WeightsForClassTest, FallbackRules) {
+  const std::vector<UsmWeights> table = {{1.0, 0.1, 0.2, 0.3},
+                                         {1.0, 0.4, 0.5, 0.6}};
+  EXPECT_DOUBLE_EQ(WeightsForClass(table, 0).c_r, 0.1);
+  EXPECT_DOUBLE_EQ(WeightsForClass(table, 1).c_r, 0.4);
+  EXPECT_DOUBLE_EQ(WeightsForClass(table, 7).c_r, 0.4);   // clamps to last
+  EXPECT_DOUBLE_EQ(WeightsForClass(table, -1).c_r, 0.1);  // clamps to first
+  EXPECT_TRUE(WeightsForClass({}, 0).AllZeroPenalties());
+}
+
+TEST(UsmMultiTest, SumsPerClassTotals) {
+  std::vector<OutcomeCounts> per_class(2);
+  per_class[0].submitted = 10;
+  per_class[0].success = 8;
+  per_class[0].dmf = 2;
+  per_class[1].submitted = 10;
+  per_class[1].success = 5;
+  per_class[1].dsf = 5;
+  const std::vector<UsmWeights> weights = {{1.0, 0.0, 1.0, 0.0},
+                                           {1.0, 0.0, 0.0, 2.0}};
+  // Class 0: 8 - 2*1 = 6. Class 1: 5 - 5*2 = -5. Total 1 over 20 queries.
+  EXPECT_DOUBLE_EQ(UsmTotalMulti(per_class, weights), 1.0);
+  EXPECT_DOUBLE_EQ(UsmAverageMulti(per_class, weights), 0.05);
+}
+
+TEST(UsmMultiTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(UsmAverageMulti({}, {UsmWeights{}}), 0.0);
+}
+
+Workload TwoClassWorkload(double scale = 0.25, uint64_t seed = 42) {
+  QueryTraceParams qp;
+  qp.num_preference_classes = 2;
+  qp.duration =
+      static_cast<SimDuration>(static_cast<double>(qp.duration) * scale);
+  qp.seed = seed;
+  auto w = GenerateQueryTrace(qp);
+  EXPECT_TRUE(w.ok());
+  UpdateTraceParams up;
+  up.seed = seed + 1;
+  EXPECT_TRUE(GenerateUpdateTrace(up, *w).ok());
+  return *w;
+}
+
+TEST(MultiPreferenceTest, GeneratorAssignsBothClasses) {
+  Workload w = TwoClassWorkload();
+  int per_class[2] = {0, 0};
+  for (const auto& q : w.queries) {
+    ASSERT_GE(q.preference_class, 0);
+    ASSERT_LT(q.preference_class, 2);
+    ++per_class[q.preference_class];
+  }
+  EXPECT_GT(per_class[0], static_cast<int>(w.queries.size()) / 4);
+  EXPECT_GT(per_class[1], static_cast<int>(w.queries.size()) / 4);
+}
+
+TEST(MultiPreferenceTest, EnginePartitionsCountsByClass) {
+  Workload w = TwoClassWorkload();
+  UnitPolicy policy((UsmWeights()));
+  Engine engine(w, &policy, {});
+  RunMetrics m = engine.Run();
+  ASSERT_EQ(m.per_class_counts.size(), 2u);
+  OutcomeCounts sum;
+  for (const auto& c : m.per_class_counts) {
+    sum.submitted += c.submitted;
+    sum.success += c.success;
+    sum.rejected += c.rejected;
+    sum.dmf += c.dmf;
+    sum.dsf += c.dsf;
+  }
+  EXPECT_EQ(sum, m.counts);
+}
+
+TEST(MultiPreferenceTest, SingleClassWorkloadHasOneBucket) {
+  auto w = MakeStandardWorkload(UpdateVolume::kLow,
+                                UpdateDistribution::kUniform, 0.05, 7);
+  ASSERT_TRUE(w.ok());
+  UnitPolicy policy((UsmWeights()));
+  Engine engine(*w, &policy, {});
+  RunMetrics m = engine.Run();
+  ASSERT_EQ(m.per_class_counts.size(), 1u);
+  EXPECT_EQ(m.per_class_counts[0], m.counts);
+}
+
+TEST(MultiPreferenceTest, PerClassWeightsSteerPerClassOutcomes) {
+  // Class 0 hates rejections, class 1 hates deadline misses. Under the
+  // multi-class controller, class 0 must end with a lower rejection ratio
+  // than class 1 (the admission controller only turns away class-0 queries
+  // when the endangered-DMF cost clearly exceeds the steep C_r).
+  Workload w = TwoClassWorkload(1.0);
+  const std::vector<UsmWeights> weights = {{1.0, 4.0, 1.0, 1.0},
+                                           {1.0, 1.0, 4.0, 1.0}};
+  UnitPolicy policy(weights);
+  Engine engine(w, &policy, {});
+  RunMetrics m = engine.Run();
+  ASSERT_EQ(m.per_class_counts.size(), 2u);
+  EXPECT_LT(m.per_class_counts[0].RejectionRatio(),
+            m.per_class_counts[1].RejectionRatio());
+}
+
+TEST(MultiPreferenceTest, MultiWeightedControllerBeatsMismatchedOne) {
+  // Evaluate with the true mixed preferences; the controller that knows
+  // them should not lose to one optimizing a single (wrong for half the
+  // users) preference.
+  Workload w = TwoClassWorkload(1.0);
+  const UsmWeights trader{1.0, 2.0, 4.0, 2.0};
+  const UsmWeights analyst{1.0, 2.0, 2.0, 4.0};
+  const std::vector<UsmWeights> mixed = {trader, analyst};
+
+  auto run = [&w](const std::vector<UsmWeights>& controller_weights) {
+    UnitPolicy policy(controller_weights);
+    Engine engine(w, &policy, {});
+    return engine.Run();
+  };
+  const double multi =
+      UsmAverageMulti(run(mixed).per_class_counts, mixed);
+  const double all_trader =
+      UsmAverageMulti(run({trader}).per_class_counts, mixed);
+  const double all_analyst =
+      UsmAverageMulti(run({analyst}).per_class_counts, mixed);
+  EXPECT_GE(multi, std::min(all_trader, all_analyst) - 0.02);
+  EXPECT_GE(multi, std::max(all_trader, all_analyst) - 0.05);
+}
+
+TEST(MultiPreferenceTest, TraceIoPersistsClasses) {
+  Workload w = TwoClassWorkload(0.05);
+  auto back = WorkloadFromCsv(WorkloadToCsv(w));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->queries.size(), w.queries.size());
+  for (size_t i = 0; i < w.queries.size(); ++i) {
+    EXPECT_EQ(back->queries[i].preference_class,
+              w.queries[i].preference_class);
+  }
+}
+
+}  // namespace
+}  // namespace unitdb

@@ -1,0 +1,236 @@
+#include "unit/core/update_modulation.h"
+
+#include <gtest/gtest.h>
+
+#include "unit/txn/transaction.h"
+
+namespace unitdb {
+namespace {
+
+ItemUpdateSpec Source(ItemId item, double period_s, double exec_ms) {
+  ItemUpdateSpec s;
+  s.item = item;
+  s.ideal_period = SecondsToSim(period_s);
+  s.update_exec = MillisToSim(exec_ms);
+  s.phase = 0;
+  return s;
+}
+
+Transaction Query(double exec_ms, double deadline_s) {
+  return Transaction::MakeQuery(1, 0, MillisToSim(exec_ms),
+                                SecondsToSim(deadline_s), 0.9, {0});
+}
+
+ModulationParams EventDecayParams() {
+  ModulationParams p;
+  p.time_decay = false;  // literal per-event Eq. 8 for predictable math
+  return p;
+}
+
+TEST(UpdateModulatorTest, ArrivalsRaiseTickets) {
+  UpdateModulator um(4, EventDecayParams());
+  const double before = um.ticket(2);
+  um.OnUpdateArrival(2, MillisToSim(100.0), SecondsToSim(1.0));
+  EXPECT_GT(um.ticket(2), before);
+}
+
+TEST(UpdateModulatorTest, AccessesLowerTickets) {
+  ModulationParams p = EventDecayParams();
+  UpdateModulator um(4, p);
+  um.OnUpdateArrival(1, MillisToSim(100.0), SecondsToSim(1.0));
+  const double before = um.ticket(1);
+  um.OnQueryAccess(1, Query(50.0, 1.0), SecondsToSim(2.0));
+  EXPECT_LT(um.ticket(1), before);
+}
+
+TEST(UpdateModulatorTest, TicketsClampAtFloor) {
+  ModulationParams p = EventDecayParams();
+  p.ticket_floor = -1.0;
+  p.dt_scale = 1000.0;
+  UpdateModulator um(2, p);
+  for (int i = 0; i < 10; ++i) {
+    um.OnQueryAccess(0, Query(100.0, 1.0), SecondsToSim(i));
+  }
+  EXPECT_DOUBLE_EQ(um.ticket(0), -1.0);
+}
+
+TEST(UpdateModulatorTest, PerEventForgettingDiscountsHistory) {
+  ModulationParams p = EventDecayParams();
+  p.c_forget = 0.5;
+  UpdateModulator um(2, p);
+  um.OnUpdateArrival(0, MillisToSim(100.0), 0);
+  const double t1 = um.ticket(0);
+  um.OnUpdateArrival(0, MillisToSim(100.0), 0);
+  const double t2 = um.ticket(0);
+  // Second ticket = 0.5 * t1 + IT, with IT == t1 (same execution time).
+  EXPECT_NEAR(t2, 1.5 * t1, 1e-9);
+}
+
+TEST(UpdateModulatorTest, TimeDecayForgetsIndependentlyOfEventRate) {
+  ModulationParams p;
+  p.time_decay = true;
+  p.forget_interval_s = 10.0;
+  p.c_forget = 0.9;
+  UpdateModulator um(2, p);
+  um.OnUpdateArrival(0, MillisToSim(100.0), SecondsToSim(0.0));
+  const double t0 = um.ticket(0);
+  // 100 seconds of silence: decay 0.9^10 ~ 0.349 before the new IT lands.
+  um.OnUpdateArrival(0, MillisToSim(100.0), SecondsToSim(100.0));
+  const double t1 = um.ticket(0);
+  EXPECT_NEAR(t1, t0 * 0.3487 + t0, t0 * 0.01);
+}
+
+TEST(UpdateModulatorTest, SigmoidGrowsWithExecutionTime) {
+  ModulationParams p = EventDecayParams();
+  UpdateModulator um(3, p);
+  // Seed the running average with a mix of execution times.
+  um.OnUpdateArrival(0, MillisToSim(50.0), 0);
+  um.OnUpdateArrival(0, MillisToSim(150.0), 0);
+  UpdateModulator cheap(1, p), costly(1, p);
+  cheap.OnUpdateArrival(0, MillisToSim(50.0), 0);
+  costly.OnUpdateArrival(0, MillisToSim(150.0), 0);
+  // Within one modulator, a longer update adds a larger IT than a shorter
+  // one relative to the same running average.
+  UpdateModulator um2(2, p);
+  um2.OnUpdateArrival(0, MillisToSim(100.0), 0);  // sets avg = 100ms
+  um2.OnUpdateArrival(1, MillisToSim(100.0), 0);
+  const double base0 = um2.ticket(0);
+  um2.OnUpdateArrival(0, MillisToSim(300.0), 0);   // longer than average
+  um2.OnUpdateArrival(1, MillisToSim(10.0), 0);    // shorter than average
+  EXPECT_GT(um2.ticket(0) - base0 * p.c_forget,
+            um2.ticket(1) - base0 * p.c_forget);
+}
+
+TEST(UpdateModulatorTest, DegradeStretchesVictimPeriods) {
+  Database db(4);
+  ASSERT_TRUE(db.ApplySpecs({Source(0, 10, 50), Source(1, 10, 50)}).ok());
+  ModulationParams p = EventDecayParams();
+  p.degrade_batch = 64;
+  UpdateModulator um(4, p);
+  um.AttachSources(db);
+  EXPECT_EQ(um.sampler().eligible_count(), 2);
+  Rng rng(3);
+  um.Degrade(db, rng);
+  EXPECT_EQ(um.degrade_signals(), 1);
+  EXPECT_EQ(um.total_picks(), 64);
+  EXPECT_GT(db.DegradedCount(), 0);
+  const SimDuration pc0 = db.item(0).current_period;
+  const SimDuration pc1 = db.item(1).current_period;
+  EXPECT_GE(pc0, db.item(0).ideal_period);
+  EXPECT_GE(pc1, db.item(1).ideal_period);
+  EXPECT_GT(pc0 + pc1, 2 * db.item(0).ideal_period);
+}
+
+TEST(UpdateModulatorTest, DegradeRespectsMaxStretch) {
+  Database db(1);
+  ASSERT_TRUE(db.SetSource(Source(0, 10, 50)).ok());
+  ModulationParams p = EventDecayParams();
+  p.max_stretch = 4.0;
+  p.c_du = 1.0;  // double per pick
+  p.degrade_batch = 16;
+  UpdateModulator um(1, p);
+  um.AttachSources(db);
+  Rng rng(5);
+  for (int i = 0; i < 5; ++i) um.Degrade(db, rng);
+  EXPECT_LE(db.item(0).current_period, SecondsToSim(40.0));
+}
+
+TEST(UpdateModulatorTest, ItemsWithoutSourcesAreNeverVictims) {
+  Database db(3);
+  ASSERT_TRUE(db.SetSource(Source(1, 10, 50)).ok());
+  ModulationParams p = EventDecayParams();
+  p.degrade_batch = 32;
+  UpdateModulator um(3, p);
+  um.AttachSources(db);
+  Rng rng(7);
+  um.Degrade(db, rng);
+  EXPECT_EQ(db.item(0).current_period, kNoUpdates);
+  EXPECT_GT(db.item(1).current_period, db.item(1).ideal_period);
+}
+
+TEST(UpdateModulatorTest, SelectiveUpgradeRestoresOnlyDemandedItems) {
+  Database db(3);
+  ASSERT_TRUE(db.ApplySpecs({Source(0, 10, 50), Source(1, 10, 50),
+                             Source(2, 10, 50)}).ok());
+  ModulationParams p = EventDecayParams();
+  p.selective_upgrade = true;
+  UpdateModulator um(3, p);
+  um.AttachSources(db);
+  db.SetCurrentPeriod(0, SecondsToSim(40.0));
+  db.SetCurrentPeriod(1, SecondsToSim(40.0));
+  um.OnStaleAccess(1);  // only item 1 was observed stale
+  auto touched = um.Upgrade(db);
+  EXPECT_EQ(touched, (std::vector<ItemId>{1}));
+  EXPECT_EQ(db.item(0).current_period, SecondsToSim(40.0));  // untouched
+  // Item 1's ticket is <= 0 (no arrivals recorded): full restore.
+  EXPECT_EQ(db.item(1).current_period, SecondsToSim(10.0));
+}
+
+TEST(UpdateModulatorTest, SelectiveUpgradeHalvesOverUpdatedItems) {
+  Database db(1);
+  ASSERT_TRUE(db.SetSource(Source(0, 10, 50)).ok());
+  ModulationParams p = EventDecayParams();
+  p.selective_upgrade = true;
+  p.c_uu = 0.5;
+  UpdateModulator um(1, p);
+  um.AttachSources(db);
+  // Build a clearly positive ticket: many update arrivals, no accesses.
+  for (int i = 0; i < 10; ++i) {
+    um.OnUpdateArrival(0, MillisToSim(50.0), SecondsToSim(i * 10.0));
+  }
+  ASSERT_GT(um.ticket(0), 0.0);
+  db.SetCurrentPeriod(0, SecondsToSim(80.0));
+  um.OnStaleAccess(0);
+  um.Upgrade(db);
+  EXPECT_EQ(db.item(0).current_period, SecondsToSim(40.0));
+}
+
+TEST(UpdateModulatorTest, GlobalUpgradeWalksEveryDegradedItem) {
+  Database db(2);
+  ASSERT_TRUE(db.ApplySpecs({Source(0, 10, 50), Source(1, 10, 50)}).ok());
+  ModulationParams p = EventDecayParams();
+  p.selective_upgrade = false;
+  p.linear_upgrade = false;
+  p.c_uu = 0.5;
+  UpdateModulator um(2, p);
+  um.AttachSources(db);
+  db.SetCurrentPeriod(0, SecondsToSim(40.0));
+  db.SetCurrentPeriod(1, SecondsToSim(15.0));
+  auto touched = um.Upgrade(db);
+  EXPECT_EQ(touched.size(), 2u);
+  EXPECT_EQ(db.item(0).current_period, SecondsToSim(20.0));
+  EXPECT_EQ(db.item(1).current_period, SecondsToSim(10.0));  // clamped
+}
+
+TEST(UpdateModulatorTest, GlobalLinearUpgradeSubtractsHalfPeriod) {
+  Database db(1);
+  ASSERT_TRUE(db.SetSource(Source(0, 10, 50)).ok());
+  ModulationParams p = EventDecayParams();
+  p.selective_upgrade = false;
+  p.linear_upgrade = true;
+  p.c_uu = 0.5;
+  UpdateModulator um(1, p);
+  um.AttachSources(db);
+  db.SetCurrentPeriod(0, SecondsToSim(18.0));
+  um.Upgrade(db);
+  EXPECT_EQ(db.item(0).current_period, SecondsToSim(13.0));
+  um.Upgrade(db);
+  EXPECT_EQ(db.item(0).current_period, SecondsToSim(10.0));  // clamped
+}
+
+TEST(UpdateModulatorTest, StaleHitsAccumulateAndClear) {
+  Database db(1);
+  ASSERT_TRUE(db.SetSource(Source(0, 10, 50)).ok());
+  ModulationParams p = EventDecayParams();
+  UpdateModulator um(1, p);
+  um.AttachSources(db);
+  db.SetCurrentPeriod(0, SecondsToSim(40.0));
+  um.OnStaleAccess(0);
+  um.OnDegradedAccess(0);
+  EXPECT_EQ(um.stale_hits(0), 2);
+  um.Upgrade(db);
+  EXPECT_EQ(um.stale_hits(0), 0);
+}
+
+}  // namespace
+}  // namespace unitdb

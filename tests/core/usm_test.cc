@@ -1,0 +1,86 @@
+#include "unit/core/usm.h"
+
+#include <gtest/gtest.h>
+
+namespace unitdb {
+namespace {
+
+OutcomeCounts Counts(int64_t success, int64_t rejected, int64_t dmf,
+                     int64_t dsf) {
+  OutcomeCounts c;
+  c.success = success;
+  c.rejected = rejected;
+  c.dmf = dmf;
+  c.dsf = dsf;
+  c.submitted = success + rejected + dmf + dsf;
+  return c;
+}
+
+TEST(UsmTest, AllSuccessGivesGain) {
+  UsmWeights w;  // naive: penalties zero
+  OutcomeCounts c = Counts(10, 0, 0, 0);
+  EXPECT_DOUBLE_EQ(UsmTotal(c, w), 10.0);
+  EXPECT_DOUBLE_EQ(UsmAverage(c, w), 1.0);
+}
+
+TEST(UsmTest, NaiveUsmEqualsSuccessRatio) {
+  UsmWeights w;
+  OutcomeCounts c = Counts(6, 2, 1, 1);
+  EXPECT_DOUBLE_EQ(UsmAverage(c, w), c.SuccessRatio());
+  EXPECT_DOUBLE_EQ(UsmAverage(c, w), 0.6);
+}
+
+TEST(UsmTest, PenaltiesSubtractPerEquation4) {
+  UsmWeights w{1.0, 0.5, 2.0, 0.25};
+  OutcomeCounts c = Counts(10, 4, 3, 8);
+  // 10*1 - 4*0.5 - 3*2 - 8*0.25 = 10 - 2 - 6 - 2 = 0.
+  EXPECT_DOUBLE_EQ(UsmTotal(c, w), 0.0);
+  EXPECT_DOUBLE_EQ(UsmAverage(c, w), 0.0);
+}
+
+TEST(UsmTest, DecompositionMatchesEquation5) {
+  UsmWeights w{1.0, 0.8, 0.2, 0.4};
+  OutcomeCounts c = Counts(5, 2, 2, 1);
+  UsmBreakdown b = UsmDecompose(c, w);
+  EXPECT_DOUBLE_EQ(b.s, 0.5);
+  EXPECT_DOUBLE_EQ(b.r, 0.16);
+  EXPECT_DOUBLE_EQ(b.fm, 0.04);
+  EXPECT_DOUBLE_EQ(b.fs, 0.04);
+  EXPECT_DOUBLE_EQ(b.Value(), UsmAverage(c, w));
+}
+
+TEST(UsmTest, EmptyCountsAreZero) {
+  UsmWeights w{1.0, 2.0, 3.0, 4.0};
+  OutcomeCounts c;
+  EXPECT_DOUBLE_EQ(UsmTotal(c, w), 0.0);
+  EXPECT_DOUBLE_EQ(UsmAverage(c, w), 0.0);
+  EXPECT_DOUBLE_EQ(UsmDecompose(c, w).Value(), 0.0);
+}
+
+TEST(UsmTest, RangeSpansGainPlusWorstPenalty) {
+  EXPECT_DOUBLE_EQ((UsmWeights{1.0, 0.0, 0.0, 0.0}).Range(), 1.0);
+  EXPECT_DOUBLE_EQ((UsmWeights{1.0, 0.5, 2.0, 0.25}).Range(), 3.0);
+  EXPECT_DOUBLE_EQ((UsmWeights{1.0, 4.0, 2.0, 2.0}).Range(), 5.0);
+}
+
+TEST(UsmTest, WorstCaseIsNegativeMaxPenalty) {
+  UsmWeights w{1.0, 0.5, 2.0, 0.25};
+  OutcomeCounts c = Counts(0, 0, 7, 0);  // every query hits the worst case
+  EXPECT_DOUBLE_EQ(UsmAverage(c, w), -2.0);
+}
+
+TEST(UsmTest, AllZeroPenaltiesDetection) {
+  EXPECT_TRUE((UsmWeights{}).AllZeroPenalties());
+  EXPECT_FALSE((UsmWeights{1.0, 0.0, 0.1, 0.0}).AllZeroPenalties());
+}
+
+TEST(UsmTest, OutcomeRatiosSumToOneWhenResolved) {
+  OutcomeCounts c = Counts(5, 3, 1, 1);
+  EXPECT_DOUBLE_EQ(c.SuccessRatio() + c.RejectionRatio() + c.DmfRatio() +
+                       c.DsfRatio(),
+                   1.0);
+  EXPECT_EQ(c.resolved(), c.submitted);
+}
+
+}  // namespace
+}  // namespace unitdb

@@ -1,0 +1,137 @@
+#include "unit/db/database.h"
+
+#include <gtest/gtest.h>
+
+#include "unit/common/types.h"
+
+namespace unitdb {
+namespace {
+
+ItemUpdateSpec Spec(ItemId item, double period_s, double exec_ms,
+                    double phase_s = 0.0) {
+  ItemUpdateSpec s;
+  s.item = item;
+  s.ideal_period = SecondsToSim(period_s);
+  s.update_exec = MillisToSim(exec_ms);
+  s.phase = SecondsToSim(phase_s);
+  return s;
+}
+
+TEST(DatabaseTest, ItemsStartFreshWithoutSources) {
+  Database db(4);
+  EXPECT_EQ(db.num_items(), 4);
+  for (ItemId i = 0; i < 4; ++i) {
+    EXPECT_EQ(db.Udrop(i, SecondsToSim(1000)), 0);
+    EXPECT_DOUBLE_EQ(db.Freshness(i, SecondsToSim(1000)), 1.0);
+  }
+}
+
+TEST(DatabaseTest, SetSourceValidation) {
+  Database db(2);
+  EXPECT_FALSE(db.SetSource(Spec(-1, 10, 5)).ok());
+  EXPECT_FALSE(db.SetSource(Spec(2, 10, 5)).ok());
+  ItemUpdateSpec bad_period = Spec(0, 10, 5);
+  bad_period.ideal_period = 0;
+  EXPECT_FALSE(db.SetSource(bad_period).ok());
+  ItemUpdateSpec bad_exec = Spec(0, 10, 5);
+  bad_exec.update_exec = 0;
+  EXPECT_FALSE(db.SetSource(bad_exec).ok());
+  ItemUpdateSpec bad_phase = Spec(0, 10, 5);
+  bad_phase.phase = SecondsToSim(10);  // phase must be < period
+  EXPECT_FALSE(db.SetSource(bad_phase).ok());
+  EXPECT_TRUE(db.SetSource(Spec(0, 10, 5, 3)).ok());
+}
+
+TEST(DatabaseTest, ApplySpecsRejectsDuplicates) {
+  Database db(3);
+  EXPECT_FALSE(db.ApplySpecs({Spec(1, 10, 5), Spec(1, 20, 5)}).ok());
+  EXPECT_TRUE(db.ApplySpecs({Spec(0, 10, 5), Spec(1, 20, 5)}).ok());
+}
+
+TEST(DatabaseTest, GenerationArithmetic) {
+  Database db(1);
+  ASSERT_TRUE(db.SetSource(Spec(0, 10, 5, 2)).ok());
+  // Generations at t = 2, 12, 22, ... seconds.
+  EXPECT_EQ(db.GenerationAt(0, SecondsToSim(0)), -1);
+  EXPECT_EQ(db.GenerationAt(0, SecondsToSim(1.999)), -1);
+  EXPECT_EQ(db.GenerationAt(0, SecondsToSim(2)), 0);
+  EXPECT_EQ(db.GenerationAt(0, SecondsToSim(11.999)), 0);
+  EXPECT_EQ(db.GenerationAt(0, SecondsToSim(12)), 1);
+  EXPECT_EQ(db.GenerationAt(0, SecondsToSim(32)), 3);
+}
+
+TEST(DatabaseTest, UdropAndFreshnessEvolve) {
+  Database db(1);
+  ASSERT_TRUE(db.SetSource(Spec(0, 10, 5)).ok());
+  // Fresh until the first generation at t=0... (phase 0: gen 0 at t=0).
+  EXPECT_EQ(db.Udrop(0, SecondsToSim(0)), 1);  // gen 0 exists, none applied
+  db.ApplyUpdate(0, SecondsToSim(0.5));        // installs generation 0
+  EXPECT_EQ(db.Udrop(0, SecondsToSim(5)), 0);
+  EXPECT_DOUBLE_EQ(db.Freshness(0, SecondsToSim(5)), 1.0);
+  // Two more generations pass unapplied.
+  EXPECT_EQ(db.Udrop(0, SecondsToSim(25)), 2);
+  EXPECT_DOUBLE_EQ(db.Freshness(0, SecondsToSim(25)), 1.0 / 3.0);
+}
+
+TEST(DatabaseTest, ApplyUpdateInstallsNewestGeneration) {
+  Database db(1);
+  ASSERT_TRUE(db.SetSource(Spec(0, 10, 5)).ok());
+  db.ApplyUpdate(0, SecondsToSim(35));  // newest generation then: 3
+  EXPECT_EQ(db.item(0).installed_generation, 3);
+  EXPECT_EQ(db.Udrop(0, SecondsToSim(39)), 0);
+  EXPECT_EQ(db.Udrop(0, SecondsToSim(41)), 1);
+  EXPECT_EQ(db.item(0).applied_updates, 1);
+}
+
+TEST(DatabaseTest, ApplyUpdateNeverRegresses) {
+  Database db(1);
+  ASSERT_TRUE(db.SetSource(Spec(0, 10, 5)).ok());
+  db.ApplyUpdate(0, SecondsToSim(35));
+  db.ApplyUpdate(0, SecondsToSim(5));  // older value must not downgrade
+  EXPECT_EQ(db.item(0).installed_generation, 3);
+}
+
+TEST(DatabaseTest, QueryFreshnessIsMinimumOverReadSet) {
+  Database db(3);
+  ASSERT_TRUE(db.ApplySpecs({Spec(0, 10, 5), Spec(1, 10, 5)}).ok());
+  db.ApplyUpdate(0, SecondsToSim(20.5));  // item 0 fresh at t=25
+  // Item 1 has 3 unapplied generations at t=25 (gens at 0,10,20).
+  // Item 2 has no source: always fresh.
+  const SimTime t = SecondsToSim(25);
+  EXPECT_DOUBLE_EQ(db.QueryFreshness({0}, t), 1.0);
+  EXPECT_DOUBLE_EQ(db.QueryFreshness({1}, t), 0.25);
+  EXPECT_DOUBLE_EQ(db.QueryFreshness({2}, t), 1.0);
+  EXPECT_DOUBLE_EQ(db.QueryFreshness({0, 1, 2}, t), 0.25);
+}
+
+TEST(DatabaseTest, SetCurrentPeriodClampsAtIdeal) {
+  Database db(1);
+  ASSERT_TRUE(db.SetSource(Spec(0, 10, 5)).ok());
+  db.SetCurrentPeriod(0, SecondsToSim(5));  // below ideal: clamped up
+  EXPECT_EQ(db.item(0).current_period, SecondsToSim(10));
+  db.SetCurrentPeriod(0, SecondsToSim(40));
+  EXPECT_EQ(db.item(0).current_period, SecondsToSim(40));
+}
+
+TEST(DatabaseTest, DegradedCountTracksStretchedItems) {
+  Database db(3);
+  ASSERT_TRUE(db.ApplySpecs({Spec(0, 10, 5), Spec(1, 10, 5)}).ok());
+  EXPECT_EQ(db.DegradedCount(), 0);
+  db.SetCurrentPeriod(0, SecondsToSim(20));
+  EXPECT_EQ(db.DegradedCount(), 1);
+  db.SetCurrentPeriod(1, SecondsToSim(30));
+  EXPECT_EQ(db.DegradedCount(), 2);
+  db.SetCurrentPeriod(0, SecondsToSim(10));
+  EXPECT_EQ(db.DegradedCount(), 1);
+}
+
+TEST(DatabaseTest, RecordAccessCounts) {
+  Database db(2);
+  db.RecordAccess(1);
+  db.RecordAccess(1);
+  EXPECT_EQ(db.item(1).query_accesses, 2);
+  EXPECT_EQ(db.item(0).query_accesses, 0);
+}
+
+}  // namespace
+}  // namespace unitdb

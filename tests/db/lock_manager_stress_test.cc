@@ -1,0 +1,135 @@
+// Randomized stress test: the lock manager against a straightforward
+// reference model, over thousands of random acquire/release operations.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "unit/common/rng.h"
+#include "unit/db/lock_manager.h"
+
+namespace unitdb {
+namespace {
+
+// Reference model: plain maps, no cleverness.
+struct Model {
+  std::map<ItemId, TxnId> exclusive;
+  std::map<ItemId, std::set<TxnId>> shared;
+  std::map<TxnId, std::set<ItemId>> held;
+
+  bool CanShared(TxnId txn, const std::vector<ItemId>& items) const {
+    for (ItemId i : items) {
+      auto it = exclusive.find(i);
+      if (it != exclusive.end() && it->second != txn) return false;
+    }
+    return true;
+  }
+  void AcquireShared(TxnId txn, const std::vector<ItemId>& items) {
+    for (ItemId i : items) {
+      shared[i].insert(txn);
+      held[txn].insert(i);
+    }
+  }
+  // Returns granted.
+  bool TryExclusive(TxnId txn, ItemId item) {
+    auto x = exclusive.find(item);
+    if (x != exclusive.end() && x->second != txn) return false;
+    auto s = shared.find(item);
+    if (s != shared.end() && !s->second.empty()) return false;
+    exclusive[item] = txn;
+    held[txn].insert(item);
+    return true;
+  }
+  void Release(TxnId txn) {
+    auto it = held.find(txn);
+    if (it == held.end()) return;
+    for (ItemId i : it->second) {
+      auto x = exclusive.find(i);
+      if (x != exclusive.end() && x->second == txn) exclusive.erase(x);
+      auto s = shared.find(i);
+      if (s != shared.end()) s->second.erase(txn);
+    }
+    held.erase(it);
+  }
+  bool IsLocked(ItemId i) const {
+    if (exclusive.count(i)) return true;
+    auto s = shared.find(i);
+    return s != shared.end() && !s->second.empty();
+  }
+};
+
+class LockManagerStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LockManagerStressTest, MatchesReferenceModel) {
+  const int kItems = 24;
+  const int kTxns = 40;
+  Rng rng(GetParam());
+  LockManager lm(kItems);
+  Model model;
+  std::set<TxnId> live;  // txns currently holding (or having attempted)
+
+  for (int step = 0; step < 5000; ++step) {
+    const int op = static_cast<int>(rng.UniformInt(0, 2));
+    const TxnId txn = rng.UniformInt(0, kTxns - 1);
+    if (op == 0 && !model.held.count(txn)) {
+      // Shared acquisition of 1-3 random items (all-or-nothing).
+      std::vector<ItemId> items;
+      const int n = static_cast<int>(rng.UniformInt(1, 3));
+      for (int k = 0; k < n; ++k) {
+        items.push_back(static_cast<ItemId>(rng.UniformInt(0, kItems - 1)));
+      }
+      const bool can = model.CanShared(txn, items);
+      ASSERT_EQ(lm.TryAcquireSharedAll(txn, items), can) << "step " << step;
+      if (can) {
+        model.AcquireShared(txn, items);
+        live.insert(txn);
+      }
+    } else if (op == 1 && !model.held.count(txn)) {
+      const ItemId item = static_cast<ItemId>(rng.UniformInt(0, kItems - 1));
+      const bool expect = [&] {
+        Model copy = model;
+        return copy.TryExclusive(txn, item);
+      }();
+      auto attempt = lm.TryAcquireExclusive(txn, item);
+      ASSERT_EQ(attempt.granted, expect) << "step " << step;
+      if (expect) {
+        model.TryExclusive(txn, item);
+        live.insert(txn);
+      } else {
+        // Conflict reporting must match the model's holders.
+        if (!attempt.shared_holders.empty()) {
+          for (TxnId h : attempt.shared_holders) {
+            ASSERT_TRUE(model.shared[item].count(h));
+          }
+        } else {
+          ASSERT_TRUE(attempt.blocked_by_exclusive);
+          ASSERT_TRUE(model.exclusive.count(item));
+        }
+      }
+    } else {
+      lm.ReleaseAll(txn);
+      model.Release(txn);
+      live.erase(txn);
+    }
+    // Spot-check a random item's lock state.
+    const ItemId probe = static_cast<ItemId>(rng.UniformInt(0, kItems - 1));
+    ASSERT_EQ(lm.IsLocked(probe), model.IsLocked(probe)) << "step " << step;
+  }
+  // Drain and verify everything unlocks.
+  for (TxnId txn : live) {
+    lm.ReleaseAll(txn);
+    model.Release(txn);
+  }
+  for (ItemId i = 0; i < kItems; ++i) {
+    EXPECT_FALSE(lm.IsLocked(i)) << "item " << i;
+    EXPECT_FALSE(model.IsLocked(i)) << "item " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LockManagerStressTest,
+                         ::testing::Values(1u, 2u, 3u, 99u));
+
+}  // namespace
+}  // namespace unitdb

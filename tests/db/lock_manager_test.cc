@@ -1,0 +1,111 @@
+#include "unit/db/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace unitdb {
+namespace {
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm(4);
+  EXPECT_TRUE(lm.TryAcquireSharedAll(1, {0, 1}));
+  EXPECT_TRUE(lm.TryAcquireSharedAll(2, {1, 2}));
+  EXPECT_TRUE(lm.HoldsAny(1));
+  EXPECT_TRUE(lm.HoldsAny(2));
+  EXPECT_TRUE(lm.IsLocked(1));
+}
+
+TEST(LockManagerTest, ExclusiveBlocksShared) {
+  LockManager lm(4);
+  auto x = lm.TryAcquireExclusive(1, 2);
+  ASSERT_TRUE(x.granted);
+  EXPECT_FALSE(lm.TryAcquireSharedAll(2, {0, 2}));
+  // All-or-nothing: the failed acquisition must hold nothing, including
+  // the uncontended item 0.
+  EXPECT_FALSE(lm.HoldsAny(2));
+  EXPECT_FALSE(lm.IsLocked(0));
+}
+
+TEST(LockManagerTest, SharedBlocksExclusiveAndReportsHolders) {
+  LockManager lm(4);
+  ASSERT_TRUE(lm.TryAcquireSharedAll(7, {1}));
+  ASSERT_TRUE(lm.TryAcquireSharedAll(3, {1}));
+  auto x = lm.TryAcquireExclusive(9, 1);
+  EXPECT_FALSE(x.granted);
+  EXPECT_FALSE(x.blocked_by_exclusive);
+  // Holders reported in deterministic (sorted) order.
+  EXPECT_EQ(x.shared_holders, (std::vector<TxnId>{3, 7}));
+}
+
+TEST(LockManagerTest, ExclusiveBlocksExclusive) {
+  LockManager lm(2);
+  ASSERT_TRUE(lm.TryAcquireExclusive(1, 0).granted);
+  auto x = lm.TryAcquireExclusive(2, 0);
+  EXPECT_FALSE(x.granted);
+  EXPECT_TRUE(x.blocked_by_exclusive);
+  EXPECT_TRUE(x.shared_holders.empty());
+}
+
+TEST(LockManagerTest, ReleaseFreesItems) {
+  LockManager lm(4);
+  ASSERT_TRUE(lm.TryAcquireSharedAll(1, {0, 2}));
+  auto freed = lm.ReleaseAll(1);
+  std::sort(freed.begin(), freed.end());
+  EXPECT_EQ(freed, (std::vector<ItemId>{0, 2}));
+  EXPECT_FALSE(lm.HoldsAny(1));
+  EXPECT_FALSE(lm.IsLocked(0));
+  EXPECT_FALSE(lm.IsLocked(2));
+  EXPECT_TRUE(lm.TryAcquireExclusive(2, 0).granted);
+}
+
+TEST(LockManagerTest, ReleaseWithoutLocksIsNoop) {
+  LockManager lm(2);
+  EXPECT_TRUE(lm.ReleaseAll(42).empty());
+}
+
+TEST(LockManagerTest, ExclusiveAfterSharedRelease) {
+  LockManager lm(2);
+  ASSERT_TRUE(lm.TryAcquireSharedAll(1, {0}));
+  EXPECT_FALSE(lm.TryAcquireExclusive(2, 0).granted);
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(lm.TryAcquireExclusive(2, 0).granted);
+}
+
+TEST(LockManagerTest, DuplicateItemsInReadSetCollapse) {
+  LockManager lm(2);
+  ASSERT_TRUE(lm.TryAcquireSharedAll(1, {1, 1, 1}));
+  auto freed = lm.ReleaseAll(1);
+  EXPECT_EQ(freed.size(), 1u);
+  EXPECT_EQ(freed[0], 1);
+}
+
+TEST(LockManagerTest, HolderCount) {
+  LockManager lm(4);
+  EXPECT_EQ(lm.holder_count(), 0);
+  lm.TryAcquireSharedAll(1, {0});
+  lm.TryAcquireExclusive(2, 1);
+  EXPECT_EQ(lm.holder_count(), 2);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.holder_count(), 1);
+}
+
+TEST(LockManagerTest, MixedConflictScenario) {
+  // Models the 2PL-HP flow the engine drives: update displaces readers.
+  LockManager lm(3);
+  ASSERT_TRUE(lm.TryAcquireSharedAll(10, {0, 1}));
+  ASSERT_TRUE(lm.TryAcquireSharedAll(11, {1, 2}));
+  auto x = lm.TryAcquireExclusive(99, 1);
+  ASSERT_FALSE(x.granted);
+  for (TxnId victim : x.shared_holders) lm.ReleaseAll(victim);
+  x = lm.TryAcquireExclusive(99, 1);
+  EXPECT_TRUE(x.granted);
+  // Victims hold nothing anymore, on any item.
+  EXPECT_FALSE(lm.HoldsAny(10));
+  EXPECT_FALSE(lm.HoldsAny(11));
+  EXPECT_FALSE(lm.IsLocked(0));
+  EXPECT_FALSE(lm.IsLocked(2));
+}
+
+}  // namespace
+}  // namespace unitdb

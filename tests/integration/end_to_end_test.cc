@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "unit/sim/experiment.h"
+#include "unit/sim/server.h"
+#include "unit/workload/trace_io.h"
+
+namespace unitdb {
+namespace {
+
+TEST(EndToEndTest, AllFourPoliciesRunTheStandardWorkload) {
+  auto w = MakeStandardWorkload(UpdateVolume::kMedium,
+                                UpdateDistribution::kUniform, 0.25, 42);
+  ASSERT_TRUE(w.ok());
+  auto results = RunPolicies(*w, {"unit", "imu", "odu", "qmf"}, UsmWeights{});
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 4u);
+  for (const auto& r : *results) {
+    EXPECT_EQ(r.metrics.counts.resolved(), r.metrics.counts.submitted)
+        << r.policy;
+    EXPECT_GE(r.usm, -3.0);
+    EXPECT_LE(r.usm, 1.0);
+    EXPECT_DOUBLE_EQ(r.usm, r.breakdown.Value());
+  }
+}
+
+TEST(EndToEndTest, UnknownPolicyFails) {
+  auto w = MakeStandardWorkload(UpdateVolume::kLow,
+                                UpdateDistribution::kUniform, 0.05, 1);
+  ASSERT_TRUE(w.ok());
+  auto result = RunExperiment(*w, "definitely-not-a-policy", UsmWeights{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EndToEndTest, ServerFactoryKnowsAllPolicies) {
+  auto w = MakeStandardWorkload(UpdateVolume::kLow,
+                                UpdateDistribution::kUniform, 0.05, 1);
+  ASSERT_TRUE(w.ok());
+  for (const auto& name : KnownPolicies()) {
+    Server::Config config;
+    config.policy = name;
+    auto server = Server::Create(*w, config);
+    ASSERT_TRUE(server.ok()) << name;
+    RunMetrics m = (*server)->Run();
+    EXPECT_EQ(m.counts.resolved(), m.counts.submitted) << name;
+  }
+}
+
+TEST(EndToEndTest, SavedTraceReproducesIdenticalResults) {
+  auto w = MakeStandardWorkload(UpdateVolume::kMedium,
+                                UpdateDistribution::kNegative, 0.1, 5);
+  ASSERT_TRUE(w.ok());
+  const std::string path = ::testing::TempDir() + "/unitdb_e2e_trace.csv";
+  ASSERT_TRUE(SaveWorkload(*w, path).ok());
+  auto loaded = LoadWorkload(path);
+  ASSERT_TRUE(loaded.ok());
+  std::remove(path.c_str());
+
+  auto a = RunExperiment(*w, "unit", UsmWeights{});
+  auto b = RunExperiment(*loaded, "unit", UsmWeights{});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->metrics.counts, b->metrics.counts);
+  EXPECT_EQ(a->metrics.update_commits, b->metrics.update_commits);
+  EXPECT_DOUBLE_EQ(a->usm, b->usm);
+}
+
+TEST(EndToEndTest, UnitBeatsImuAndQmfOnMediumUniform) {
+  // The paper's headline comparison at the default evaluation point.
+  auto w = MakeStandardWorkload(UpdateVolume::kMedium,
+                                UpdateDistribution::kUniform, 1.0, 42);
+  ASSERT_TRUE(w.ok());
+  auto results = RunPolicies(*w, {"unit", "imu", "qmf"}, UsmWeights{});
+  ASSERT_TRUE(results.ok());
+  const double unit = (*results)[0].usm;
+  EXPECT_GT(unit, (*results)[1].usm);
+  EXPECT_GT(unit, (*results)[2].usm);
+}
+
+TEST(EndToEndTest, ImuCollapsesUnderHighUpdateVolume) {
+  auto w = MakeStandardWorkload(UpdateVolume::kHigh,
+                                UpdateDistribution::kUniform, 0.5, 42);
+  ASSERT_TRUE(w.ok());
+  auto results = RunPolicies(*w, {"unit", "imu"}, UsmWeights{});
+  ASSERT_TRUE(results.ok());
+  EXPECT_LT((*results)[1].usm, 0.1);           // IMU near zero
+  EXPECT_GT((*results)[0].usm, (*results)[1].usm + 0.3);  // UNIT far above
+}
+
+TEST(EndToEndTest, BaselinesIgnoreUsmWeights) {
+  auto w = MakeStandardWorkload(UpdateVolume::kMedium,
+                                UpdateDistribution::kUniform, 0.1, 42);
+  ASSERT_TRUE(w.ok());
+  for (const char* policy : {"imu", "odu", "qmf"}) {
+    auto naive = RunExperiment(*w, policy, UsmWeights{});
+    auto weighted = RunExperiment(*w, policy, UsmWeights{1.0, 4.0, 2.0, 2.0});
+    ASSERT_TRUE(naive.ok() && weighted.ok());
+    EXPECT_EQ(naive->metrics.counts, weighted->metrics.counts) << policy;
+  }
+}
+
+TEST(EndToEndTest, ComponentAblationsBracketFullUnit) {
+  auto w = MakeStandardWorkload(UpdateVolume::kMedium,
+                                UpdateDistribution::kUniform, 1.0, 42);
+  ASSERT_TRUE(w.ok());
+  auto results =
+      RunPolicies(*w, {"unit", "unit-noac", "unit-noum", "unit-bare"},
+                  UsmWeights{});
+  ASSERT_TRUE(results.ok());
+  const double full = (*results)[0].usm;
+  const double bare = (*results)[3].usm;
+  EXPECT_GT(full, bare);
+  // Each single component alone helps over bare.
+  EXPECT_GT((*results)[1].usm, bare - 0.02);
+  EXPECT_GT((*results)[2].usm, bare - 0.02);
+}
+
+TEST(EndToEndTest, Table2WeightSetsAreWellFormed) {
+  for (const auto& nw : Table2WeightsBelowOne()) {
+    EXPECT_FALSE(nw.weights.AllZeroPenalties());
+    EXPECT_LT(std::max({nw.weights.c_r, nw.weights.c_fm, nw.weights.c_fs}),
+              1.0);
+  }
+  for (const auto& nw : Table2WeightsAboveOne()) {
+    EXPECT_GT(std::max({nw.weights.c_r, nw.weights.c_fm, nw.weights.c_fs}),
+              1.0);
+  }
+  EXPECT_EQ(Table2WeightsBelowOne().size(), 3u);
+  EXPECT_EQ(Table2WeightsAboveOne().size(), 3u);
+}
+
+}  // namespace
+}  // namespace unitdb

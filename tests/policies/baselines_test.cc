@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "unit/core/policies/imu.h"
+#include "unit/core/policies/odu.h"
+#include "unit/sched/engine.h"
+#include "unit/sim/experiment.h"
+
+namespace unitdb {
+namespace {
+
+Workload SmallStandardWorkload(UpdateVolume volume) {
+  auto w = MakeStandardWorkload(volume, UpdateDistribution::kUniform,
+                                /*scale=*/0.1, /*seed=*/21);
+  EXPECT_TRUE(w.ok());
+  return *w;
+}
+
+TEST(ImuPolicyTest, AppliesEveryUpdateAndNeverRejects) {
+  Workload w = SmallStandardWorkload(UpdateVolume::kLow);
+  ImuPolicy policy;
+  Engine engine(w, &policy, {});
+  RunMetrics m = engine.Run();
+  EXPECT_EQ(m.counts.rejected, 0);
+  EXPECT_EQ(m.updates_dropped, 0);
+  EXPECT_EQ(m.update_commits, w.TotalSourceUpdates());
+  // Immediate updates: perfect freshness, zero DSF.
+  EXPECT_EQ(m.counts.dsf, 0);
+}
+
+TEST(ImuPolicyTest, UpdateLoadStarvesQueriesAtHighVolume) {
+  Workload low = SmallStandardWorkload(UpdateVolume::kLow);
+  Workload high = SmallStandardWorkload(UpdateVolume::kHigh);
+  ImuPolicy p1, p2;
+  Engine e1(low, &p1, {});
+  Engine e2(high, &p2, {});
+  const double low_success = e1.Run().counts.SuccessRatio();
+  const double high_success = e2.Run().counts.SuccessRatio();
+  EXPECT_GT(low_success, high_success + 0.3);
+  EXPECT_LT(high_success, 0.2);
+}
+
+TEST(OduPolicyTest, NoPeriodicUpdatesOnlyOnDemand) {
+  Workload w = SmallStandardWorkload(UpdateVolume::kMedium);
+  OduPolicy policy;
+  Engine engine(w, &policy, {});
+  RunMetrics m = engine.Run();
+  EXPECT_EQ(m.counts.rejected, 0);
+  // Every executed update was an on-demand refresh.
+  EXPECT_EQ(m.update_commits, m.on_demand_updates);
+  EXPECT_GT(policy.refreshes_issued(), 0);
+  // On-demand refreshing applies far fewer updates than the source offers.
+  EXPECT_LT(m.update_commits, w.TotalSourceUpdates() / 2);
+}
+
+TEST(OduPolicyTest, KeepsFreshnessHigh) {
+  Workload w = SmallStandardWorkload(UpdateVolume::kMedium);
+  OduPolicy policy;
+  Engine engine(w, &policy, {});
+  RunMetrics m = engine.Run();
+  // ODU refreshes before reading: almost no data-stale failures.
+  EXPECT_LT(m.counts.DsfRatio(), 0.03);
+}
+
+TEST(OduPolicyTest, DedupeReducesRefreshes) {
+  Workload w = SmallStandardWorkload(UpdateVolume::kMedium);
+  OduPolicy dedup(/*dedupe_in_flight=*/true);
+  OduPolicy nodedup(/*dedupe_in_flight=*/false);
+  Engine e1(w, &dedup, {});
+  Engine e2(w, &nodedup, {});
+  RunMetrics m1 = e1.Run();
+  RunMetrics m2 = e2.Run();
+  EXPECT_LE(m1.on_demand_updates, m2.on_demand_updates);
+}
+
+TEST(OduPolicyTest, OutperformsImuUnderHeavyUpdateLoad) {
+  Workload w = SmallStandardWorkload(UpdateVolume::kHigh);
+  OduPolicy odu;
+  ImuPolicy imu;
+  Engine e1(w, &odu, {});
+  Engine e2(w, &imu, {});
+  EXPECT_GT(e1.Run().counts.SuccessRatio(), e2.Run().counts.SuccessRatio());
+}
+
+TEST(OduPolicyTest, RefreshRoundsAreBounded) {
+  Workload w = SmallStandardWorkload(UpdateVolume::kMedium);
+  OduPolicy policy;
+  EngineParams params;
+  params.max_refresh_rounds = 1;
+  Engine engine(w, &policy, params);
+  RunMetrics m = engine.Run();
+  // Still terminates and resolves everything.
+  EXPECT_EQ(m.counts.resolved(), m.counts.submitted);
+}
+
+}  // namespace
+}  // namespace unitdb

@@ -1,0 +1,129 @@
+// Randomized engine stress: arbitrary small workloads (random read sets,
+// deadlines, update sources, policy quirks) must always terminate with
+// conserved outcomes and sane accounting — the core invariants, checked far
+// from the tuned evaluation workloads.
+
+#include <gtest/gtest.h>
+
+#include "testing/fake_policy.h"
+#include "unit/common/rng.h"
+#include "unit/sched/engine.h"
+#include "unit/workload/spec.h"
+
+namespace unitdb {
+namespace {
+
+using testing_support::FakePolicy;
+
+Workload RandomWorkload(uint64_t seed) {
+  Rng rng(seed);
+  Workload w;
+  w.num_items = 1 + static_cast<int>(rng.UniformInt(0, 15));
+  w.duration = SecondsToSim(rng.Uniform(1.0, 30.0));
+
+  const int n_queries = static_cast<int>(rng.UniformInt(0, 120));
+  for (int i = 0; i < n_queries; ++i) {
+    QueryRequest q;
+    q.id = i;
+    q.arrival = static_cast<SimTime>(
+        rng.Uniform(0.0, static_cast<double>(w.duration - 1)));
+    q.exec = std::max<SimDuration>(1, MillisToSim(rng.Uniform(0.1, 400.0)));
+    q.relative_deadline =
+        std::max<SimDuration>(1, MillisToSim(rng.Uniform(1.0, 8000.0)));
+    q.freshness_req = rng.Uniform(0.0, 1.0);
+    const int n_items = 1 + static_cast<int>(rng.UniformInt(0, 3));
+    for (int k = 0; k < n_items; ++k) {
+      q.items.push_back(
+          static_cast<ItemId>(rng.UniformInt(0, w.num_items - 1)));
+    }
+    q.preference_class = static_cast<int>(rng.UniformInt(0, 2));
+    w.queries.push_back(std::move(q));
+  }
+  std::sort(w.queries.begin(), w.queries.end(),
+            [](const QueryRequest& a, const QueryRequest& b) {
+              return a.arrival < b.arrival;
+            });
+
+  std::vector<bool> used(w.num_items, false);
+  const int n_sources = static_cast<int>(rng.UniformInt(0, w.num_items));
+  for (int k = 0; k < n_sources; ++k) {
+    const ItemId item = static_cast<ItemId>(rng.UniformInt(0, w.num_items - 1));
+    if (used[item]) continue;
+    used[item] = true;
+    ItemUpdateSpec s;
+    s.item = item;
+    s.ideal_period =
+        std::max<SimDuration>(1, MillisToSim(rng.Uniform(50.0, 20000.0)));
+    s.update_exec =
+        std::max<SimDuration>(1, MillisToSim(rng.Uniform(0.5, 500.0)));
+    s.phase = static_cast<SimTime>(
+        rng.Uniform(0.0, static_cast<double>(s.ideal_period)));
+    w.updates.push_back(s);
+  }
+  return w;
+}
+
+class EngineRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineRandomTest, InvariantsHoldOnArbitraryWorkloads) {
+  const Workload w = RandomWorkload(GetParam());
+  Rng decision_rng(GetParam() * 7 + 1);
+  FakePolicy policy;
+  // Random admission decisions and occasional on-demand refreshes make the
+  // run exercise every outcome path.
+  policy.admit = [&decision_rng](Engine&, const Transaction&) {
+    return !decision_rng.Bernoulli(0.15);
+  };
+  policy.before_dispatch = [&decision_rng](Engine& e, Transaction& q) {
+    if (q.refresh_rounds() >= e.params().max_refresh_rounds) return true;
+    if (!decision_rng.Bernoulli(0.1)) return true;
+    bool issued = false;
+    for (ItemId item : q.items()) {
+      if (e.PendingUpdatesForItem(item) == 0 &&
+          e.db().item(item).ideal_period < kNoUpdates) {
+        e.IssueOnDemandUpdate(item);
+        issued = true;
+      }
+    }
+    if (issued) q.IncrementRefreshRounds();
+    return !issued;
+  };
+
+  Engine engine(w, &policy, {});
+  RunMetrics m = engine.Run();
+
+  // Conservation.
+  EXPECT_EQ(m.counts.submitted, static_cast<int64_t>(w.queries.size()));
+  EXPECT_EQ(m.counts.resolved(), m.counts.submitted);
+  EXPECT_EQ(static_cast<int64_t>(policy.resolved.size()), m.counts.submitted);
+
+  // Per-class partition sums to the aggregate.
+  OutcomeCounts sum;
+  for (const auto& c : m.per_class_counts) {
+    sum.submitted += c.submitted;
+    sum.success += c.success;
+    sum.rejected += c.rejected;
+    sum.dmf += c.dmf;
+    sum.dsf += c.dsf;
+  }
+  EXPECT_EQ(sum, m.counts);
+
+  // Update accounting: every created transaction commits.
+  EXPECT_EQ(m.update_commits, m.updates_generated);
+  int64_t applied = 0;
+  for (int64_t a : m.per_item_applied_updates) applied += a;
+  EXPECT_EQ(applied, m.update_commits);
+
+  // Physics.
+  EXPECT_GE(m.busy_s, 0.0);
+  if (m.query_freshness.count() > 0) {
+    EXPECT_GT(m.query_freshness.min(), 0.0);
+    EXPECT_LE(m.query_freshness.max(), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineRandomTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+}  // namespace
+}  // namespace unitdb

@@ -1,0 +1,137 @@
+#include "unit/sched/ready_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "unit/txn/transaction.h"
+
+namespace unitdb {
+namespace {
+
+Transaction Query(TxnId id, double deadline_s, double exec_ms = 10.0) {
+  return Transaction::MakeQuery(id, /*arrival=*/0, MillisToSim(exec_ms),
+                                SecondsToSim(deadline_s), 0.9, {0});
+}
+
+Transaction Update(TxnId id, double deadline_s, double exec_ms = 10.0) {
+  return Transaction::MakeUpdate(id, /*arrival=*/0, MillisToSim(exec_ms),
+                                 SecondsToSim(deadline_s), 0, false);
+}
+
+TEST(ReadyQueueTest, EmptyQueue) {
+  ReadyQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.Top(), nullptr);
+  EXPECT_EQ(q.PopTop(), nullptr);
+  EXPECT_EQ(q.size(), 0);
+}
+
+TEST(ReadyQueueTest, UpdatesOutrankQueries) {
+  ReadyQueue q;
+  Transaction query = Query(1, 0.001);   // much earlier deadline
+  Transaction update = Update(2, 100.0);  // much later deadline
+  q.Insert(&query);
+  q.Insert(&update);
+  EXPECT_EQ(q.Top(), &update);
+  EXPECT_EQ(q.update_count(), 1);
+  EXPECT_EQ(q.query_count(), 1);
+}
+
+TEST(ReadyQueueTest, EdfWithinClass) {
+  ReadyQueue q;
+  Transaction a = Query(1, 5.0);
+  Transaction b = Query(2, 2.0);
+  Transaction c = Query(3, 9.0);
+  q.Insert(&a);
+  q.Insert(&b);
+  q.Insert(&c);
+  EXPECT_EQ(q.PopTop(), &b);
+  EXPECT_EQ(q.PopTop(), &a);
+  EXPECT_EQ(q.PopTop(), &c);
+}
+
+TEST(ReadyQueueTest, DeadlineTiesBreakById) {
+  ReadyQueue q;
+  Transaction a = Query(7, 5.0);
+  Transaction b = Query(3, 5.0);
+  q.Insert(&a);
+  q.Insert(&b);
+  EXPECT_EQ(q.PopTop(), &b);
+  EXPECT_EQ(q.PopTop(), &a);
+}
+
+TEST(ReadyQueueTest, RemoveAndContains) {
+  ReadyQueue q;
+  Transaction a = Query(1, 5.0);
+  Transaction u = Update(2, 5.0);
+  q.Insert(&a);
+  q.Insert(&u);
+  EXPECT_TRUE(q.Contains(&a));
+  EXPECT_TRUE(q.Remove(&a));
+  EXPECT_FALSE(q.Contains(&a));
+  EXPECT_FALSE(q.Remove(&a));
+  EXPECT_EQ(q.size(), 1);
+}
+
+TEST(ReadyQueueTest, UpdateWorkAccounting) {
+  ReadyQueue q;
+  Transaction u1 = Update(1, 5.0, 100.0);
+  Transaction u2 = Update(2, 6.0, 50.0);
+  Transaction query = Query(3, 5.0, 400.0);  // queries don't count
+  q.Insert(&u1);
+  q.Insert(&u2);
+  q.Insert(&query);
+  EXPECT_EQ(q.TotalUpdateWork(), MillisToSim(150.0));
+  q.Remove(&u1);
+  EXPECT_EQ(q.TotalUpdateWork(), MillisToSim(50.0));
+  q.PopTop();  // pops u2
+  EXPECT_EQ(q.TotalUpdateWork(), 0);
+}
+
+TEST(ReadyQueueTest, ForEachQueryVisitsInEdfOrder) {
+  ReadyQueue q;
+  Transaction a = Query(1, 9.0), b = Query(2, 3.0), c = Query(3, 6.0);
+  q.Insert(&a);
+  q.Insert(&b);
+  q.Insert(&c);
+  std::vector<TxnId> order;
+  q.ForEachQuery([&](const Transaction& t) { order.push_back(t.id()); });
+  EXPECT_EQ(order, (std::vector<TxnId>{2, 3, 1}));
+}
+
+TEST(ReadyQueueTest, HigherPriorityRules) {
+  ReadyQueue q;
+  Transaction q1 = Query(1, 1.0), q2 = Query(2, 2.0);
+  Transaction u1 = Update(3, 50.0);
+  EXPECT_TRUE(q.HigherPriority(u1, q1));
+  EXPECT_FALSE(q.HigherPriority(q1, u1));
+  EXPECT_TRUE(q.HigherPriority(q1, q2));
+  EXPECT_FALSE(q.HigherPriority(q2, q1));
+}
+
+TEST(ReadyQueueTest, FcfsDisciplineOrdersByArrival) {
+  ReadyQueue q(QueueDiscipline::kFcfs);
+  EXPECT_EQ(q.discipline(), QueueDiscipline::kFcfs);
+  // Under FCFS the later-id query never outranks an earlier one, no matter
+  // the deadlines.
+  Transaction a = Query(1, 9.0);
+  Transaction b = Query(2, 0.5);  // much tighter deadline, later arrival
+  q.Insert(&a);
+  q.Insert(&b);
+  EXPECT_EQ(q.PopTop(), &a);
+  EXPECT_EQ(q.PopTop(), &b);
+  EXPECT_TRUE(q.HigherPriority(a, b));
+}
+
+TEST(ReadyQueueTest, FcfsStillRanksUpdatesAboveQueries) {
+  ReadyQueue q(QueueDiscipline::kFcfs);
+  Transaction query = Query(1, 0.1);
+  Transaction update = Update(2, 100.0);
+  q.Insert(&query);
+  q.Insert(&update);
+  EXPECT_EQ(q.Top(), &update);
+}
+
+}  // namespace
+}  // namespace unitdb

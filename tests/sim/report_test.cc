@@ -1,0 +1,73 @@
+#include "unit/sim/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace unitdb {
+namespace {
+
+TEST(FmtTest, FixedDecimals) {
+  EXPECT_EQ(Fmt(0.4375), "0.4375");
+  EXPECT_EQ(Fmt(0.4375, 2), "0.44");
+  EXPECT_EQ(Fmt(-1.5, 1), "-1.5");
+  EXPECT_EQ(Fmt(3.0, 0), "3");
+}
+
+TEST(FmtPercentTest, Formats) {
+  EXPECT_EQ(FmtPercent(0.4375), "43.8%");
+  EXPECT_EQ(FmtPercent(1.0, 0), "100%");
+  EXPECT_EQ(FmtPercent(0.0), "0.0%");
+}
+
+TEST(BarTest, Proportions) {
+  EXPECT_EQ(Bar(0.5, 1.0, 10), "#####.....");
+  EXPECT_EQ(Bar(0.0, 1.0, 4), "....");
+  EXPECT_EQ(Bar(1.0, 1.0, 4), "####");
+  EXPECT_EQ(Bar(2.0, 1.0, 4), "####");   // clamped
+  EXPECT_EQ(Bar(-1.0, 1.0, 4), "....");  // clamped
+}
+
+TEST(BarTest, DegenerateInputs) {
+  EXPECT_EQ(Bar(1.0, 0.0, 10), "");
+  EXPECT_EQ(Bar(1.0, 1.0, 0), "");
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t;
+  t.SetHeader({"name", "v"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "12345"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // First column left-aligned, second right-aligned.
+  EXPECT_NE(out.find("a              1"), std::string::npos);
+  EXPECT_NE(out.find("long-name  12345"), std::string::npos);
+}
+
+TEST(TextTableTest, SeparatorsAndRaggedRows) {
+  TextTable t;
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"1"});  // ragged: missing cells print as blanks
+  t.AddSeparator();
+  t.AddRow({"2", "3", "4"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("2  3  4"), std::string::npos);
+}
+
+TEST(TextTableTest, NoHeader) {
+  TextTable t;
+  t.AddRow({"x", "y"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_EQ(os.str(), "x  y\n");
+}
+
+}  // namespace
+}  // namespace unitdb

@@ -1,0 +1,75 @@
+#ifndef UNIT_TESTS_TESTING_FAKE_POLICY_H_
+#define UNIT_TESTS_TESTING_FAKE_POLICY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "unit/core/policy.h"
+#include "unit/txn/outcome.h"
+
+namespace unitdb::testing_support {
+
+/// Scriptable policy for engine tests: every hook can be overridden with a
+/// std::function; unset hooks fall back to the Policy defaults (admit all,
+/// periodic updates). Also records every resolved query outcome.
+class FakePolicy : public Policy {
+ public:
+  std::string name() const override { return "fake"; }
+
+  bool UsesPeriodicUpdates() const override { return periodic_updates; }
+
+  bool AdmitQuery(Engine& engine, const Transaction& query) override {
+    if (admit) return admit(engine, query);
+    return true;
+  }
+
+  bool BeforeQueryDispatch(Engine& engine, Transaction& query) override {
+    if (before_dispatch) return before_dispatch(engine, query);
+    return true;
+  }
+
+  void OnQueryResolved(Engine& engine, const Transaction& query,
+                       Outcome outcome) override {
+    resolved.push_back({query.id(), outcome});
+    if (on_resolved) on_resolved(engine, query, outcome);
+  }
+
+  void OnUpdateCommit(Engine& engine, const Transaction& update) override {
+    ++update_commits;
+    if (on_update_commit) on_update_commit(engine, update);
+  }
+
+  void OnUpdateSourceArrival(Engine& engine, ItemId item) override {
+    ++source_arrivals;
+    if (on_source_arrival) on_source_arrival(engine, item);
+  }
+
+  void OnControlTick(Engine& engine) override {
+    ++control_ticks;
+    if (on_tick) on_tick(engine);
+  }
+
+  // Scriptable hooks.
+  std::function<bool(Engine&, const Transaction&)> admit;
+  std::function<bool(Engine&, Transaction&)> before_dispatch;
+  std::function<void(Engine&, const Transaction&, Outcome)> on_resolved;
+  std::function<void(Engine&, const Transaction&)> on_update_commit;
+  std::function<void(Engine&, ItemId)> on_source_arrival;
+  std::function<void(Engine&)> on_tick;
+  bool periodic_updates = true;
+
+  // Recorded observations.
+  struct Resolved {
+    TxnId id;
+    Outcome outcome;
+  };
+  std::vector<Resolved> resolved;
+  int update_commits = 0;
+  int source_arrivals = 0;
+  int control_ticks = 0;
+};
+
+}  // namespace unitdb::testing_support
+
+#endif  // UNIT_TESTS_TESTING_FAKE_POLICY_H_

@@ -1,0 +1,96 @@
+#include "unit/workload/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "unit/common/stats.h"
+
+namespace unitdb {
+namespace {
+
+std::vector<int64_t> ZipfishCounts(int n, Rng& rng) {
+  std::vector<int64_t> counts(n);
+  for (int i = 0; i < n; ++i) {
+    counts[i] = static_cast<int64_t>(5000.0 / std::pow(i + 1, 1.1)) +
+                rng.UniformInt(0, 2);
+  }
+  return counts;
+}
+
+std::vector<double> ToDouble(const std::vector<int64_t>& v) {
+  return std::vector<double>(v.begin(), v.end());
+}
+
+TEST(CorrelatedWeightsTest, RejectsDegenerateInput) {
+  Rng rng(1);
+  EXPECT_FALSE(CorrelatedWeights({}, 0.8, rng).ok());
+  EXPECT_FALSE(CorrelatedWeights({5}, 0.8, rng).ok());
+  EXPECT_FALSE(CorrelatedWeights({3, 3, 3}, 0.8, rng).ok());
+  EXPECT_FALSE(CorrelatedWeights({1, 2, 3}, 1.5, rng).ok());
+}
+
+TEST(CorrelatedWeightsTest, WeightsAreNormalizedAndNonNegative) {
+  Rng rng(2);
+  auto counts = ZipfishCounts(256, rng);
+  auto w = CorrelatedWeights(counts, 0.8, rng);
+  ASSERT_TRUE(w.ok());
+  ASSERT_EQ(w->size(), counts.size());
+  double sum = 0.0;
+  for (double x : *w) {
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+class CorrelatedWeightsTargetTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CorrelatedWeightsTargetTest, HitsTargetCorrelation) {
+  const double target = GetParam();
+  Rng rng(3);
+  auto counts = ZipfishCounts(512, rng);
+  auto w = CorrelatedWeights(counts, target, rng);
+  ASSERT_TRUE(w.ok());
+  const double rho = SpearmanCorrelation(*w, ToDouble(counts));
+  EXPECT_NEAR(rho, target, 0.1) << "target " << target;
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, CorrelatedWeightsTargetTest,
+                         ::testing::Values(0.8, 0.5, 0.3, -0.3, -0.5, -0.8));
+
+TEST(CorrelatedWeightsTest, ZeroTargetIsUncorrelated) {
+  Rng rng(4);
+  auto counts = ZipfishCounts(512, rng);
+  auto w = CorrelatedWeights(counts, 0.0, rng);
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR(SpearmanCorrelation(*w, ToDouble(counts)), 0.0, 0.15);
+}
+
+TEST(CorrelatedWeightsTest, NegativeTargetInvertsRankOrder) {
+  Rng rng(5);
+  auto counts = ZipfishCounts(128, rng);
+  auto w = CorrelatedWeights(counts, -0.8, rng);
+  ASSERT_TRUE(w.ok());
+  // The most-referenced item should carry far less weight than the median.
+  double median = 0.0;
+  std::vector<double> sorted = *w;
+  std::nth_element(sorted.begin(), sorted.begin() + 64, sorted.end());
+  median = sorted[64];
+  EXPECT_LT((*w)[0], median);
+}
+
+TEST(CorrelatedWeightsTest, DeterministicGivenRngState) {
+  Rng a(6), b(6);
+  auto counts = ZipfishCounts(64, a);
+  Rng a2(7), b2(7);
+  auto wa = CorrelatedWeights(counts, 0.8, a2);
+  auto wb = CorrelatedWeights(counts, 0.8, b2);
+  ASSERT_TRUE(wa.ok() && wb.ok());
+  EXPECT_EQ(*wa, *wb);
+}
+
+}  // namespace
+}  // namespace unitdb

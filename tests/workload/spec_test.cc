@@ -1,0 +1,93 @@
+#include "unit/workload/spec.h"
+
+#include <gtest/gtest.h>
+
+namespace unitdb {
+namespace {
+
+ItemUpdateSpec Source(ItemId item, double period_s, double exec_ms,
+                      double phase_s) {
+  ItemUpdateSpec s;
+  s.item = item;
+  s.ideal_period = SecondsToSim(period_s);
+  s.update_exec = MillisToSim(exec_ms);
+  s.phase = SecondsToSim(phase_s);
+  return s;
+}
+
+TEST(WorkloadSpecTest, TotalSourceUpdatesCountsInHorizonGenerations) {
+  Workload w;
+  w.num_items = 3;
+  w.duration = SecondsToSim(10.0);
+  w.updates = {Source(0, 2.0, 10.0, 0.0),   // t = 0,2,4,6,8  -> 5
+               Source(1, 3.0, 10.0, 1.0),   // t = 1,4,7      -> 3
+               Source(2, 20.0, 10.0, 12.0)};  // first gen after horizon -> 0
+  EXPECT_EQ(w.TotalSourceUpdates(), 8);
+  auto counts = w.SourceUpdateCounts();
+  EXPECT_EQ(counts[0], 5);
+  EXPECT_EQ(counts[1], 3);
+  EXPECT_EQ(counts[2], 0);
+}
+
+TEST(WorkloadSpecTest, BoundaryGenerationAtDurationExcluded) {
+  Workload w;
+  w.num_items = 1;
+  w.duration = SecondsToSim(10.0);
+  w.updates = {Source(0, 5.0, 10.0, 0.0)};  // t = 0, 5 (10 is outside)
+  EXPECT_EQ(w.TotalSourceUpdates(), 2);
+}
+
+TEST(WorkloadSpecTest, UpdateUtilizationSumsExecOverDuration) {
+  Workload w;
+  w.num_items = 2;
+  w.duration = SecondsToSim(10.0);
+  w.updates = {Source(0, 1.0, 100.0, 0.0),   // 10 gens * 0.1s = 1s
+               Source(1, 2.0, 200.0, 0.0)};  // 5 gens  * 0.2s = 1s
+  EXPECT_NEAR(w.UpdateUtilization(), 0.2, 1e-9);
+}
+
+TEST(WorkloadSpecTest, QueryUtilizationAndAccessCounts) {
+  Workload w;
+  w.num_items = 4;
+  w.duration = SecondsToSim(10.0);
+  QueryRequest q;
+  q.id = 0;
+  q.arrival = 0;
+  q.exec = SecondsToSim(1.0);
+  q.relative_deadline = SecondsToSim(2.0);
+  q.items = {1, 3};
+  w.queries.push_back(q);
+  q.id = 1;
+  q.items = {3};
+  w.queries.push_back(q);
+  EXPECT_NEAR(w.QueryUtilization(), 0.2, 1e-9);
+  auto counts = w.QueryAccessCounts();
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[3], 2);
+}
+
+TEST(WorkloadSpecTest, EmptyWorkloadIsZero) {
+  Workload w;
+  w.num_items = 2;
+  w.duration = SecondsToSim(1.0);
+  EXPECT_EQ(w.TotalSourceUpdates(), 0);
+  EXPECT_DOUBLE_EQ(w.UpdateUtilization(), 0.0);
+  EXPECT_DOUBLE_EQ(w.QueryUtilization(), 0.0);
+}
+
+TEST(WorkloadSpecTest, NoUpdatesSentinelIsIgnored) {
+  Workload w;
+  w.num_items = 1;
+  w.duration = SecondsToSim(10.0);
+  ItemUpdateSpec s;
+  s.item = 0;
+  s.ideal_period = kNoUpdates;
+  s.update_exec = MillisToSim(10.0);
+  w.updates.push_back(s);
+  EXPECT_EQ(w.TotalSourceUpdates(), 0);
+  EXPECT_DOUBLE_EQ(w.UpdateUtilization(), 0.0);
+}
+
+}  // namespace
+}  // namespace unitdb

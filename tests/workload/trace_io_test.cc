@@ -1,0 +1,134 @@
+#include "unit/workload/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "unit/workload/query_trace.h"
+#include "unit/workload/update_trace.h"
+
+namespace unitdb {
+namespace {
+
+Workload SampleWorkload() {
+  QueryTraceParams qp;
+  qp.num_items = 32;
+  qp.duration = SecondsToSim(60.0);
+  qp.seed = 5;
+  auto w = GenerateQueryTrace(qp);
+  EXPECT_TRUE(w.ok());
+  UpdateTraceParams up;
+  up.seed = 6;
+  EXPECT_TRUE(GenerateUpdateTrace(up, *w).ok());
+  return *w;
+}
+
+void ExpectEqualWorkloads(const Workload& a, const Workload& b) {
+  EXPECT_EQ(a.num_items, b.num_items);
+  EXPECT_EQ(a.duration, b.duration);
+  EXPECT_EQ(a.query_trace_name, b.query_trace_name);
+  EXPECT_EQ(a.update_trace_name, b.update_trace_name);
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].id, b.queries[i].id);
+    EXPECT_EQ(a.queries[i].arrival, b.queries[i].arrival);
+    EXPECT_EQ(a.queries[i].exec, b.queries[i].exec);
+    EXPECT_EQ(a.queries[i].relative_deadline, b.queries[i].relative_deadline);
+    EXPECT_DOUBLE_EQ(a.queries[i].freshness_req, b.queries[i].freshness_req);
+    EXPECT_EQ(a.queries[i].items, b.queries[i].items);
+  }
+  ASSERT_EQ(a.updates.size(), b.updates.size());
+  for (size_t i = 0; i < a.updates.size(); ++i) {
+    EXPECT_EQ(a.updates[i].item, b.updates[i].item);
+    EXPECT_EQ(a.updates[i].ideal_period, b.updates[i].ideal_period);
+    EXPECT_EQ(a.updates[i].update_exec, b.updates[i].update_exec);
+    EXPECT_EQ(a.updates[i].phase, b.updates[i].phase);
+  }
+}
+
+TEST(TraceIoTest, CsvRoundTripIsLossless) {
+  Workload w = SampleWorkload();
+  auto back = WorkloadFromCsv(WorkloadToCsv(w));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectEqualWorkloads(w, *back);
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  Workload w = SampleWorkload();
+  const std::string path = ::testing::TempDir() + "/unitdb_trace_test.csv";
+  ASSERT_TRUE(SaveWorkload(w, path).ok());
+  auto back = LoadWorkload(path);
+  ASSERT_TRUE(back.ok());
+  ExpectEqualWorkloads(w, *back);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingMetaRowFails) {
+  auto w = WorkloadFromCsv("Q,0,0,1000,2000,0.9,1\n");
+  EXPECT_FALSE(w.ok());
+}
+
+TEST(TraceIoTest, UnknownTagFails) {
+  auto w = WorkloadFromCsv("M,4,1000000,a,b\nZ,1,2\n");
+  EXPECT_FALSE(w.ok());
+}
+
+TEST(TraceIoTest, MalformedQueryRowFails) {
+  EXPECT_FALSE(WorkloadFromCsv("M,4,1000000,a,b\nQ,0,0,1000\n").ok());
+  EXPECT_FALSE(
+      WorkloadFromCsv("M,4,1000000,a,b\nQ,x,0,1000,2000,0.9,1\n").ok());
+  EXPECT_FALSE(
+      WorkloadFromCsv("M,4,1000000,a,b\nQ,0,0,1000,2000,0.9,\n").ok());
+}
+
+TEST(TraceIoTest, MalformedUpdateRowFails) {
+  EXPECT_FALSE(WorkloadFromCsv("M,4,1000000,a,b\nU,1,2\n").ok());
+  EXPECT_FALSE(WorkloadFromCsv("M,4,1000000,a,b\nU,1,abc,3,4\n").ok());
+}
+
+TEST(TraceIoTest, ParsesMinimalDocument) {
+  auto w = WorkloadFromCsv(
+      "M,4,1000000,cello-like,med-unif\n"
+      "Q,0,5,1000,2000,0.9,1;3\n"
+      "U,2,500000,7000,100\n");
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->num_items, 4);
+  EXPECT_EQ(w->duration, 1000000);
+  ASSERT_EQ(w->queries.size(), 1u);
+  EXPECT_EQ(w->queries[0].items, (std::vector<ItemId>{1, 3}));
+  ASSERT_EQ(w->updates.size(), 1u);
+  EXPECT_EQ(w->updates[0].item, 2);
+  EXPECT_EQ(w->updates[0].phase, 100);
+}
+
+TEST(TraceIoTest, NamesWithCommasSurviveQuoting) {
+  Workload w;
+  w.num_items = 1;
+  w.duration = 1;
+  w.query_trace_name = "weird,name";
+  w.update_trace_name = "with \"quotes\"";
+  auto back = WorkloadFromCsv(WorkloadToCsv(w));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->query_trace_name, "weird,name");
+  EXPECT_EQ(back->update_trace_name, "with \"quotes\"");
+}
+
+TEST(TraceIoTest, WorkloadAccountingHelpers) {
+  Workload w;
+  w.num_items = 2;
+  w.duration = SecondsToSim(10.0);
+  ItemUpdateSpec u;
+  u.item = 0;
+  u.ideal_period = SecondsToSim(1.0);
+  u.update_exec = MillisToSim(100.0);
+  u.phase = 0;
+  w.updates.push_back(u);
+  // Generations at t=0..9: ten updates, each 0.1s -> 10% utilization.
+  EXPECT_EQ(w.TotalSourceUpdates(), 10);
+  EXPECT_NEAR(w.UpdateUtilization(), 0.10, 1e-9);
+  EXPECT_EQ(w.SourceUpdateCounts()[0], 10);
+  EXPECT_EQ(w.SourceUpdateCounts()[1], 0);
+}
+
+}  // namespace
+}  // namespace unitdb
