@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cdu.dir/bench_ablation_cdu.cc.o"
+  "CMakeFiles/bench_ablation_cdu.dir/bench_ablation_cdu.cc.o.d"
+  "bench_ablation_cdu"
+  "bench_ablation_cdu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cdu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

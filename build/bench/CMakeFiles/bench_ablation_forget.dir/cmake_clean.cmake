@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_forget.dir/bench_ablation_forget.cc.o"
+  "CMakeFiles/bench_ablation_forget.dir/bench_ablation_forget.cc.o.d"
+  "bench_ablation_forget"
+  "bench_ablation_forget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_forget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

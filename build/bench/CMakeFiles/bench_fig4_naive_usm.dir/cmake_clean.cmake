@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_naive_usm.dir/bench_fig4_naive_usm.cc.o"
+  "CMakeFiles/bench_fig4_naive_usm.dir/bench_fig4_naive_usm.cc.o.d"
+  "bench_fig4_naive_usm"
+  "bench_fig4_naive_usm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_naive_usm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

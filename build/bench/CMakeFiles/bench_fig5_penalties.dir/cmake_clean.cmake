@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_penalties.dir/bench_fig5_penalties.cc.o"
+  "CMakeFiles/bench_fig5_penalties.dir/bench_fig5_penalties.cc.o.d"
+  "bench_fig5_penalties"
+  "bench_fig5_penalties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_penalties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

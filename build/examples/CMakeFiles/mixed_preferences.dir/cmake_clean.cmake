@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_preferences.dir/mixed_preferences.cpp.o"
+  "CMakeFiles/mixed_preferences.dir/mixed_preferences.cpp.o.d"
+  "mixed_preferences"
+  "mixed_preferences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_preferences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/unit/common/config.cc" "src/CMakeFiles/unitdb.dir/unit/common/config.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/common/config.cc.o.d"
+  "/root/repo/src/unit/common/csv.cc" "src/CMakeFiles/unitdb.dir/unit/common/csv.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/common/csv.cc.o.d"
+  "/root/repo/src/unit/common/logging.cc" "src/CMakeFiles/unitdb.dir/unit/common/logging.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/common/logging.cc.o.d"
+  "/root/repo/src/unit/common/rng.cc" "src/CMakeFiles/unitdb.dir/unit/common/rng.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/common/rng.cc.o.d"
+  "/root/repo/src/unit/common/stats.cc" "src/CMakeFiles/unitdb.dir/unit/common/stats.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/common/stats.cc.o.d"
+  "/root/repo/src/unit/core/admission.cc" "src/CMakeFiles/unitdb.dir/unit/core/admission.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/core/admission.cc.o.d"
+  "/root/repo/src/unit/core/lbc.cc" "src/CMakeFiles/unitdb.dir/unit/core/lbc.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/core/lbc.cc.o.d"
+  "/root/repo/src/unit/core/lottery.cc" "src/CMakeFiles/unitdb.dir/unit/core/lottery.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/core/lottery.cc.o.d"
+  "/root/repo/src/unit/core/policies/hybrid.cc" "src/CMakeFiles/unitdb.dir/unit/core/policies/hybrid.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/core/policies/hybrid.cc.o.d"
+  "/root/repo/src/unit/core/policies/imu.cc" "src/CMakeFiles/unitdb.dir/unit/core/policies/imu.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/core/policies/imu.cc.o.d"
+  "/root/repo/src/unit/core/policies/odu.cc" "src/CMakeFiles/unitdb.dir/unit/core/policies/odu.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/core/policies/odu.cc.o.d"
+  "/root/repo/src/unit/core/policies/qmf.cc" "src/CMakeFiles/unitdb.dir/unit/core/policies/qmf.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/core/policies/qmf.cc.o.d"
+  "/root/repo/src/unit/core/policies/unit_policy.cc" "src/CMakeFiles/unitdb.dir/unit/core/policies/unit_policy.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/core/policies/unit_policy.cc.o.d"
+  "/root/repo/src/unit/core/update_modulation.cc" "src/CMakeFiles/unitdb.dir/unit/core/update_modulation.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/core/update_modulation.cc.o.d"
+  "/root/repo/src/unit/core/usm.cc" "src/CMakeFiles/unitdb.dir/unit/core/usm.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/core/usm.cc.o.d"
+  "/root/repo/src/unit/db/database.cc" "src/CMakeFiles/unitdb.dir/unit/db/database.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/db/database.cc.o.d"
+  "/root/repo/src/unit/db/lock_manager.cc" "src/CMakeFiles/unitdb.dir/unit/db/lock_manager.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/db/lock_manager.cc.o.d"
+  "/root/repo/src/unit/sched/engine.cc" "src/CMakeFiles/unitdb.dir/unit/sched/engine.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/sched/engine.cc.o.d"
+  "/root/repo/src/unit/sched/ready_queue.cc" "src/CMakeFiles/unitdb.dir/unit/sched/ready_queue.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/sched/ready_queue.cc.o.d"
+  "/root/repo/src/unit/sim/experiment.cc" "src/CMakeFiles/unitdb.dir/unit/sim/experiment.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/sim/experiment.cc.o.d"
+  "/root/repo/src/unit/sim/report.cc" "src/CMakeFiles/unitdb.dir/unit/sim/report.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/sim/report.cc.o.d"
+  "/root/repo/src/unit/sim/server.cc" "src/CMakeFiles/unitdb.dir/unit/sim/server.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/sim/server.cc.o.d"
+  "/root/repo/src/unit/txn/transaction.cc" "src/CMakeFiles/unitdb.dir/unit/txn/transaction.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/txn/transaction.cc.o.d"
+  "/root/repo/src/unit/workload/correlation.cc" "src/CMakeFiles/unitdb.dir/unit/workload/correlation.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/workload/correlation.cc.o.d"
+  "/root/repo/src/unit/workload/query_trace.cc" "src/CMakeFiles/unitdb.dir/unit/workload/query_trace.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/workload/query_trace.cc.o.d"
+  "/root/repo/src/unit/workload/trace_io.cc" "src/CMakeFiles/unitdb.dir/unit/workload/trace_io.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/workload/trace_io.cc.o.d"
+  "/root/repo/src/unit/workload/update_trace.cc" "src/CMakeFiles/unitdb.dir/unit/workload/update_trace.cc.o" "gcc" "src/CMakeFiles/unitdb.dir/unit/workload/update_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/admission_test.cc" "tests/CMakeFiles/core_test.dir/core/admission_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/admission_test.cc.o.d"
+  "/root/repo/tests/core/lbc_test.cc" "tests/CMakeFiles/core_test.dir/core/lbc_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/lbc_test.cc.o.d"
+  "/root/repo/tests/core/lottery_test.cc" "tests/CMakeFiles/core_test.dir/core/lottery_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/lottery_test.cc.o.d"
+  "/root/repo/tests/core/multi_preference_test.cc" "tests/CMakeFiles/core_test.dir/core/multi_preference_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/multi_preference_test.cc.o.d"
+  "/root/repo/tests/core/update_modulation_test.cc" "tests/CMakeFiles/core_test.dir/core/update_modulation_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/update_modulation_test.cc.o.d"
+  "/root/repo/tests/core/usm_test.cc" "tests/CMakeFiles/core_test.dir/core/usm_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/usm_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/unitdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched/engine_edge_test.cc" "tests/CMakeFiles/sched_test.dir/sched/engine_edge_test.cc.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/engine_edge_test.cc.o.d"
+  "/root/repo/tests/sched/engine_random_test.cc" "tests/CMakeFiles/sched_test.dir/sched/engine_random_test.cc.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/engine_random_test.cc.o.d"
+  "/root/repo/tests/sched/engine_test.cc" "tests/CMakeFiles/sched_test.dir/sched/engine_test.cc.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/engine_test.cc.o.d"
+  "/root/repo/tests/sched/event_queue_test.cc" "tests/CMakeFiles/sched_test.dir/sched/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/event_queue_test.cc.o.d"
+  "/root/repo/tests/sched/ready_queue_test.cc" "tests/CMakeFiles/sched_test.dir/sched/ready_queue_test.cc.o" "gcc" "tests/CMakeFiles/sched_test.dir/sched/ready_queue_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/unitdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/correlation_test.cc" "tests/CMakeFiles/workload_test.dir/workload/correlation_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/correlation_test.cc.o.d"
+  "/root/repo/tests/workload/query_trace_test.cc" "tests/CMakeFiles/workload_test.dir/workload/query_trace_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/query_trace_test.cc.o.d"
+  "/root/repo/tests/workload/spec_test.cc" "tests/CMakeFiles/workload_test.dir/workload/spec_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/spec_test.cc.o.d"
+  "/root/repo/tests/workload/trace_io_test.cc" "tests/CMakeFiles/workload_test.dir/workload/trace_io_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/trace_io_test.cc.o.d"
+  "/root/repo/tests/workload/update_trace_test.cc" "tests/CMakeFiles/workload_test.dir/workload/update_trace_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/update_trace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/unitdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
