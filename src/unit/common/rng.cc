@@ -7,22 +7,27 @@ namespace unitdb {
 
 namespace {
 
-// SplitMix64, used only to expand the seed into the xoshiro state.
-uint64_t SplitMix64(uint64_t& x) {
-  x += 0x9E3779B97F4A7C15ULL;
-  uint64_t z = x;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
+// Advances a SplitMix64 stream: returns SplitMix64(state), steps the state.
+uint64_t SplitMix64Next(uint64_t& state) {
+  const uint64_t z = SplitMix64(state);
+  state += 0x9E3779B97F4A7C15ULL;
+  return z;
 }
 
 uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t x = seed;
-  for (auto& s : s_) s = SplitMix64(x);
+  for (auto& s : s_) s = SplitMix64Next(x);
   // Avoid the all-zero state (cannot occur with SplitMix64, but be safe).
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }

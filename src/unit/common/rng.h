@@ -6,6 +6,11 @@
 
 namespace unitdb {
 
+/// Stateless SplitMix64 step: mixes `x + golden_ratio` through the finalizer.
+/// Useful for deriving well-decorrelated seeds from structured inputs (e.g.
+/// base seed + cell index); also the expander behind Rng's state setup.
+uint64_t SplitMix64(uint64_t x);
+
 /// Deterministic pseudo-random generator (xoshiro256**) plus the handful of
 /// distributions the workload generators need. We own the implementation so
 /// that traces are bit-reproducible across platforms and standard-library

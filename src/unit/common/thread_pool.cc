@@ -1,0 +1,61 @@
+#include "unit/common/thread_pool.h"
+
+#include <algorithm>
+
+namespace unitdb {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown_ and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();  // packaged_task: exceptions land in the task's future
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this]() { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ && workers_.empty()) return;
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+int ResolveJobs(int jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace unitdb

@@ -1,0 +1,86 @@
+#ifndef UNIT_COMMON_THREAD_POOL_H_
+#define UNIT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace unitdb {
+
+/// Fixed-size thread pool for fanning independent experiment cells across
+/// cores. Deliberately minimal — no work stealing, no priorities: tasks are
+/// drained strictly FIFO from one queue, which keeps scheduling decisions
+/// out of the determinism story (each task must be self-contained and seeded
+/// deterministically; completion *order* may still vary, so callers collect
+/// results by index, not by completion).
+///
+/// Exceptions thrown by a task are captured in the future returned by
+/// `Submit` and rethrown on `.get()`; they never escape a worker thread.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains remaining tasks, then joins the workers (see Shutdown()).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` and returns a future for its result. Thread-safe.
+  /// Throws std::runtime_error if the pool has been shut down.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    // packaged_task is move-only; std::function needs copyable, so wrap it.
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) {
+        throw std::runtime_error("ThreadPool::Submit after Shutdown");
+      }
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Blocks until the queue is empty and no worker is mid-task. New tasks
+  /// may be submitted afterwards; this is a fence, not a shutdown.
+  void WaitIdle();
+
+  /// Finishes every queued task, then stops and joins the workers.
+  /// Idempotent: extra calls (and the destructor) are no-ops.
+  void Shutdown();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;       // signals workers: task ready / shutdown
+  std::condition_variable idle_cv_;  // signals WaitIdle: queue drained
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;  // workers currently running a task
+  bool shutdown_ = false;
+};
+
+/// Worker count for `jobs <= 0` ("use the machine"): hardware concurrency,
+/// or 1 when the runtime cannot tell.
+int ResolveJobs(int jobs);
+
+}  // namespace unitdb
+
+#endif  // UNIT_COMMON_THREAD_POOL_H_

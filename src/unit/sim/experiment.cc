@@ -1,5 +1,11 @@
 #include "unit/sim/experiment.h"
 
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "unit/common/thread_pool.h"
+
 namespace unitdb {
 
 StatusOr<ExperimentResult> RunExperiment(const Workload& workload,
@@ -61,6 +67,38 @@ StatusOr<Workload> MakeStandardWorkload(UpdateVolume volume,
   return workload;
 }
 
+uint64_t ReplicationSeed(uint64_t base_seed, int replication) {
+  return base_seed + 100 * static_cast<uint64_t>(replication);
+}
+
+namespace {
+
+// Folds one replication's headline metrics into the aggregate. Both the
+// sequential and the parallel runner fold in replication order, so their
+// floating-point accumulation sequences are identical.
+void AccumulateReplication(const ExperimentResult& r, ReplicatedResult& agg) {
+  const OutcomeCounts& c = r.metrics.counts;
+  agg.trace = r.trace;
+  agg.usm.Add(r.usm);
+  agg.success_ratio.Add(c.SuccessRatio());
+  agg.rejection_ratio.Add(c.RejectionRatio());
+  agg.dmf_ratio.Add(c.DmfRatio());
+  agg.dsf_ratio.Add(c.DsfRatio());
+}
+
+// One fully self-contained replication: builds the workload from its
+// derived seed, runs the policy. Safe to call from any thread.
+StatusOr<ExperimentResult> RunOneReplication(
+    UpdateVolume volume, UpdateDistribution distribution,
+    const std::string& policy, const UsmWeights& weights, double scale,
+    uint64_t seed, const EngineParams& engine, const PolicyOptions& options) {
+  auto w = MakeStandardWorkload(volume, distribution, scale, seed);
+  if (!w.ok()) return w.status();
+  return RunExperiment(*w, policy, weights, engine, options);
+}
+
+}  // namespace
+
 StatusOr<ReplicatedResult> RunReplicated(
     UpdateVolume volume, UpdateDistribution distribution,
     const std::string& policy, const UsmWeights& weights, int replications,
@@ -73,20 +111,157 @@ StatusOr<ReplicatedResult> RunReplicated(
   agg.policy = policy;
   agg.replications = replications;
   for (int i = 0; i < replications; ++i) {
-    auto w = MakeStandardWorkload(volume, distribution, scale,
-                                  base_seed + 100 * static_cast<uint64_t>(i));
-    if (!w.ok()) return w.status();
-    agg.trace = w->update_trace_name;
-    auto r = RunExperiment(*w, policy, weights, engine, options);
+    auto r = RunOneReplication(volume, distribution, policy, weights, scale,
+                               ReplicationSeed(base_seed, i), engine, options);
     if (!r.ok()) return r.status();
-    const OutcomeCounts& c = r->metrics.counts;
-    agg.usm.Add(r->usm);
-    agg.success_ratio.Add(c.SuccessRatio());
-    agg.rejection_ratio.Add(c.RejectionRatio());
-    agg.dmf_ratio.Add(c.DmfRatio());
-    agg.dsf_ratio.Add(c.DsfRatio());
+    AccumulateReplication(*r, agg);
   }
   return agg;
+}
+
+StatusOr<ReplicatedResult> RunReplicatedParallel(
+    UpdateVolume volume, UpdateDistribution distribution,
+    const std::string& policy, const UsmWeights& weights, int replications,
+    int jobs, double scale, uint64_t base_seed, const EngineParams& engine,
+    const PolicyOptions& options) {
+  if (replications <= 0) {
+    return Status::InvalidArgument("replications must be positive");
+  }
+  ThreadPool pool(std::min(ResolveJobs(jobs), replications));
+  std::vector<std::future<StatusOr<ExperimentResult>>> cells;
+  cells.reserve(static_cast<size_t>(replications));
+  for (int i = 0; i < replications; ++i) {
+    cells.push_back(pool.Submit([=]() {
+      return RunOneReplication(volume, distribution, policy, weights, scale,
+                               ReplicationSeed(base_seed, i), engine, options);
+    }));
+  }
+  // Barrier + deterministic fold: futures are consumed in submission order,
+  // so aggregation never sees completion-order effects.
+  ReplicatedResult agg;
+  agg.policy = policy;
+  agg.replications = replications;
+  Status first_error = Status::Ok();
+  for (auto& cell : cells) {
+    auto r = cell.get();
+    if (!r.ok()) {
+      if (first_error.ok()) first_error = r.status();
+      continue;  // keep draining so every future is consumed
+    }
+    if (first_error.ok()) AccumulateReplication(*r, agg);
+  }
+  if (!first_error.ok()) return first_error;
+  return agg;
+}
+
+StatusOr<std::vector<GridCellResult>> RunGrid(const GridSpec& spec,
+                                              int jobs) {
+  if (spec.replications <= 0) {
+    return Status::InvalidArgument("replications must be positive");
+  }
+  if (spec.volumes.empty() || spec.distributions.empty() ||
+      spec.policies.empty()) {
+    return Status::InvalidArgument("grid has an empty axis");
+  }
+  const std::vector<NamedWeights> weightings =
+      spec.weightings.empty()
+          ? std::vector<NamedWeights>{{"naive", UsmWeights{}}}
+          : spec.weightings;
+
+  const size_t num_traces = spec.distributions.size() * spec.volumes.size();
+  const size_t reps = static_cast<size_t>(spec.replications);
+  ThreadPool pool(ResolveJobs(jobs));
+
+  // Phase 1 — generate each (trace, replication) workload once, in
+  // parallel. Every (weights, policy) cell on that trace then shares the
+  // workload read-only, exactly like the sequential benches do.
+  std::vector<std::future<StatusOr<Workload>>> gen;
+  gen.reserve(num_traces * reps);
+  for (UpdateDistribution dist : spec.distributions) {
+    for (UpdateVolume volume : spec.volumes) {
+      for (size_t i = 0; i < reps; ++i) {
+        const uint64_t seed =
+            ReplicationSeed(spec.base_seed, static_cast<int>(i));
+        const double scale = spec.scale;
+        gen.push_back(pool.Submit([volume, dist, scale, seed]() {
+          return MakeStandardWorkload(volume, dist, scale, seed);
+        }));
+      }
+    }
+  }
+  std::vector<Workload> workloads;  // trace-major, replication-minor
+  workloads.reserve(gen.size());
+  Status gen_error = Status::Ok();
+  for (auto& g : gen) {
+    auto w = g.get();
+    if (!w.ok()) {
+      if (gen_error.ok()) gen_error = w.status();
+      continue;
+    }
+    if (gen_error.ok()) workloads.push_back(std::move(*w));
+  }
+  if (!gen_error.ok()) return gen_error;
+
+  // Phase 2 — one task per (trace, weighting, policy) cell; a cell folds
+  // its replications in order, so it is bit-identical to RunReplicated on
+  // the same axes. Tasks are independent, so completion order is free.
+  struct CellAxes {
+    UpdateVolume volume;
+    UpdateDistribution distribution;
+    const NamedWeights* weighting;
+    const std::string* policy;
+    size_t trace_index;
+  };
+  std::vector<CellAxes> axes;
+  axes.reserve(num_traces * weightings.size() * spec.policies.size());
+  size_t trace_index = 0;
+  for (UpdateDistribution dist : spec.distributions) {
+    for (UpdateVolume volume : spec.volumes) {
+      for (const NamedWeights& nw : weightings) {
+        for (const std::string& policy : spec.policies) {
+          axes.push_back({volume, dist, &nw, &policy, trace_index});
+        }
+      }
+      ++trace_index;
+    }
+  }
+  std::vector<std::future<StatusOr<ReplicatedResult>>> runs;
+  runs.reserve(axes.size());
+  for (const CellAxes& cell : axes) {
+    runs.push_back(pool.Submit([&spec, &workloads, cell, reps]() {
+      ReplicatedResult agg;
+      agg.policy = *cell.policy;
+      agg.replications = static_cast<int>(reps);
+      for (size_t i = 0; i < reps; ++i) {
+        const Workload& w = workloads[cell.trace_index * reps + i];
+        auto r = RunExperiment(w, *cell.policy, cell.weighting->weights,
+                               spec.engine, spec.options);
+        if (!r.ok()) return StatusOr<ReplicatedResult>(r.status());
+        AccumulateReplication(*r, agg);
+      }
+      return StatusOr<ReplicatedResult>(std::move(agg));
+    }));
+  }
+  std::vector<GridCellResult> out;
+  out.reserve(axes.size());
+  Status run_error = Status::Ok();
+  for (size_t i = 0; i < runs.size(); ++i) {
+    auto r = runs[i].get();
+    if (!r.ok()) {
+      if (run_error.ok()) run_error = r.status();
+      continue;
+    }
+    if (!run_error.ok()) continue;
+    GridCellResult cell;
+    cell.volume = axes[i].volume;
+    cell.distribution = axes[i].distribution;
+    cell.weights_name = axes[i].weighting->name;
+    cell.weights = axes[i].weighting->weights;
+    cell.result = std::move(*r);
+    out.push_back(std::move(cell));
+  }
+  if (!run_error.ok()) return run_error;
+  return out;
 }
 
 // The OCR of the paper's Table 2 lost the numeric weight cells; these values

@@ -59,20 +59,83 @@ struct ReplicatedResult {
   RunningStat dsf_ratio;
 };
 
-/// Runs `replications` standard workloads (seeds base_seed, base_seed+100,
-/// ...) through `policy` and aggregates the headline metrics.
+/// Workload seed of replication `i` of a cell with base seed `base_seed`.
+/// Shared by the sequential and parallel runners so that both construct
+/// bit-identical workloads; kept as the historical affine derivation
+/// (base + 100*i) so published trace numbers stay stable. (SplitMix64 in
+/// common/rng.h is the tool of choice when a future derivation needs
+/// decorrelated streams rather than continuity.)
+uint64_t ReplicationSeed(uint64_t base_seed, int replication);
+
+/// Runs `replications` standard workloads (seeds ReplicationSeed(base, i))
+/// through `policy` and aggregates the headline metrics.
 StatusOr<ReplicatedResult> RunReplicated(
     UpdateVolume volume, UpdateDistribution distribution,
     const std::string& policy, const UsmWeights& weights, int replications,
     double scale = 1.0, uint64_t base_seed = 42,
     const EngineParams& engine = {}, const PolicyOptions& options = {});
 
-/// The six weight settings of the paper's Table 2 (rows named
-/// "high-Cr"/"high-Cfm"/"high-Cfs", first with penalties < 1, then > 1).
+/// Parallel twin of RunReplicated: fans the replications across a
+/// fixed-size thread pool of `jobs` workers (jobs <= 0: one per hardware
+/// thread). Each replication builds its own Workload/Engine from its
+/// ReplicationSeed, and results are aggregated in replication order after
+/// all cells finish — so the outcome is bit-identical to RunReplicated
+/// regardless of worker count or completion order.
+StatusOr<ReplicatedResult> RunReplicatedParallel(
+    UpdateVolume volume, UpdateDistribution distribution,
+    const std::string& policy, const UsmWeights& weights, int replications,
+    int jobs, double scale = 1.0, uint64_t base_seed = 42,
+    const EngineParams& engine = {}, const PolicyOptions& options = {});
+
+/// A named UsmWeights setting, e.g. a row of the paper's Table 2.
 struct NamedWeights {
   std::string name;
   UsmWeights weights;
 };
+
+/// A (trace x weights x policy) sweep: the cross product of every listed
+/// volume, distribution, weight setting, and policy, each cell replicated
+/// `replications` times. The paper's Table 1 grid is the default trace set.
+struct GridSpec {
+  std::vector<UpdateVolume> volumes = {UpdateVolume::kLow,
+                                       UpdateVolume::kMedium,
+                                       UpdateVolume::kHigh};
+  std::vector<UpdateDistribution> distributions = {
+      UpdateDistribution::kUniform, UpdateDistribution::kPositive,
+      UpdateDistribution::kNegative};
+  std::vector<std::string> policies = {"unit"};
+  /// Weight settings swept per cell; name them for reporting (Fig. 5 uses
+  /// Table2Weights*). Empty means one cell with the naive weighting.
+  std::vector<NamedWeights> weightings;
+  int replications = 1;
+  double scale = 1.0;
+  uint64_t base_seed = 42;
+  EngineParams engine;
+  PolicyOptions options;
+};
+
+/// One cell of a RunGrid sweep; `result.trace` / `result.policy` identify
+/// the cell together with the weight setting it ran under.
+struct GridCellResult {
+  UpdateVolume volume = UpdateVolume::kLow;
+  UpdateDistribution distribution = UpdateDistribution::kUniform;
+  std::string weights_name;
+  UsmWeights weights;
+  ReplicatedResult result;
+};
+
+/// Runs the whole grid on a `jobs`-worker pool (jobs <= 0: one per hardware
+/// thread). Workloads are generated once per (trace, replication) and shared
+/// read-only by every (weights, policy) cell on that trace. Cells are
+/// returned in deterministic order — distribution-major, then volume,
+/// weighting, policy (the paper's presentation order) — and each cell is
+/// bit-identical to RunReplicated(volume, distribution, policy, ...) with
+/// the same base seed, independent of `jobs`.
+StatusOr<std::vector<GridCellResult>> RunGrid(const GridSpec& spec,
+                                              int jobs = 1);
+
+/// The six weight settings of the paper's Table 2 (rows named
+/// "high-Cr"/"high-Cfm"/"high-Cfs", first with penalties < 1, then > 1).
 std::vector<NamedWeights> Table2WeightsBelowOne();
 std::vector<NamedWeights> Table2WeightsAboveOne();
 

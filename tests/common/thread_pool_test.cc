@@ -1,0 +1,122 @@
+#include "unit/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace unitdb {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsTaskResult) {
+  ThreadPool pool(2);
+  auto sum = pool.Submit([]() { return 19 + 23; });
+  auto text = pool.Submit([]() { return std::string("done"); });
+  EXPECT_EQ(sum.get(), 42);
+  EXPECT_EQ(text.get(), "done");
+}
+
+TEST(ThreadPoolTest, ThreadCountIsClampedToAtLeastOne) {
+  EXPECT_EQ(ThreadPool(0).num_threads(), 1);
+  EXPECT_EQ(ThreadPool(-3).num_threads(), 1);
+  EXPECT_EQ(ThreadPool(4).num_threads(), 4);
+}
+
+TEST(ThreadPoolTest, SingleWorkerDrainsFifo) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> done;
+  for (int i = 0; i < 100; ++i) {
+    done.push_back(pool.Submit([i, &order]() { order.push_back(i); }));
+  }
+  for (auto& f : done) f.get();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto boom = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(boom.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, WorkerSurvivesThrowingTask) {
+  ThreadPool pool(1);
+  auto boom = pool.Submit([]() { throw std::runtime_error("first"); });
+  auto after = pool.Submit([]() { return 7; });
+  EXPECT_THROW(boom.get(), std::runtime_error);
+  EXPECT_EQ(after.get(), 7);
+}
+
+TEST(ThreadPoolTest, WaitIdleIsABarrierNotAShutdown) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&ran]() { ++ran; });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 50);
+  // Still usable afterwards.
+  auto again = pool.Submit([]() { return 1; });
+  EXPECT_EQ(again.get(), 1);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    pool.Submit([]() {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    });
+    for (int i = 0; i < 25; ++i) {
+      pool.Submit([&ran]() { ++ran; });
+    }
+    pool.Shutdown();  // must finish everything already queued
+  }
+  EXPECT_EQ(ran.load(), 25);
+}
+
+TEST(ThreadPoolTest, DoubleShutdownAndDestructorAreSafe) {
+  ThreadPool pool(2);
+  pool.Submit([]() {}).get();
+  pool.Shutdown();
+  pool.Shutdown();  // idempotent; destructor adds a third call
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  EXPECT_THROW(pool.Submit([]() {}), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, StressManyProducersManyTasks) {
+  constexpr int kProducers = 4;
+  constexpr int kTasksPerProducer = 2500;
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &ran]() {
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        pool.Submit([&ran]() { ++ran; });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), kProducers * kTasksPerProducer);
+}
+
+TEST(ThreadPoolTest, ResolveJobsPicksHardwareForNonPositive) {
+  EXPECT_GE(ResolveJobs(0), 1);
+  EXPECT_GE(ResolveJobs(-1), 1);
+  EXPECT_EQ(ResolveJobs(6), 6);
+}
+
+}  // namespace
+}  // namespace unitdb

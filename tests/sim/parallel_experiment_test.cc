@@ -1,0 +1,163 @@
+// Golden determinism suite for the parallel experiment runner: whatever the
+// worker count and completion order, the parallel entry points must produce
+// results bit-identical to the sequential RunReplicated path (same derived
+// seeds, same fold order => the same doubles to the last bit).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "unit/sim/experiment.h"
+
+namespace unitdb {
+namespace {
+
+// Exact (bitwise, via ==) comparison of every aggregated statistic.
+void ExpectStatIdentical(const RunningStat& a, const RunningStat& b,
+                         const std::string& what) {
+  EXPECT_EQ(a.count(), b.count()) << what;
+  EXPECT_EQ(a.mean(), b.mean()) << what;
+  EXPECT_EQ(a.variance(), b.variance()) << what;
+  EXPECT_EQ(a.sum(), b.sum()) << what;
+  EXPECT_EQ(a.min(), b.min()) << what;
+  EXPECT_EQ(a.max(), b.max()) << what;
+}
+
+void ExpectReplicatedIdentical(const ReplicatedResult& a,
+                               const ReplicatedResult& b) {
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.replications, b.replications);
+  ExpectStatIdentical(a.usm, b.usm, a.trace + "/" + a.policy + " usm");
+  ExpectStatIdentical(a.success_ratio, b.success_ratio,
+                      a.trace + "/" + a.policy + " success_ratio");
+  ExpectStatIdentical(a.rejection_ratio, b.rejection_ratio,
+                      a.trace + "/" + a.policy + " rejection_ratio");
+  ExpectStatIdentical(a.dmf_ratio, b.dmf_ratio,
+                      a.trace + "/" + a.policy + " dmf_ratio");
+  ExpectStatIdentical(a.dsf_ratio, b.dsf_ratio,
+                      a.trace + "/" + a.policy + " dsf_ratio");
+}
+
+constexpr double kScale = 0.05;
+
+TEST(ReplicationSeedTest, MatchesTheHistoricalSequentialDerivation) {
+  EXPECT_EQ(ReplicationSeed(42, 0), 42u);
+  EXPECT_EQ(ReplicationSeed(42, 3), 342u);
+  EXPECT_EQ(ReplicationSeed(7, 1), 107u);
+}
+
+TEST(RunReplicatedParallelTest, BitIdenticalToSequentialAcrossWorkerCounts) {
+  for (const char* policy : {"unit", "qmf"}) {
+    auto seq = RunReplicated(UpdateVolume::kMedium,
+                             UpdateDistribution::kUniform, policy,
+                             UsmWeights{1.0, 0.5, 1.0, 0.5}, 4, kScale);
+    ASSERT_TRUE(seq.ok());
+    for (int jobs : {1, 2, 8}) {
+      auto par = RunReplicatedParallel(
+          UpdateVolume::kMedium, UpdateDistribution::kUniform, policy,
+          UsmWeights{1.0, 0.5, 1.0, 0.5}, 4, jobs, kScale);
+      ASSERT_TRUE(par.ok()) << "jobs=" << jobs;
+      ExpectReplicatedIdentical(*seq, *par);
+    }
+  }
+}
+
+TEST(RunReplicatedParallelTest, CellCountNotDivisibleByWorkers) {
+  auto seq = RunReplicated(UpdateVolume::kLow, UpdateDistribution::kNegative,
+                           "imu", UsmWeights{}, 5, kScale);
+  ASSERT_TRUE(seq.ok());
+  auto par = RunReplicatedParallel(UpdateVolume::kLow,
+                                   UpdateDistribution::kNegative, "imu",
+                                   UsmWeights{}, 5, /*jobs=*/2, kScale);
+  ASSERT_TRUE(par.ok());
+  ExpectReplicatedIdentical(*seq, *par);
+}
+
+TEST(RunReplicatedParallelTest, SingleCellEdgeCase) {
+  auto seq = RunReplicated(UpdateVolume::kHigh, UpdateDistribution::kPositive,
+                           "odu", UsmWeights{}, 1, kScale);
+  ASSERT_TRUE(seq.ok());
+  for (int jobs : {1, 8}) {
+    auto par = RunReplicatedParallel(UpdateVolume::kHigh,
+                                     UpdateDistribution::kPositive, "odu",
+                                     UsmWeights{}, 1, jobs, kScale);
+    ASSERT_TRUE(par.ok()) << "jobs=" << jobs;
+    ExpectReplicatedIdentical(*seq, *par);
+  }
+}
+
+TEST(RunReplicatedParallelTest, RejectsBadInputsLikeSequential) {
+  EXPECT_FALSE(RunReplicatedParallel(UpdateVolume::kLow,
+                                     UpdateDistribution::kUniform, "imu",
+                                     UsmWeights{}, 0, 2)
+                   .ok());
+  EXPECT_FALSE(RunReplicatedParallel(UpdateVolume::kLow,
+                                     UpdateDistribution::kUniform,
+                                     "no-such-policy", UsmWeights{}, 3, 2,
+                                     kScale)
+                   .ok());
+}
+
+TEST(RunGridTest, Table1GridBitIdenticalToSequentialPerCell) {
+  GridSpec spec;  // default axes: the full Table 1 trace grid
+  spec.policies = {"unit"};
+  spec.replications = 2;
+  spec.scale = kScale;
+  auto grid = RunGrid(spec, /*jobs=*/8);
+  ASSERT_TRUE(grid.ok());
+  ASSERT_EQ(grid->size(), 9u);
+  size_t cell = 0;
+  for (UpdateDistribution dist : spec.distributions) {
+    for (UpdateVolume volume : spec.volumes) {
+      auto seq = RunReplicated(volume, dist, "unit", UsmWeights{}, 2, kScale);
+      ASSERT_TRUE(seq.ok());
+      EXPECT_EQ((*grid)[cell].volume, volume);
+      EXPECT_EQ((*grid)[cell].distribution, dist);
+      ExpectReplicatedIdentical(*seq, (*grid)[cell].result);
+      ++cell;
+    }
+  }
+}
+
+TEST(RunGridTest, WorkerCountDoesNotChangeAnyCell) {
+  GridSpec spec;
+  spec.volumes = {UpdateVolume::kLow, UpdateVolume::kMedium};
+  spec.distributions = {UpdateDistribution::kUniform,
+                        UpdateDistribution::kNegative};
+  spec.policies = {"unit", "imu"};
+  spec.weightings = {{"naive", UsmWeights{}},
+                     {"high-Cr", UsmWeights{1.0, 0.8, 0.2, 0.2}}};
+  spec.replications = 3;  // 4 traces x 2 weightings x 2 policies, 3 reps
+  spec.scale = kScale;
+  auto one = RunGrid(spec, 1);
+  auto eight = RunGrid(spec, 8);
+  ASSERT_TRUE(one.ok() && eight.ok());
+  ASSERT_EQ(one->size(), 16u);
+  ASSERT_EQ(one->size(), eight->size());
+  for (size_t i = 0; i < one->size(); ++i) {
+    EXPECT_EQ((*one)[i].volume, (*eight)[i].volume);
+    EXPECT_EQ((*one)[i].distribution, (*eight)[i].distribution);
+    EXPECT_EQ((*one)[i].weights_name, (*eight)[i].weights_name);
+    ExpectReplicatedIdentical((*one)[i].result, (*eight)[i].result);
+  }
+}
+
+TEST(RunGridTest, RejectsEmptyAxesAndUnknownPolicies) {
+  GridSpec empty;
+  empty.policies = {};
+  EXPECT_FALSE(RunGrid(empty, 2).ok());
+
+  GridSpec bad;
+  bad.policies = {"no-such-policy"};
+  bad.scale = kScale;
+  EXPECT_FALSE(RunGrid(bad, 2).ok());
+
+  GridSpec zero_reps;
+  zero_reps.replications = 0;
+  EXPECT_FALSE(RunGrid(zero_reps, 2).ok());
+}
+
+}  // namespace
+}  // namespace unitdb
