@@ -3,14 +3,21 @@
 // update traces — panels (a) uniform, (b) positive, (c) negative, each with
 // low/med/high volume groups — including ASCII bar renderings.
 //
-// Usage: bench_fig4_naive_usm [scale=1.0] [seed=42] [seeds=1]
+// All cells dispatch through RunGrid, which fans the (trace x policy) grid
+// across a thread pool; cell order (and hence every table) is deterministic
+// for any jobs count.
+//
+// Usage: bench_fig4_naive_usm [scale=1.0] [seed=42] [seeds=1] [jobs=0]
 //   seeds > 1 appends a multi-seed table (mean +/- stddev over independent
 //   workload replications) for error bars.
+//   jobs=0: one worker per hardware thread.
 
+#include <chrono>
 #include <iostream>
 #include <vector>
 
 #include "unit/common/config.h"
+#include "unit/common/thread_pool.h"
 #include "unit/sim/experiment.h"
 #include "unit/sim/report.h"
 
@@ -25,83 +32,96 @@ int Main(int argc, char** argv) {
   }
   const double scale = config->GetDouble("scale", 1.0);
   const uint64_t seed = config->GetInt("seed", 42);
+  const int jobs = ResolveJobs(static_cast<int>(config->GetInt("jobs", 0)));
   const std::vector<std::string> policies = {"imu", "odu", "qmf", "unit"};
-  const UsmWeights naive;  // all penalties zero: USM == success ratio
 
   std::cout << "=== Figure 4: naive USM (= success ratio) ===\n";
 
-  const UpdateDistribution dists[] = {UpdateDistribution::kUniform,
-                                      UpdateDistribution::kPositive,
-                                      UpdateDistribution::kNegative};
   const char* panel[] = {"(a) uniform", "(b) positive correlation",
                          "(c) negative correlation"};
-  const UpdateVolume volumes[] = {UpdateVolume::kLow, UpdateVolume::kMedium,
-                                  UpdateVolume::kHigh};
 
-  for (int d = 0; d < 3; ++d) {
+  // The full 9-trace x 4-policy grid in one parallel sweep. Empty
+  // `weightings` means the naive weighting (all penalties zero, USM ==
+  // success ratio); cells come back distribution-major, volume, policy —
+  // the panel order below.
+  GridSpec spec;
+  spec.policies = policies;
+  spec.scale = scale;
+  spec.base_seed = seed;
+  const auto grid_t0 = std::chrono::steady_clock::now();
+  auto grid = RunGrid(spec, jobs);
+  if (!grid.ok()) {
+    std::cerr << grid.status().ToString() << "\n";
+    return 1;
+  }
+  double grid_wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - grid_t0)
+          .count();
+
+  for (size_t d = 0; d < spec.distributions.size(); ++d) {
     std::cout << "\n--- Fig 4" << panel[d] << " ---\n";
     TextTable table;
     table.SetHeader({"trace", "imu", "odu", "qmf", "unit", "winner"});
-    for (UpdateVolume volume : volumes) {
-      auto w = MakeStandardWorkload(volume, dists[d], scale, seed);
-      if (!w.ok()) {
-        std::cerr << w.status().ToString() << "\n";
-        return 1;
-      }
-      auto results = RunPolicies(*w, policies, naive);
-      if (!results.ok()) {
-        std::cerr << results.status().ToString() << "\n";
-        return 1;
-      }
-      std::vector<std::string> row = {w->update_trace_name};
+    for (size_t v = 0; v < spec.volumes.size(); ++v) {
+      const GridCellResult* cells =
+          grid->data() + (d * spec.volumes.size() + v) * policies.size();
+      std::vector<std::string> row = {cells[0].result.trace};
       double best = -1e9;
       std::string winner;
-      for (const auto& r : *results) {
-        row.push_back(Fmt(r.usm, 3));
-        if (r.usm > best) {
-          best = r.usm;
-          winner = r.policy;
+      for (size_t p = 0; p < policies.size(); ++p) {
+        const double usm = cells[p].result.usm.mean();
+        row.push_back(Fmt(usm, 3));
+        if (usm > best) {
+          best = usm;
+          winner = cells[p].result.policy;
         }
       }
       row.push_back(winner);
       table.AddRow(std::move(row));
 
       // ASCII bars mirroring the paper's grouped bar chart.
-      for (const auto& r : *results) {
-        std::cout << "  " << w->update_trace_name << " " << r.policy << " "
-                  << Bar(r.usm, 1.0) << " " << Fmt(r.usm, 3) << "\n";
+      for (size_t p = 0; p < policies.size(); ++p) {
+        const double usm = cells[p].result.usm.mean();
+        std::cout << "  " << cells[p].result.trace << " "
+                  << cells[p].result.policy << " " << Bar(usm, 1.0) << " "
+                  << Fmt(usm, 3) << "\n";
       }
     }
     std::cout << "\n";
     table.Print(std::cout);
   }
-  // Optional multi-seed replication for error bars.
+  // Optional multi-seed replication for error bars: the same grid with
+  // `seeds` replications per cell, again fanned across the pool.
   const int seeds = static_cast<int>(config->GetInt("seeds", 1));
   if (seeds > 1) {
     std::cout << "\n--- multi-seed (" << seeds
               << " replications, mean +/- stddev) ---\n";
+    GridSpec rep_spec = spec;
+    rep_spec.replications = seeds;
+    const auto rep_t0 = std::chrono::steady_clock::now();
+    auto rep_grid = RunGrid(rep_spec, jobs);
+    if (!rep_grid.ok()) {
+      std::cerr << rep_grid.status().ToString() << "\n";
+      return 1;
+    }
+    grid_wall_s += std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - rep_t0)
+                       .count();
     TextTable reps;
     reps.SetHeader({"trace", "imu", "odu", "qmf", "unit"});
-    for (UpdateDistribution dist : dists) {
-      for (UpdateVolume volume : volumes) {
-        std::vector<std::string> row;
-        for (const auto& policy : policies) {
-          auto r = RunReplicated(volume, dist, policy, naive, seeds, scale,
-                                 seed);
-          if (!r.ok()) {
-            std::cerr << r.status().ToString() << "\n";
-            return 1;
-          }
-          if (row.empty()) row.push_back(r->trace);
-          row.push_back(Fmt(r->usm.mean(), 3) + "+/-" +
-                        Fmt(r->usm.stddev(), 3));
-        }
-        reps.AddRow(std::move(row));
+    for (size_t cell = 0; cell < rep_grid->size(); cell += policies.size()) {
+      std::vector<std::string> row = {(*rep_grid)[cell].result.trace};
+      for (size_t p = 0; p < policies.size(); ++p) {
+        const ReplicatedResult& r = (*rep_grid)[cell + p].result;
+        row.push_back(Fmt(r.usm.mean(), 3) + "+/-" + Fmt(r.usm.stddev(), 3));
       }
+      reps.AddRow(std::move(row));
     }
     reps.Print(std::cout);
   }
 
+  std::cout << "grid wall-clock: " << Fmt(grid_wall_s, 3) << " s (jobs="
+            << jobs << ")\n";
   std::cout << "\npaper shape: UNIT leads or ties in every panel; IMU "
                "collapses at high volume;\nQMF trails ODU at uniform; IMU ~ "
                "ODU under positive correlation; ODU ~ UNIT\nunder negative "

@@ -6,11 +6,18 @@
 //   6(b) UNIT under the three Fig 5(a) weight settings — the mix shifts to
 //        shrink whichever failure carries the highest penalty
 //
-// Usage: bench_fig6_ratio_decomposition [scale=1.0] [seed=42]
+// Both panels dispatch through RunGrid, which fans the cells across a
+// thread pool; cell order (and hence the tables) is deterministic for any
+// jobs count.
+//
+// Usage: bench_fig6_ratio_decomposition [scale=1.0] [seed=42] [jobs=0]
+//        (jobs=0: one worker per hardware thread)
 
+#include <chrono>
 #include <iostream>
 
 #include "unit/common/config.h"
+#include "unit/common/thread_pool.h"
 #include "unit/sim/experiment.h"
 #include "unit/sim/report.h"
 
@@ -18,17 +25,18 @@ namespace unitdb {
 namespace {
 
 void AddDecomposition(TextTable& table, const std::string& label,
-                      const OutcomeCounts& c) {
-  table.AddRow({label, FmtPercent(c.SuccessRatio()),
-                FmtPercent(c.RejectionRatio()), FmtPercent(c.DmfRatio()),
-                FmtPercent(c.DsfRatio())});
+                      const ReplicatedResult& r) {
+  table.AddRow({label, FmtPercent(r.success_ratio.mean()),
+                FmtPercent(r.rejection_ratio.mean()),
+                FmtPercent(r.dmf_ratio.mean()),
+                FmtPercent(r.dsf_ratio.mean())});
 }
 
-void PrintBars(const std::string& label, const OutcomeCounts& c) {
-  std::cout << "  " << label << "  S " << Bar(c.SuccessRatio(), 1.0, 30)
-            << "  R " << Bar(c.RejectionRatio(), 1.0, 10) << "  M "
-            << Bar(c.DmfRatio(), 1.0, 10) << "  F "
-            << Bar(c.DsfRatio(), 1.0, 10) << "\n";
+void PrintBars(const std::string& label, const ReplicatedResult& r) {
+  std::cout << "  " << label << "  S " << Bar(r.success_ratio.mean(), 1.0, 30)
+            << "  R " << Bar(r.rejection_ratio.mean(), 1.0, 10) << "  M "
+            << Bar(r.dmf_ratio.mean(), 1.0, 10) << "  F "
+            << Bar(r.dsf_ratio.mean(), 1.0, 10) << "\n";
 }
 
 int Main(int argc, char** argv) {
@@ -39,46 +47,59 @@ int Main(int argc, char** argv) {
   }
   const double scale = config->GetDouble("scale", 1.0);
   const uint64_t seed = config->GetInt("seed", 42);
+  const int jobs = ResolveJobs(static_cast<int>(config->GetInt("jobs", 0)));
 
-  auto w = MakeStandardWorkload(UpdateVolume::kMedium,
-                                UpdateDistribution::kUniform, scale, seed);
-  if (!w.ok()) {
-    std::cerr << w.status().ToString() << "\n";
-    return 1;
-  }
+  // Both panels run on the med-unif trace.
+  GridSpec spec;
+  spec.volumes = {UpdateVolume::kMedium};
+  spec.distributions = {UpdateDistribution::kUniform};
+  spec.scale = scale;
+  spec.base_seed = seed;
 
   std::cout << "=== Figure 6: outcome-ratio decomposition (med-unif) ===\n";
 
   std::cout << "\n--- Fig 6(a): IMU / ODU / QMF (weight-insensitive) ---\n";
+  GridSpec spec_a = spec;
+  spec_a.policies = {"imu", "odu", "qmf"};  // empty weightings: naive USM
+  const auto t0 = std::chrono::steady_clock::now();
+  auto grid_a = RunGrid(spec_a, jobs);
+  if (!grid_a.ok()) {
+    std::cerr << grid_a.status().ToString() << "\n";
+    return 1;
+  }
   TextTable a;
   a.SetHeader({"policy", "success", "rejection", "DMF", "DSF"});
-  for (const char* policy : {"imu", "odu", "qmf"}) {
-    auto r = RunExperiment(*w, policy, UsmWeights{});
-    if (!r.ok()) {
-      std::cerr << r.status().ToString() << "\n";
-      return 1;
-    }
-    AddDecomposition(a, policy, r->metrics.counts);
-    PrintBars(policy, r->metrics.counts);
+  for (const GridCellResult& cell : *grid_a) {
+    AddDecomposition(a, cell.result.policy, cell.result);
+    PrintBars(cell.result.policy, cell.result);
   }
   a.Print(std::cout);
 
   std::cout << "\n--- Fig 6(b): UNIT under the Fig 5(a) weightings ---\n";
+  GridSpec spec_b = spec;
+  spec_b.policies = {"unit"};
+  spec_b.weightings = Table2WeightsBelowOne();
+  auto grid_b = RunGrid(spec_b, jobs);
+  if (!grid_b.ok()) {
+    std::cerr << grid_b.status().ToString() << "\n";
+    return 1;
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   TextTable b;
   b.SetHeader({"setting", "success", "rejection", "DMF", "DSF", "USM"});
-  for (const auto& nw : Table2WeightsBelowOne()) {
-    auto r = RunExperiment(*w, "unit", nw.weights);
-    if (!r.ok()) {
-      std::cerr << r.status().ToString() << "\n";
-      return 1;
-    }
-    const OutcomeCounts& c = r->metrics.counts;
-    b.AddRow({nw.name, FmtPercent(c.SuccessRatio()),
-              FmtPercent(c.RejectionRatio()), FmtPercent(c.DmfRatio()),
-              FmtPercent(c.DsfRatio()), Fmt(r->usm, 3)});
-    PrintBars("unit/" + nw.name, c);
+  for (const GridCellResult& cell : *grid_b) {
+    const ReplicatedResult& r = cell.result;
+    b.AddRow({cell.weights_name, FmtPercent(r.success_ratio.mean()),
+              FmtPercent(r.rejection_ratio.mean()),
+              FmtPercent(r.dmf_ratio.mean()), FmtPercent(r.dsf_ratio.mean()),
+              Fmt(r.usm.mean(), 3)});
+    PrintBars("unit/" + cell.weights_name, r);
   }
   b.Print(std::cout);
+  std::cout << "grid wall-clock: " << Fmt(wall_s, 3) << " s (jobs=" << jobs
+            << ")\n";
 
   std::cout << "\npaper shape: (1) UNIT's success share tops the baselines; "
                "(2) UNIT's failure mix\nshifts away from whichever failure "

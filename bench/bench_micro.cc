@@ -18,6 +18,8 @@
 #include "unit/sched/engine.h"
 #include "unit/sched/ready_queue.h"
 #include "unit/sim/experiment.h"
+#include "unit/workload/query_trace.h"
+#include "unit/workload/update_trace.h"
 
 namespace unitdb {
 namespace {
@@ -133,12 +135,14 @@ void BM_FreshnessProbe(benchmark::State& state) {
 }
 BENCHMARK(BM_FreshnessProbe);
 
-// Admission control's O(N_rq) scan: cost of one Admit() decision as the
-// ready queue grows. Built by flooding an engine with long-deadline queries
-// behind a long-running head query, then timing decisions via the policy
-// hook on repeated replays.
+// Admission control: cost of one Admit() decision as the ready queue grows.
+// arg0 = queue length, arg1 = 0 for the seed's naive O(N_rq) scan, 1 for the
+// incremental Fenwick/segment-tree index (O(log N_rq)). Built by flooding an
+// engine with long-deadline queries behind a long-running head query, then
+// timing decisions via the policy hook on repeated replays.
 void BM_AdmissionScan(benchmark::State& state) {
   const int queue_len = static_cast<int>(state.range(0));
+  const bool indexed = state.range(1) != 0;
   Workload w;
   w.num_items = 16;
   w.duration = SecondsToSim(1000.0);
@@ -182,21 +186,29 @@ void BM_AdmissionScan(benchmark::State& state) {
       return true;
     }
   };
-  AdmissionController ac({}, UsmWeights{1.0, 0.5, 1.0, 0.5});
+  AdmissionParams params;
+  params.use_index = indexed;
+  AdmissionController ac(params, UsmWeights{1.0, 0.5, 1.0, 0.5});
+  EngineParams engine_params;
+  engine_params.use_admission_index = indexed;
   for (auto _ : state) {
     Probe probe;
     probe.ac = &ac;
     probe.state = &state;
     probe.candidate_id = queue_len + 1;
-    Engine engine(w, &probe, {});
+    Engine engine(w, &probe, engine_params);
     engine.Run();
   }
   state.SetItemsProcessed(state.iterations() * queue_len);
+  state.SetLabel(indexed ? "indexed" : "naive");
 }
 BENCHMARK(BM_AdmissionScan)
-    ->Arg(64)
-    ->Arg(512)
-    ->Arg(4096)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({512, 0})
+    ->Args({512, 1})
+    ->Args({4096, 0})
+    ->Args({4096, 1})
     ->UseManualTime()
     ->Iterations(30)  // each iteration replays a whole engine run
     ->Unit(benchmark::kMicrosecond);
@@ -225,6 +237,60 @@ void BM_EngineRun(benchmark::State& state) {
   state.SetLabel(policy);
 }
 BENCHMARK(BM_EngineRun)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+// A/B of this PR's engine hot-path work on the med-unif cell. arg0 is the
+// query arrival rate in Hz: 5 is the paper's base rate; 50 is the
+// heavy-traffic regime the ROADMAP targets, where hundreds of queries queue
+// up and the admission scan dominates the seed's per-arrival cost. arg1 = 0
+// runs the seed-equivalent configuration (naive O(N_rq) admission scan, no
+// event compaction), 1 the optimized engine (indexed admission + lazy event
+// cancellation). Same simulation either way — outputs are bit-identical —
+// so time is the only difference.
+void BM_EngineThroughput(benchmark::State& state) {
+  const double rate_hz = static_cast<double>(state.range(0));
+  const bool optimized = state.range(1) != 0;
+  QueryTraceParams qp;
+  qp.seed = 42;
+  qp.duration =
+      static_cast<SimDuration>(static_cast<double>(qp.duration) * 0.1);
+  qp.base_rate_hz = rate_hz;
+  auto w = GenerateQueryTrace(qp);
+  if (w.ok()) {
+    UpdateTraceParams up;
+    up.volume = UpdateVolume::kMedium;
+    up.distribution = UpdateDistribution::kUniform;
+    up.seed = 43;
+    const Status s = GenerateUpdateTrace(up, *w);
+    if (!s.ok()) w = s;
+  }
+  if (!w.ok()) {
+    state.SkipWithError("workload generation failed");
+    return;
+  }
+  EngineParams engine;
+  engine.use_admission_index = optimized;
+  engine.compact_events = optimized;
+  PolicyOptions options;
+  options.unit.admission.use_index = optimized;
+  int64_t events = 0;
+  for (auto _ : state) {
+    auto r = RunExperiment(*w, "unit", UsmWeights{1.0, 0.5, 1.0, 0.5},
+                           engine, options);
+    if (!r.ok()) {
+      state.SkipWithError("run failed");
+      return;
+    }
+    events += r->metrics.events_processed + r->metrics.events_compacted;
+  }
+  state.SetItemsProcessed(events);  // scheduled events retired per second
+  state.SetLabel(optimized ? "optimized" : "seed-equivalent");
+}
+BENCHMARK(BM_EngineThroughput)
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->Args({50, 0})
+    ->Args({50, 1})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace unitdb

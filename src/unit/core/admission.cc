@@ -1,11 +1,164 @@
 #include "unit/core/admission.h"
 
 #include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
 #include <vector>
 
 #include "unit/sched/engine.h"
 
 namespace unitdb {
+
+// --- AdmissionIndex -------------------------------------------------------
+
+void AdmissionIndex::Init(const Workload& workload) {
+  const size_t n = workload.queries.size();
+  initialized_ = true;
+
+  // Creation order of query transactions equals arrival order: the event
+  // queue breaks time ties by push sequence, which is workload index order.
+  std::vector<size_t> creation(n);
+  std::iota(creation.begin(), creation.end(), size_t{0});
+  std::stable_sort(creation.begin(), creation.end(),
+                   [&workload](size_t a, size_t b) {
+                     return workload.queries[a].arrival <
+                            workload.queries[b].arrival;
+                   });
+
+  // Rank order (deadline, creation position) matches the naive scan's EDF
+  // (deadline, txn id) order, since query txn ids increase with creation.
+  auto deadline_of = [&workload](size_t qi) {
+    return workload.queries[qi].arrival +
+           workload.queries[qi].relative_deadline;
+  };
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&creation, &deadline_of](size_t a, size_t b) {
+              const SimTime da = deadline_of(creation[a]);
+              const SimTime db = deadline_of(creation[b]);
+              if (da != db) return da < db;
+              return a < b;
+            });
+
+  ranks_.assign(n, -1);
+  rank_deadline_.resize(n);
+  for (size_t r = 0; r < n; ++r) {
+    const size_t qi = creation[order[r]];
+    ranks_[qi] = static_cast<int32_t>(r);
+    rank_deadline_[r] = deadline_of(qi);
+  }
+
+  work_.Reset(n);
+  leaf_count_ = 1;
+  while (leaf_count_ < std::max<size_t>(n, 1)) leaf_count_ <<= 1;
+  nodes_.assign(2 * leaf_count_, Node{});
+}
+
+AdmissionIndex::Node AdmissionIndex::Merge(const Node& l, const Node& r) {
+  Node p;
+  p.count = l.count + r.count;
+  p.work = l.work + r.work;
+  if (l.count == 0) {  // l.work == 0, so the right half shifts by nothing
+    p.min_m = r.min_m;
+    p.max_m = r.max_m;
+  } else if (r.count == 0) {
+    p.min_m = l.min_m;
+    p.max_m = l.max_m;
+  } else {
+    p.min_m = std::min(l.min_m, r.min_m - l.work);
+    p.max_m = std::max(l.max_m, r.max_m - l.work);
+  }
+  return p;
+}
+
+void AdmissionIndex::PullUp(size_t leaf) {
+  for (size_t i = leaf >> 1; i >= 1; i >>= 1) {
+    nodes_[i] = Merge(nodes_[2 * i], nodes_[2 * i + 1]);
+  }
+}
+
+void AdmissionIndex::OnInsert(const Transaction& query) {
+  assert(query.is_query() && query.admission_rank() >= 0);
+  const size_t r = static_cast<size_t>(query.admission_rank());
+  const int64_t rem = query.remaining();
+  work_.Set(r, rem);
+  Node& leaf = nodes_[leaf_count_ + r];
+  leaf.count = 1;
+  leaf.work = rem;
+  leaf.min_m = leaf.max_m = query.absolute_deadline() - rem;
+  PullUp(leaf_count_ + r);
+}
+
+void AdmissionIndex::OnRemove(const Transaction& query) {
+  assert(query.is_query() && query.admission_rank() >= 0);
+  const size_t r = static_cast<size_t>(query.admission_rank());
+  work_.Set(r, 0);
+  nodes_[leaf_count_ + r] = Node{};
+  PullUp(leaf_count_ + r);
+}
+
+size_t AdmissionIndex::BoundaryRank(SimTime deadline) const {
+  return static_cast<size_t>(
+      std::upper_bound(rank_deadline_.begin(), rank_deadline_.end(),
+                       deadline) -
+      rank_deadline_.begin());
+}
+
+SimDuration AdmissionIndex::EarlierWork(SimTime deadline) const {
+  return work_.PrefixSum(BoundaryRank(deadline));
+}
+
+int64_t AdmissionIndex::CountFromRec(size_t idx, size_t l, size_t r,
+                                     size_t from) const {
+  if (r <= from || nodes_[idx].count == 0) return 0;
+  if (l >= from) return nodes_[idx].count;
+  const size_t mid = (l + r) / 2;
+  return CountFromRec(2 * idx, l, mid, from) +
+         CountFromRec(2 * idx + 1, mid, r, from);
+}
+
+int64_t AdmissionIndex::LaterCount(SimTime deadline) const {
+  if (leaf_count_ == 0) return 0;
+  return CountFromRec(1, 0, leaf_count_, BoundaryRank(deadline));
+}
+
+int64_t AdmissionIndex::EndangeredRec(size_t idx, size_t l, size_t r,
+                                      size_t from, int64_t lo, int64_t hi,
+                                      int64_t& acc) const {
+  const Node& nd = nodes_[idx];
+  if (r <= from || nd.count == 0) return 0;  // out of range / empty: no work
+  if (l >= from) {
+    // Fully inside the rank range: the subtree's lags, shifted by the work
+    // accumulated to its left, span [min_m - acc, max_m - acc].
+    const int64_t mn = nd.min_m - acc;
+    const int64_t mx = nd.max_m - acc;
+    if (mx < lo || mn >= hi) {
+      acc += nd.work;
+      return 0;
+    }
+    if (lo <= mn && mx < hi) {
+      acc += nd.work;
+      return nd.count;
+    }
+    // A leaf has mn == mx, so it always lands in one of the cases above.
+  }
+  const size_t mid = (l + r) / 2;
+  int64_t c = EndangeredRec(2 * idx, l, mid, from, lo, hi, acc);
+  c += EndangeredRec(2 * idx + 1, mid, r, from, lo, hi, acc);
+  return c;
+}
+
+int64_t AdmissionIndex::CountEndangered(SimTime deadline, int64_t lo,
+                                        int64_t hi) const {
+  if (leaf_count_ == 0) return 0;
+  int64_t acc = 0;
+  return EndangeredRec(1, 0, leaf_count_, BoundaryRank(deadline), lo, hi,
+                       acc);
+}
+
+// --- AdmissionController --------------------------------------------------
 
 AdmissionController::AdmissionController(const AdmissionParams& params,
                                          const UsmWeights& weights)
@@ -19,6 +172,34 @@ bool AdmissionController::Admit(const Engine& engine,
 bool AdmissionController::Admit(const Engine& engine,
                                 const Transaction& candidate,
                                 const UsmWeights& weights) {
+  const AdmissionIndex& index = engine.admission_index();
+  if (params_.use_index && index.enabled() &&
+      candidate.admission_rank() >= 0) {
+    return AdmitIndexed(engine, index, candidate, weights);
+  }
+  return AdmitNaive(engine, candidate, weights);
+}
+
+// 1. Transaction deadline check: C_flex * EST + qe < qt. Rejecting an
+// unpromising query only raises user satisfaction when a rejection costs
+// no more than the deadline miss it prevents; with C_r > C_fm the
+// USM-rational move is to admit and let the firm deadline decide (the
+// system USM check still protects the other transactions).
+bool AdmissionController::DecideDeadline(const Engine& engine,
+                                         const Transaction& candidate,
+                                         SimDuration est, bool naive,
+                                         const UsmWeights& weights) {
+  if (!naive && weights.c_r > weights.c_fm) return true;
+  const double lhs = c_flex_ * static_cast<double>(est) +
+                     static_cast<double>(candidate.estimate());
+  const double qt = static_cast<double>(candidate.absolute_deadline() -
+                                        engine.now());
+  return lhs < qt;
+}
+
+bool AdmissionController::AdmitNaive(const Engine& engine,
+                                     const Transaction& candidate,
+                                     const UsmWeights& weights) {
   // One O(N_rq) pass over queued queries gathers both the earlier-deadline
   // work (for EST) and the later-deadline schedule (for the USM check).
   SimDuration earlier_work = 0;
@@ -38,21 +219,10 @@ bool AdmissionController::Admit(const Engine& engine,
   const SimDuration est = engine.RunningRemaining() +
                           engine.QueuedUpdateWork() + earlier_work;
 
-  // 1. Transaction deadline check: C_flex * EST + qe < qt. Rejecting an
-  // unpromising query only raises user satisfaction when a rejection costs
-  // no more than the deadline miss it prevents; with C_r > C_fm the
-  // USM-rational move is to admit and let the firm deadline decide (the
-  // system USM check below still protects the other transactions).
   const bool naive = weights.AllZeroPenalties();
-  if (naive || weights.c_r <= weights.c_fm) {
-    const double lhs = c_flex_ * static_cast<double>(est) +
-                       static_cast<double>(candidate.estimate());
-    const double qt = static_cast<double>(candidate.absolute_deadline() -
-                                          engine.now());
-    if (lhs >= qt) {
-      ++rejected_by_deadline_;
-      return false;
-    }
+  if (!DecideDeadline(engine, candidate, est, naive, weights)) {
+    ++rejected_by_deadline_;
+    return false;
   }
 
   // 2. System USM check: which later-deadline queries would newly miss if
@@ -74,6 +244,53 @@ bool AdmissionController::Admit(const Engine& engine,
           endangered_cost += dmf_cost;
         }
       }
+      if (endangered_cost > rejection_cost) {
+        ++rejected_by_usm_;
+        return false;
+      }
+    }
+  }
+
+  ++admitted_;
+  return true;
+}
+
+bool AdmissionController::AdmitIndexed(const Engine& engine,
+                                       const AdmissionIndex& index,
+                                       const Transaction& candidate,
+                                       const UsmWeights& weights) {
+  // Same two checks as AdmitNaive, answered from the incremental index.
+  // All sums are integer SimTime arithmetic, so both the EST and every
+  // endangered-set comparison are bit-identical to the naive scan's.
+  const SimDuration earlier_work =
+      index.EarlierWork(candidate.absolute_deadline());
+  const SimDuration est = engine.RunningRemaining() +
+                          engine.QueuedUpdateWork() + earlier_work;
+
+  const bool naive = weights.AllZeroPenalties();
+  if (!DecideDeadline(engine, candidate, est, naive, weights)) {
+    ++rejected_by_deadline_;
+    return false;
+  }
+
+  if (params_.usm_check_enabled &&
+      index.LaterCount(candidate.absolute_deadline()) > 0) {
+    const double dmf_cost =
+        naive ? params_.zero_weight_unit_cost : weights.c_fm;
+    const double rejection_cost =
+        naive ? params_.zero_weight_unit_cost : weights.c_r;
+    if (dmf_cost > 0.0) {
+      // Query q (deadline > candidate's) is newly endangered iff
+      //   without_q <= deadline_q < without_q + estimate, i.e. its lag
+      //   deadline_q - prefix_work_q falls in [start, start + estimate).
+      const SimTime start = engine.now() + est;
+      const int64_t endangered = index.CountEndangered(
+          candidate.absolute_deadline(), start,
+          start + candidate.estimate());
+      // Accumulate the cost exactly like the naive scan does (repeated
+      // addition), so the floating-point comparison matches bit for bit.
+      double endangered_cost = 0.0;
+      for (int64_t i = 0; i < endangered; ++i) endangered_cost += dmf_cost;
       if (endangered_cost > rejection_cost) {
         ++rejected_by_usm_;
         return false;

@@ -24,6 +24,10 @@ Engine::Engine(const Workload& workload, Policy* policy, EngineParams params)
     UNIT_LOG(Error) << "bad workload update specs: " << s.ToString();
   }
   metrics_.duration_s = SimToSeconds(workload.duration);
+  if (params_.use_admission_index &&
+      params_.discipline == QueueDiscipline::kEdf) {
+    admission_index_.Init(workload);
+  }
 }
 
 RunMetrics Engine::Run() {
@@ -32,7 +36,15 @@ RunMetrics Engine::Run() {
   policy_->Attach(*this);
   ScheduleInitialEvents();
   while (!events_.empty()) {
+    if (params_.compact_events && events_.ShouldCompact()) {
+      const size_t removed =
+          events_.CompactIf([this](const Event& ev) { return EventIsDead(ev); });
+      ++metrics_.event_compactions;
+      metrics_.events_compacted += static_cast<int64_t>(removed);
+      if (events_.empty()) break;
+    }
     const Event e = events_.Pop();
+    ++metrics_.events_processed;
     assert(e.time >= now_);
     now_ = e.time;
     switch (e.type) {
@@ -55,6 +67,7 @@ RunMetrics Engine::Run() {
   }
   assert(running_ == nullptr);
   assert(ready_.empty());
+  metrics_.peak_ready_depth = ready_.peak_size();
   // Copy per-item bookkeeping out of the database.
   metrics_.per_item_accesses.resize(db_.num_items());
   metrics_.per_item_applied_updates.resize(db_.num_items());
@@ -65,12 +78,16 @@ RunMetrics Engine::Run() {
   return metrics_;
 }
 
-Transaction* Engine::NewQueryTxn(const QueryRequest& request) {
+Transaction* Engine::NewQueryTxn(size_t query_index,
+                                 const QueryRequest& request) {
   const TxnId id = static_cast<TxnId>(txns_.size());
   txns_.push_back(Transaction::MakeQuery(
       id, request.arrival, request.exec, request.relative_deadline,
       request.freshness_req, request.items, request.preference_class));
   Transaction* t = &txns_.back();
+  if (admission_index_.enabled()) {
+    t->set_admission_rank(admission_index_.RankOfQuery(query_index));
+  }
   if (params_.estimate_noise_sigma > 0.0) {
     const double factor =
         rng_.LogNormal(0.0, params_.estimate_noise_sigma);
@@ -114,7 +131,7 @@ void Engine::ScheduleInitialEvents() {
 
 void Engine::HandleQueryArrival(int64_t query_index) {
   const QueryRequest& request = workload_.queries[query_index];
-  Transaction* t = NewQueryTxn(request);
+  Transaction* t = NewQueryTxn(static_cast<size_t>(query_index), request);
   ++metrics_.counts.submitted;
   if (!policy_->AdmitQuery(*this, *t)) {
     t->set_state(TxnState::kAborted);
@@ -122,7 +139,7 @@ void Engine::HandleQueryArrival(int64_t query_index) {
     return;
   }
   t->set_state(TxnState::kReady);
-  ready_.Insert(t);
+  ReadyInsert(t);
   events_.Push(t->absolute_deadline(), EventType::kQueryDeadline, t->id());
   TryDispatch();
 }
@@ -151,7 +168,7 @@ void Engine::HandleUpdateArrival(ItemId item) {
   Transaction* t = NewUpdateTxn(item, state.current_period,
                                 /*on_demand=*/false);
   t->set_state(TxnState::kReady);
-  ready_.Insert(t);
+  ReadyInsert(t);
   TryDispatch();
 }
 
@@ -161,7 +178,7 @@ TxnId Engine::IssueOnDemandUpdate(ItemId item) {
   Transaction* t = NewUpdateTxn(item, std::max<SimDuration>(1, state.update_exec),
                                 /*on_demand=*/true);
   t->set_state(TxnState::kReady);
-  ready_.Insert(t);
+  ReadyInsert(t);
   ++metrics_.on_demand_updates;
   return t->id();
 }
@@ -210,16 +227,16 @@ void Engine::TryDispatch() {
       continue;
     }
     if (top == nullptr) return;
-    ready_.Remove(top);
+    ReadyRemove(top);
     if (top->is_query() && !policy_->BeforeQueryDispatch(*this, *top)) {
       // The policy issued refreshes that now outrank this query; requeue it.
       top->set_state(TxnState::kReady);
-      ready_.Insert(top);
+      ReadyInsert(top);
       Transaction* new_top = ready_.Top();
       if (new_top == top) {
         UNIT_LOG(Error) << "policy postponed query " << top->id()
                         << " without enqueueing higher-priority work";
-        ready_.Remove(top);
+        ReadyRemove(top);
         // Fall through and run it anyway to preserve progress.
       } else {
         continue;
@@ -247,10 +264,12 @@ void Engine::PreemptRunning() {
   const SimDuration ran = now_ - run_start_;
   metrics_.busy_s += SimToSeconds(ran);
   t->set_remaining(t->remaining() - ran);
-  t->BumpDispatchGeneration();
+  t->BumpDispatchGeneration();  // the pending completion event goes stale
+  events_.NoteCancelled();
+  ++metrics_.events_cancelled;
   t->set_state(TxnState::kReady);
   running_ = nullptr;
-  ready_.Insert(t);
+  ReadyInsert(t);
   ++metrics_.preemptions;
 }
 
@@ -299,7 +318,7 @@ void Engine::UnblockAll() {
   for (Transaction* t : blocked_) {
     if (t->Terminal()) continue;  // deadline fired while blocked
     t->set_state(TxnState::kReady);
-    ready_.Insert(t);
+    ReadyInsert(t);
   }
   blocked_.clear();
 }
@@ -307,13 +326,13 @@ void Engine::UnblockAll() {
 void Engine::RestartQuery(Transaction* t) {
   assert(t->is_query());
   assert(t->state() == TxnState::kReady && "2PL-HP victims sit in the ready queue");
-  ready_.Remove(t);
+  ReadyRemove(t);
   ReleaseLocksOf(t);
   t->ResetWork();
   t->IncrementRestarts();
   t->BumpDispatchGeneration();
   t->set_state(TxnState::kReady);
-  ready_.Insert(t);
+  ReadyInsert(t);
   ++metrics_.lock_restarts;
 }
 
@@ -323,10 +342,12 @@ void Engine::AbortQuery(Transaction* t, Outcome outcome) {
     const SimDuration ran = now_ - run_start_;
     metrics_.busy_s += SimToSeconds(ran);
     t->set_remaining(t->remaining() - ran);
-    t->BumpDispatchGeneration();
+    t->BumpDispatchGeneration();  // the pending completion event goes stale
+    events_.NoteCancelled();
+    ++metrics_.events_cancelled;
     running_ = nullptr;
   } else if (t->state() == TxnState::kReady) {
-    ready_.Remove(t);
+    ReadyRemove(t);
   } else if (t->state() == TxnState::kBlocked) {
     auto it = std::find(blocked_.begin(), blocked_.end(), t);
     if (it != blocked_.end()) blocked_.erase(it);
@@ -393,6 +414,11 @@ void Engine::CompleteRunning(Transaction* t) {
     return;
   }
   // Query commit: evaluate read-set freshness at commit time (Eq. 1).
+  // The query's deadline event is still pending (at an equal timestamp the
+  // deadline, pushed at arrival, would have popped first and aborted us) and
+  // its handler will now no-op — tombstone it.
+  events_.NoteCancelled();
+  ++metrics_.events_cancelled;
   const double freshness = db_.QueryFreshness(t->items(), now_);
   t->set_observed_freshness(freshness);
   for (ItemId item : t->items()) db_.RecordAccess(item);
@@ -403,6 +429,34 @@ void Engine::CompleteRunning(Transaction* t) {
                               ? Outcome::kSuccess
                               : Outcome::kDataStale;
   ResolveQuery(t, outcome);
+}
+
+void Engine::ReadyInsert(Transaction* t) {
+  ready_.Insert(t);
+  if (t->is_query() && t->admission_rank() >= 0) {
+    admission_index_.OnInsert(*t);
+  }
+}
+
+void Engine::ReadyRemove(Transaction* t) {
+  ready_.Remove(t);
+  if (t->is_query() && t->admission_rank() >= 0) {
+    admission_index_.OnRemove(*t);
+  }
+}
+
+bool Engine::EventIsDead(const Event& e) const {
+  switch (e.type) {
+    case EventType::kCompletion: {
+      const Transaction& t = txns_[e.payload];
+      return &t != running_ || t.state() != TxnState::kRunning ||
+             t.dispatch_generation() != e.generation;
+    }
+    case EventType::kQueryDeadline:
+      return txns_[e.payload].Terminal();
+    default:
+      return false;
+  }
 }
 
 }  // namespace unitdb

@@ -2,11 +2,11 @@
 #define UNIT_SCHED_ENGINE_H_
 
 #include <deque>
-#include <functional>
 #include <vector>
 
 #include "unit/common/rng.h"
 #include "unit/common/types.h"
+#include "unit/core/admission.h"
 #include "unit/core/policy.h"
 #include "unit/db/database.h"
 #include "unit/db/lock_manager.h"
@@ -34,6 +34,13 @@ struct EngineParams {
   /// Intra-class dispatch order (EDF per the paper; FCFS for the
   /// scheduling ablation).
   QueueDiscipline discipline = QueueDiscipline::kEdf;
+  /// Maintains the incremental admission index (core/admission.h) so
+  /// admission control can answer in O(log N_rq). Only takes effect under
+  /// EDF dispatch — the index's deadline ranks assume EDF order.
+  bool use_admission_index = true;
+  /// Periodically compacts tombstoned (lazily cancelled) events out of the
+  /// event heap. Pop order of live events is unaffected either way.
+  bool compact_events = true;
 };
 
 /// Single-CPU discrete-event web-database server: dual-priority preemptive
@@ -92,10 +99,14 @@ class Engine {
   /// Number of queued updates.
   int ReadyUpdateCount() const { return ready_.update_count(); }
   /// Visits queued queries in EDF order (admission control's O(N_rq) scan).
-  void ForEachReadyQuery(
-      const std::function<void(const Transaction&)>& fn) const {
+  template <typename Fn>
+  void ForEachReadyQuery(Fn&& fn) const {
     ready_.ForEachQuery(fn);
   }
+
+  /// Incremental admission index; enabled when EngineParams asks for it and
+  /// dispatch is EDF (empty/disabled otherwise).
+  const AdmissionIndex& admission_index() const { return admission_index_; }
 
   /// Update transactions for `item` currently in the system (queued,
   /// blocked, or running) — lets ODU avoid issuing duplicate refreshes.
@@ -112,9 +123,19 @@ class Engine {
   const Transaction& txn(TxnId id) const { return txns_[id]; }
 
  private:
-  Transaction* NewQueryTxn(const QueryRequest& request);
+  Transaction* NewQueryTxn(size_t query_index, const QueryRequest& request);
   Transaction* NewUpdateTxn(ItemId item, SimDuration relative_deadline,
                             bool on_demand);
+
+  /// Ready-queue mutations go through these so the admission index stays in
+  /// sync with the set of queued queries.
+  void ReadyInsert(Transaction* t);
+  void ReadyRemove(Transaction* t);
+
+  /// Whether a scheduled event's handler would no-op if popped now; the
+  /// predicate compaction uses to drop tombstones. Mirrors the staleness
+  /// checks in HandleCompletion / HandleQueryDeadline exactly.
+  bool EventIsDead(const Event& e) const;
 
   void ScheduleInitialEvents();
   void HandleQueryArrival(int64_t query_index);
@@ -150,6 +171,7 @@ class Engine {
   LockManager locks_;
   ReadyQueue ready_;
   EventQueue events_;
+  AdmissionIndex admission_index_;
   Rng rng_;
 
   std::deque<Transaction> txns_;  ///< id == index; stable addresses

@@ -1,9 +1,9 @@
 #ifndef UNIT_SCHED_EVENT_QUEUE_H_
 #define UNIT_SCHED_EVENT_QUEUE_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "unit/common/types.h"
@@ -29,24 +29,62 @@ struct Event {
   uint64_t generation = 0;  ///< dispatch generation for kCompletion
 };
 
-/// Deterministic min-heap of events ordered by (time, seq).
+/// Deterministic min-heap of events ordered by (time, seq), with lazy
+/// cancellation support: the engine tombstones events whose handler would
+/// no-op (a query resolved before its deadline event; a completion whose
+/// dispatch generation went stale) and periodically compacts the heap so
+/// dead events stop paying O(log n) sift costs on heavy update traces.
 class EventQueue {
  public:
   void Push(SimTime time, EventType type, int64_t payload,
             uint64_t generation = 0) {
-    heap_.push(Event{time, next_seq_++, type, payload, generation});
+    events_.push_back(Event{time, next_seq_++, type, payload, generation});
+    std::push_heap(events_.begin(), events_.end(), Later{});
   }
 
-  bool empty() const { return heap_.empty(); }
-  size_t size() const { return heap_.size(); }
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
 
-  const Event& Top() const { return heap_.top(); }
+  const Event& Top() const { return events_.front(); }
 
   Event Pop() {
-    Event e = heap_.top();
-    heap_.pop();
+    std::pop_heap(events_.begin(), events_.end(), Later{});
+    Event e = events_.back();
+    events_.pop_back();
     return e;
   }
+
+  // --- lazy cancellation ---
+
+  /// Records that one scheduled event became a tombstone (its handler will
+  /// no-op when popped). The event itself stays in the heap until the owner
+  /// compacts; correctness never depends on compaction happening.
+  void NoteCancelled() { ++cancelled_; }
+
+  /// Tombstones recorded since the last compaction.
+  size_t cancelled() const { return cancelled_; }
+
+  /// Whether enough tombstones accumulated to be worth a compaction pass:
+  /// more than kCompactMinDead dead events and at least half the heap.
+  bool ShouldCompact() const {
+    return cancelled_ > kCompactMinDead && cancelled_ * 2 > events_.size();
+  }
+
+  /// Removes every event for which `dead(event)` is true and re-heapifies
+  /// in O(n). Survivors keep their sequence numbers, so the pop order of
+  /// live events — and therefore the simulation — is unchanged. Returns the
+  /// number of events removed.
+  template <typename Pred>
+  size_t CompactIf(Pred&& dead) {
+    const auto live_end = std::remove_if(events_.begin(), events_.end(), dead);
+    const size_t removed = static_cast<size_t>(events_.end() - live_end);
+    events_.erase(live_end, events_.end());
+    std::make_heap(events_.begin(), events_.end(), Later{});
+    cancelled_ = 0;
+    return removed;
+  }
+
+  static constexpr size_t kCompactMinDead = 64;
 
  private:
   struct Later {
@@ -56,8 +94,9 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<Event> events_;  ///< binary heap under Later
   uint64_t next_seq_ = 0;
+  size_t cancelled_ = 0;
 };
 
 }  // namespace unitdb

@@ -32,6 +32,14 @@ struct RunMetrics {
     return duration_s > 0.0 ? busy_s / duration_s : 0.0;
   }
 
+  // --- engine hot-path telemetry (perf tracking; bench_engine_throughput
+  // reports these as BENCH_engine.json fields) ---
+  int64_t events_processed = 0;   ///< events popped off the event queue
+  int64_t events_cancelled = 0;   ///< events tombstoned by lazy cancellation
+  int64_t event_compactions = 0;  ///< event-heap compaction passes
+  int64_t events_compacted = 0;   ///< dead events physically removed
+  int peak_ready_depth = 0;       ///< largest ready-queue size observed
+
   int64_t preemptions = 0;
   int64_t lock_restarts = 0;      ///< 2PL-HP aborts of shared holders
   int64_t update_commits = 0;

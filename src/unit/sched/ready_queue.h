@@ -1,8 +1,9 @@
 #ifndef UNIT_SCHED_READY_QUEUE_H_
 #define UNIT_SCHED_READY_QUEUE_H_
 
-#include <functional>
-#include <set>
+#include <algorithm>
+#include <cstddef>
+#include <vector>
 
 #include "unit/common/types.h"
 #include "unit/txn/transaction.h"
@@ -21,6 +22,12 @@ enum class QueueDiscipline {
 /// update transactions always rank above user queries, with EDF (or FCFS)
 /// ordering transactions within each class. Ties break by transaction id
 /// (arrival order), making dispatch deterministic.
+///
+/// Implemented as two intrusive binary heaps: each Transaction carries its
+/// heap slot (`ready_pos`), so Insert/Remove/PopTop are O(log n) with zero
+/// per-node allocation (the seed used node-allocating std::sets). Dispatch
+/// order is identical to the seed's: the comparator is a strict total order
+/// (class, then deadline/arrival, then id), so the heap minimum is unique.
 ///
 /// Stores non-owning pointers; the engine owns all transactions.
 class ReadyQueue {
@@ -49,36 +56,67 @@ class ReadyQueue {
   int query_count() const { return static_cast<int>(queries_.size()); }
   int size() const { return update_count() + query_count(); }
 
+  /// Largest size() ever observed (perf telemetry; monotonic).
+  int peak_size() const { return peak_size_; }
+
   /// Sum of remaining service demand of every queued update.
   SimDuration TotalUpdateWork() const { return update_work_; }
 
   /// Visits queued queries in queue order (EDF order under the default
-  /// discipline — what admission control's O(N_rq) scan expects).
-  void ForEachQuery(const std::function<void(const Transaction&)>& fn) const;
+  /// discipline — what admission control's naive O(N_rq) scan expects).
+  /// A template visitor: no std::function dispatch on the hot path. The
+  /// heap is unordered, so the visit sorts a reused scratch vector —
+  /// O(n log n), paid only by naive-scan callers.
+  template <typename Fn>
+  void ForEachQuery(Fn&& fn) const {
+    VisitOrdered(queries_, fn);
+  }
 
   /// Visits queued updates in queue order.
-  void ForEachUpdate(const std::function<void(const Transaction&)>& fn) const;
+  template <typename Fn>
+  void ForEachUpdate(Fn&& fn) const {
+    VisitOrdered(updates_, fn);
+  }
 
   /// True iff `a` should dispatch before `b` under this queue's discipline
   /// (class first, then intra-class order, then id).
   bool HigherPriority(const Transaction& a, const Transaction& b) const;
 
  private:
-  struct Order {
-    QueueDiscipline discipline = QueueDiscipline::kEdf;
-    bool operator()(const Transaction* a, const Transaction* b) const {
-      if (discipline == QueueDiscipline::kEdf &&
-          a->absolute_deadline() != b->absolute_deadline()) {
-        return a->absolute_deadline() < b->absolute_deadline();
-      }
-      return a->id() < b->id();
+  /// Strict total order within one class: EDF deadline (under kEdf), then
+  /// transaction id.
+  bool Before(const Transaction* a, const Transaction* b) const {
+    if (discipline_ == QueueDiscipline::kEdf &&
+        a->absolute_deadline() != b->absolute_deadline()) {
+      return a->absolute_deadline() < b->absolute_deadline();
     }
-  };
+    return a->id() < b->id();
+  }
+
+  void HeapPush(std::vector<Transaction*>& heap, Transaction* t);
+  bool HeapErase(std::vector<Transaction*>& heap, Transaction* t);
+  bool HeapContains(const std::vector<Transaction*>& heap,
+                    const Transaction* t) const;
+  void SiftUp(std::vector<Transaction*>& heap, size_t i);
+  void SiftDown(std::vector<Transaction*>& heap, size_t i);
+  static void Place(std::vector<Transaction*>& heap, size_t i, Transaction* t);
+
+  template <typename Fn>
+  void VisitOrdered(const std::vector<Transaction*>& heap, Fn& fn) const {
+    scratch_.assign(heap.begin(), heap.end());
+    std::sort(scratch_.begin(), scratch_.end(),
+              [this](const Transaction* a, const Transaction* b) {
+                return Before(a, b);
+              });
+    for (const Transaction* t : scratch_) fn(*t);
+  }
 
   QueueDiscipline discipline_;
-  std::set<Transaction*, Order> updates_;
-  std::set<Transaction*, Order> queries_;
+  std::vector<Transaction*> updates_;
+  std::vector<Transaction*> queries_;
+  mutable std::vector<Transaction*> scratch_;  ///< reused by VisitOrdered
   SimDuration update_work_ = 0;
+  int peak_size_ = 0;
 };
 
 }  // namespace unitdb

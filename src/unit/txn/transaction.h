@@ -100,6 +100,18 @@ class Transaction {
   SimTime commit_time() const { return commit_time_; }
   void set_commit_time(SimTime t) { commit_time_ = t; }
 
+  /// Slot of this transaction in its ReadyQueue's intrusive heap (-1 when
+  /// not queued). Owned by the ReadyQueue; a transaction can sit in at most
+  /// one ready queue at a time.
+  int32_t ready_pos() const { return ready_pos_; }
+  void set_ready_pos(int32_t pos) { ready_pos_ = pos; }
+
+  /// Static deadline rank of a workload query in the engine's admission
+  /// index (-1 for updates, or when the index is disabled). Assigned once
+  /// at query creation.
+  int32_t admission_rank() const { return admission_rank_; }
+  void set_admission_rank(int32_t rank) { admission_rank_ = rank; }
+
   /// Freshness of the read set at commit (queries only; -1 before commit).
   double observed_freshness() const { return observed_freshness_; }
   void set_observed_freshness(double f) { observed_freshness_ = f; }
@@ -127,6 +139,8 @@ class Transaction {
   uint64_t dispatch_gen_ = 0;
   SimTime commit_time_ = -1;
   double observed_freshness_ = -1.0;
+  int32_t ready_pos_ = -1;
+  int32_t admission_rank_ = -1;
 };
 
 }  // namespace unitdb

@@ -1,0 +1,302 @@
+// Equivalence properties of the incremental admission index (PR's tentpole):
+// the Fenwick/segment-tree path must make bit-identical decisions to the
+// seed's naive ready-queue scan, on every arrival, across every Table 1
+// trace, policy, weight setting, and C_flex.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "testing/fake_policy.h"
+#include "unit/core/admission.h"
+#include "unit/sched/engine.h"
+#include "unit/sim/experiment.h"
+#include "unit/workload/spec.h"
+
+namespace unitdb {
+namespace {
+
+using testing_support::FakePolicy;
+
+const UpdateVolume kVolumes[] = {UpdateVolume::kLow, UpdateVolume::kMedium,
+                                 UpdateVolume::kHigh};
+const UpdateDistribution kDists[] = {UpdateDistribution::kUniform,
+                                     UpdateDistribution::kPositive,
+                                     UpdateDistribution::kNegative};
+
+// --- per-arrival oracle equivalence --------------------------------------
+
+struct ProbeStats {
+  int64_t decisions = 0;
+  int64_t rejections = 0;
+  int64_t nonempty_queue = 0;  ///< decisions taken with queued queries
+};
+
+/// Runs one standard workload under a FakePolicy that consults two
+/// controllers per arrival — indexed and naive-scan — and asserts they agree
+/// on every single decision (the engine proceeds with the indexed one).
+ProbeStats RunProbed(const Workload& w, double c_flex,
+                     const UsmWeights& weights) {
+  AdmissionParams indexed_params;
+  indexed_params.initial_c_flex = c_flex;
+  indexed_params.use_index = true;
+  AdmissionParams naive_params = indexed_params;
+  naive_params.use_index = false;
+  AdmissionController indexed(indexed_params, weights);
+  AdmissionController naive(naive_params, weights);
+
+  ProbeStats stats;
+  FakePolicy policy;
+  policy.admit = [&](Engine& engine, const Transaction& q) {
+    const bool a = indexed.Admit(engine, q);
+    const bool b = naive.Admit(engine, q);
+    EXPECT_EQ(a, b) << "decision split for query txn " << q.id() << " at t="
+                    << engine.now();
+    ++stats.decisions;
+    if (!a) ++stats.rejections;
+    if (engine.ReadyQueryCount() > 0) ++stats.nonempty_queue;
+    return a;
+  };
+  Engine engine(w, &policy, {});
+  engine.Run();
+
+  // The two controllers saw identical inputs, so their counters must agree.
+  EXPECT_EQ(indexed.admitted(), naive.admitted());
+  EXPECT_EQ(indexed.rejected_by_deadline(), naive.rejected_by_deadline());
+  EXPECT_EQ(indexed.rejected_by_usm(), naive.rejected_by_usm());
+  return stats;
+}
+
+TEST(AdmissionIndexEquivalenceTest, MatchesNaiveOnEveryArrival) {
+  const double c_flexes[] = {0.5, 1.0, 4.0};
+  const UsmWeights weight_sets[] = {
+      UsmWeights{},                  // naive: unit-cost USM check
+      UsmWeights{1.0, 0.5, 1.0, 0.5},  // C_fm > C_r: both checks live
+      UsmWeights{1.0, 2.0, 1.0, 0.5},  // C_r > C_fm: deadline check skipped
+  };
+  ProbeStats total;
+  for (UpdateVolume volume : kVolumes) {
+    for (UpdateDistribution dist : kDists) {
+      auto w = MakeStandardWorkload(volume, dist, /*scale=*/0.02, /*seed=*/42);
+      ASSERT_TRUE(w.ok()) << w.status().ToString();
+      for (double c_flex : c_flexes) {
+        for (const UsmWeights& weights : weight_sets) {
+          const ProbeStats s = RunProbed(*w, c_flex, weights);
+          total.decisions += s.decisions;
+          total.rejections += s.rejections;
+          total.nonempty_queue += s.nonempty_queue;
+        }
+      }
+    }
+  }
+  // The sweep must actually exercise both checks: decisions with a
+  // non-trivial queue and real rejections, not just vacuous agreement.
+  EXPECT_GT(total.decisions, 0);
+  EXPECT_GT(total.rejections, 0);
+  EXPECT_GT(total.nonempty_queue, 0);
+}
+
+// --- full-run equivalence across every policy ----------------------------
+
+void ExpectSameOutcome(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.metrics.counts.submitted, b.metrics.counts.submitted);
+  EXPECT_EQ(a.metrics.counts.success, b.metrics.counts.success);
+  EXPECT_EQ(a.metrics.counts.rejected, b.metrics.counts.rejected);
+  EXPECT_EQ(a.metrics.counts.dmf, b.metrics.counts.dmf);
+  EXPECT_EQ(a.metrics.counts.dsf, b.metrics.counts.dsf);
+  EXPECT_EQ(a.metrics.preemptions, b.metrics.preemptions);
+  EXPECT_EQ(a.metrics.lock_restarts, b.metrics.lock_restarts);
+  EXPECT_EQ(a.metrics.update_commits, b.metrics.update_commits);
+  EXPECT_EQ(a.usm, b.usm);  // bit-identical, not approximately equal
+}
+
+TEST(AdmissionIndexEquivalenceTest, FullRunsMatchOnAllTracesAndPolicies) {
+  const std::vector<std::string> policies = {"imu", "odu", "qmf", "unit"};
+  const UsmWeights weights{1.0, 0.5, 1.0, 0.5};
+  EngineParams indexed_engine;
+  EngineParams naive_engine;
+  naive_engine.use_admission_index = false;
+  PolicyOptions indexed_options;
+  PolicyOptions naive_options;
+  naive_options.unit.admission.use_index = false;
+  for (UpdateVolume volume : kVolumes) {
+    for (UpdateDistribution dist : kDists) {
+      auto w = MakeStandardWorkload(volume, dist, /*scale=*/0.02, /*seed=*/42);
+      ASSERT_TRUE(w.ok()) << w.status().ToString();
+      for (const std::string& policy : policies) {
+        auto a = RunExperiment(*w, policy, weights, indexed_engine,
+                               indexed_options);
+        auto b =
+            RunExperiment(*w, policy, weights, naive_engine, naive_options);
+        ASSERT_TRUE(a.ok() && b.ok());
+        SCOPED_TRACE(w->update_trace_name + " / " + policy);
+        ExpectSameOutcome(*a, *b);
+      }
+    }
+  }
+}
+
+TEST(AdmissionIndexEquivalenceTest, EventCompactionDoesNotChangeOutcomes) {
+  EngineParams compacting;
+  EngineParams lazy_only;
+  lazy_only.compact_events = false;
+  const UsmWeights weights{1.0, 0.5, 1.0, 0.5};
+  for (UpdateVolume volume : {UpdateVolume::kMedium, UpdateVolume::kHigh}) {
+    auto w = MakeStandardWorkload(volume, UpdateDistribution::kNegative,
+                                  /*scale=*/0.05, /*seed=*/42);
+    ASSERT_TRUE(w.ok()) << w.status().ToString();
+    for (const char* policy : {"unit", "qmf"}) {
+      auto a = RunExperiment(*w, policy, weights, compacting);
+      auto b = RunExperiment(*w, policy, weights, lazy_only);
+      ASSERT_TRUE(a.ok() && b.ok());
+      SCOPED_TRACE(w->update_trace_name + " / " + policy);
+      ExpectSameOutcome(*a, *b);
+      // Tombstones accumulate either way; only the compacting run removes
+      // them from the heap.
+      EXPECT_GT(a->metrics.events_cancelled, 0);
+      EXPECT_EQ(a->metrics.events_cancelled, b->metrics.events_cancelled);
+      EXPECT_EQ(b->metrics.events_compacted, 0);
+      EXPECT_LE(a->metrics.events_processed, b->metrics.events_processed);
+    }
+  }
+}
+
+TEST(AdmissionIndexTest, DisabledUnderFcfsDispatch) {
+  auto w = MakeStandardWorkload(UpdateVolume::kLow, UpdateDistribution::kUniform,
+                                /*scale=*/0.01, /*seed=*/42);
+  ASSERT_TRUE(w.ok());
+  FakePolicy policy;
+  EngineParams params;
+  params.discipline = QueueDiscipline::kFcfs;
+  Engine engine(*w, &policy, params);
+  EXPECT_FALSE(engine.admission_index().enabled());
+  engine.Run();  // and the run itself stays well-formed
+}
+
+// --- randomized structural check against brute force ---------------------
+
+TEST(AdmissionIndexTest, RandomizedMatchesBruteForce) {
+  std::mt19937_64 rng(20260805);
+  const int kQueries = 200;
+
+  Workload w;
+  w.num_items = 4;
+  w.duration = SecondsToSim(1000.0);
+  SimTime arrival = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    QueryRequest q;
+    q.id = i;
+    arrival += static_cast<SimTime>(rng() % MillisToSim(50));
+    q.arrival = arrival;  // already arrival-sorted: creation order == index
+    q.exec = 1 + static_cast<SimDuration>(rng() % MillisToSim(200));
+    q.relative_deadline = 1 + static_cast<SimDuration>(rng() % SecondsToSim(2.0));
+    q.freshness_req = 0.9;
+    q.items = {0};
+    w.queries.push_back(q);
+  }
+
+  AdmissionIndex index;
+  index.Init(w);
+
+  std::vector<Transaction> txns;
+  txns.reserve(kQueries);
+  for (int i = 0; i < kQueries; ++i) {
+    const QueryRequest& q = w.queries[i];
+    txns.push_back(Transaction::MakeQuery(i, q.arrival, q.exec,
+                                          q.relative_deadline,
+                                          q.freshness_req, q.items));
+    ASSERT_GE(index.RankOfQuery(i), 0);
+    txns.back().set_admission_rank(index.RankOfQuery(i));
+  }
+
+  std::vector<bool> queued(kQueries, false);
+  // Reference answers come from re-simulating the naive scan over the queued
+  // set in EDF (deadline, id) order.
+  auto brute = [&](SimTime d, int64_t lo, int64_t hi, SimDuration* earlier,
+                   int64_t* later_count) -> int64_t {
+    std::vector<const Transaction*> later;
+    *earlier = 0;
+    for (int i = 0; i < kQueries; ++i) {
+      if (!queued[i]) continue;
+      if (txns[i].absolute_deadline() <= d) {
+        *earlier += txns[i].remaining();
+      } else {
+        later.push_back(&txns[i]);
+      }
+    }
+    std::sort(later.begin(), later.end(),
+              [](const Transaction* a, const Transaction* b) {
+                if (a->absolute_deadline() != b->absolute_deadline())
+                  return a->absolute_deadline() < b->absolute_deadline();
+                return a->id() < b->id();
+              });
+    *later_count = static_cast<int64_t>(later.size());
+    int64_t prefix = 0;
+    int64_t endangered = 0;
+    for (const Transaction* t : later) {
+      prefix += t->remaining();
+      const int64_t m = t->absolute_deadline() - prefix;
+      if (m >= lo && m < hi) ++endangered;
+    }
+    return endangered;
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    const int i = static_cast<int>(rng() % kQueries);
+    if (queued[i]) {
+      index.OnRemove(txns[i]);
+      queued[i] = false;
+    } else {
+      // Remaining work only changes while a query is out of the queue.
+      txns[i].set_remaining(1 + static_cast<SimDuration>(
+                                    rng() % txns[i].exec_time()));
+      index.OnInsert(txns[i]);
+      queued[i] = true;
+    }
+
+    // Probe with a deadline near a random query's and a random lag window.
+    const int probe = static_cast<int>(rng() % kQueries);
+    const SimTime d = txns[probe].absolute_deadline() +
+                      static_cast<SimTime>(rng() % MillisToSim(10)) -
+                      MillisToSim(5);
+    const int64_t lo = static_cast<int64_t>(rng() % SecondsToSim(3.0));
+    const int64_t hi = lo + 1 + static_cast<int64_t>(rng() % SecondsToSim(1.0));
+    SimDuration want_earlier = 0;
+    int64_t want_later = 0;
+    const int64_t want_endangered = brute(d, lo, hi, &want_earlier, &want_later);
+    ASSERT_EQ(index.EarlierWork(d), want_earlier) << "step " << step;
+    ASSERT_EQ(index.LaterCount(d), want_later) << "step " << step;
+    ASSERT_EQ(index.CountEndangered(d, lo, hi), want_endangered)
+        << "step " << step << " d=" << d << " lo=" << lo << " hi=" << hi;
+  }
+}
+
+TEST(AdmissionIndexTest, RanksFollowDeadlineThenArrivalOrder) {
+  Workload w;
+  w.num_items = 1;
+  w.duration = SecondsToSim(10.0);
+  // Arrivals 0,1,2,3 with deadlines 5s, 2s, 5s, 1s.
+  const double deadlines_s[] = {5.0, 2.0, 5.0, 1.0};
+  for (int i = 0; i < 4; ++i) {
+    QueryRequest q;
+    q.id = i;
+    q.arrival = SecondsToSim(static_cast<double>(i) * 0.1);
+    q.exec = MillisToSim(10);
+    q.relative_deadline =
+        SecondsToSim(deadlines_s[i]) - q.arrival;  // absolute = deadlines_s
+    q.freshness_req = 0.9;
+    q.items = {0};
+    w.queries.push_back(q);
+  }
+  AdmissionIndex index;
+  index.Init(w);
+  EXPECT_EQ(index.RankOfQuery(3), 0);  // 1s
+  EXPECT_EQ(index.RankOfQuery(1), 1);  // 2s
+  EXPECT_EQ(index.RankOfQuery(0), 2);  // 5s, earlier arrival
+  EXPECT_EQ(index.RankOfQuery(2), 3);  // 5s, later arrival
+}
+
+}  // namespace
+}  // namespace unitdb

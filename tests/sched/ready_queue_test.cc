@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+#include <set>
 #include <vector>
 
 #include "unit/txn/transaction.h"
@@ -131,6 +133,94 @@ TEST(ReadyQueueTest, FcfsStillRanksUpdatesAboveQueries) {
   q.Insert(&query);
   q.Insert(&update);
   EXPECT_EQ(q.Top(), &update);
+}
+
+TEST(ReadyQueueTest, PeakSizeIsMonotonicHighWaterMark) {
+  ReadyQueue q;
+  Transaction a = Query(1, 1.0), b = Query(2, 2.0), c = Query(3, 3.0);
+  EXPECT_EQ(q.peak_size(), 0);
+  q.Insert(&a);
+  q.Insert(&b);
+  EXPECT_EQ(q.peak_size(), 2);
+  q.PopTop();
+  q.PopTop();
+  EXPECT_EQ(q.peak_size(), 2);  // draining doesn't lower the mark
+  q.Insert(&c);
+  EXPECT_EQ(q.peak_size(), 2);
+}
+
+/// Randomized model check: the intrusive heaps must agree with the seed's
+/// std::set representation — same Top, same membership, same EDF visit
+/// order, same update-work sum — through arbitrary insert/remove/pop mixes.
+TEST(ReadyQueueTest, RandomizedMatchesSetModel) {
+  for (QueueDiscipline discipline :
+       {QueueDiscipline::kEdf, QueueDiscipline::kFcfs}) {
+    std::mt19937_64 rng(discipline == QueueDiscipline::kEdf ? 1u : 2u);
+    const int kTxns = 64;
+    std::vector<Transaction> txns;
+    txns.reserve(kTxns);
+    for (int i = 0; i < kTxns; ++i) {
+      const double deadline_s = 0.001 * static_cast<double>(1 + rng() % 5000);
+      const double exec_ms = static_cast<double>(1 + rng() % 200);
+      txns.push_back(i % 3 == 0 ? Update(i, deadline_s, exec_ms)
+                                : Query(i, deadline_s, exec_ms));
+    }
+
+    ReadyQueue q(discipline);
+    // Reference model: the seed's ordered-set comparator (class, then
+    // deadline under EDF, then id).
+    auto before = [&](const Transaction* a, const Transaction* b) {
+      if (discipline == QueueDiscipline::kEdf &&
+          a->absolute_deadline() != b->absolute_deadline()) {
+        return a->absolute_deadline() < b->absolute_deadline();
+      }
+      return a->id() < b->id();
+    };
+    std::set<Transaction*, decltype(before)> updates(before);
+    std::set<Transaction*, decltype(before)> queries(before);
+
+    auto model_top = [&]() -> Transaction* {
+      if (!updates.empty()) return *updates.begin();
+      if (!queries.empty()) return *queries.begin();
+      return nullptr;
+    };
+
+    for (int step = 0; step < 4000; ++step) {
+      Transaction* t = &txns[rng() % kTxns];
+      auto& model = t->is_update() ? updates : queries;
+      switch (rng() % 3) {
+        case 0:  // insert if absent
+          if (model.insert(t).second) q.Insert(t);
+          break;
+        case 1:  // remove (possibly absent)
+          EXPECT_EQ(q.Remove(t), model.erase(t) > 0);
+          break;
+        default: {  // pop
+          Transaction* want = model_top();
+          if (want != nullptr) {
+            (want->is_update() ? updates : queries).erase(want);
+          }
+          EXPECT_EQ(q.PopTop(), want);
+          break;
+        }
+      }
+      ASSERT_EQ(q.Top(), model_top()) << "step " << step;
+      ASSERT_EQ(q.update_count(), static_cast<int>(updates.size()));
+      ASSERT_EQ(q.query_count(), static_cast<int>(queries.size()));
+      ASSERT_EQ(q.Contains(t), (t->is_update() ? updates : queries).count(t) > 0);
+
+      SimDuration update_work = 0;
+      for (const Transaction* u : updates) update_work += u->remaining();
+      ASSERT_EQ(q.TotalUpdateWork(), update_work);
+
+      if (step % 97 == 0) {  // visit order matches the set's iteration order
+        std::vector<TxnId> got, want;
+        q.ForEachQuery([&](const Transaction& v) { got.push_back(v.id()); });
+        for (const Transaction* v : queries) want.push_back(v->id());
+        ASSERT_EQ(got, want) << "step " << step;
+      }
+    }
+  }
 }
 
 }  // namespace
