@@ -114,6 +114,11 @@ int Main(int argc, char** argv) {
     std::cerr << config.status().ToString() << "\n";
     return 1;
   }
+  if (Status s = config->ExpectKeys({"scale", "seed", "reps", "out"});
+      !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
   const double scale = config->GetDouble("scale", 0.2);
   const uint64_t seed = config->GetInt("seed", 42);
   const int reps = static_cast<int>(config->GetInt("reps", 3));

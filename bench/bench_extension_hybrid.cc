@@ -22,6 +22,10 @@ int Main(int argc, char** argv) {
     std::cerr << config.status().ToString() << "\n";
     return 1;
   }
+  if (Status s = config->ExpectKeys({"scale", "seed"}); !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
   const double scale = config->GetDouble("scale", 1.0);
   const uint64_t seed = config->GetInt("seed", 42);
 

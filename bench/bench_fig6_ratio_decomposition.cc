@@ -11,9 +11,16 @@
 // jobs count.
 //
 // Usage: bench_fig6_ratio_decomposition [scale=1.0] [seed=42] [jobs=0]
+//                                       [trace_dir=DIR]
 //        (jobs=0: one worker per hardware thread)
+//   trace_dir=DIR additionally re-runs every cell single-shot with
+//   observability attached, writing DIR/med-unif-<label>.jsonl (event
+//   trace, the input format of tools/trace_check) and
+//   DIR/med-unif-<label>-series.csv (per-control-window time series); the
+//   series' usm_* columns are the decomposition the panels summarise.
 
 #include <chrono>
+#include <filesystem>
 #include <iostream>
 
 #include "unit/common/config.h"
@@ -39,15 +46,40 @@ void PrintBars(const std::string& label, const ReplicatedResult& r) {
             << Bar(r.dsf_ratio.mean(), 1.0, 10) << "\n";
 }
 
+// One single-shot traced run on `workload`, trace + series files named
+// DIR/<trace>-<label>.*; prints a one-line summary.
+Status RunTracedCell(const Workload& workload, const std::string& policy,
+                     const UsmWeights& weights, const std::string& trace_dir,
+                     const std::string& label) {
+  ObsOptions obs;
+  const std::string stem =
+      trace_dir + "/" + workload.update_trace_name + "-" + label;
+  obs.trace_path = stem + ".jsonl";
+  obs.series_csv_path = stem + "-series.csv";
+  auto r = RunTracedExperiment(workload, policy, weights, obs);
+  if (!r.ok()) return r.status();
+  std::cout << "  " << workload.update_trace_name << " " << label
+            << " usm=" << Fmt(r->usm, 3) << " windows=" << r->series.size()
+            << "\n";
+  return Status::Ok();
+}
+
 int Main(int argc, char** argv) {
   auto config = Config::ParseArgs(argc, argv);
   if (!config.ok()) {
     std::cerr << config.status().ToString() << "\n";
     return 1;
   }
+  if (Status s =
+          config->ExpectKeys({"scale", "seed", "jobs", "trace_dir"});
+      !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
   const double scale = config->GetDouble("scale", 1.0);
   const uint64_t seed = config->GetInt("seed", 42);
   const int jobs = ResolveJobs(static_cast<int>(config->GetInt("jobs", 0)));
+  const std::string trace_dir = config->GetString("trace_dir", "");
 
   // Both panels run on the med-unif trace.
   GridSpec spec;
@@ -100,6 +132,41 @@ int Main(int argc, char** argv) {
   b.Print(std::cout);
   std::cout << "grid wall-clock: " << Fmt(wall_s, 3) << " s (jobs=" << jobs
             << ")\n";
+
+  if (!trace_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(trace_dir, ec);
+    if (ec) {
+      std::cerr << "cannot create " << trace_dir << ": " << ec.message()
+                << "\n";
+      return 1;
+    }
+    std::cout << "\n--- traced runs (JSONL + window series) -> " << trace_dir
+              << " ---\n";
+    auto workload = MakeStandardWorkload(UpdateVolume::kMedium,
+                                         UpdateDistribution::kUniform, scale,
+                                         seed);
+    if (!workload.ok()) {
+      std::cerr << workload.status().ToString() << "\n";
+      return 1;
+    }
+    for (const std::string& policy : spec_a.policies) {
+      Status s = RunTracedCell(*workload, policy, UsmWeights{}, trace_dir,
+                               policy);
+      if (!s.ok()) {
+        std::cerr << s.ToString() << "\n";
+        return 1;
+      }
+    }
+    for (const NamedWeights& nw : spec_b.weightings) {
+      Status s = RunTracedCell(*workload, "unit", nw.weights, trace_dir,
+                               "unit-" + nw.name);
+      if (!s.ok()) {
+        std::cerr << s.ToString() << "\n";
+        return 1;
+      }
+    }
+  }
 
   std::cout << "\npaper shape: (1) UNIT's success share tops the baselines; "
                "(2) UNIT's failure mix\nshifts away from whichever failure "

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over bench_engine_throughput JSON output.
+
+Compares the events/sec of every (cell, policy) in a fresh BENCH_engine.json
+against the checked-in baseline (bench/baseline/BENCH_engine.json) and exits
+non-zero if any cell regressed by more than --max-regression (default 25%).
+
+The generous default threshold is deliberate: the baseline is recorded on
+one machine and CI runs on another, so the gate is meant to catch algorithmic
+regressions (an accidental O(n^2) admission scan, a lost fast path), not
+single-digit scheduling noise. Regenerate the baseline after intentional perf
+changes with:
+
+    bench_engine_throughput scale=0.1 reps=2 out=bench/baseline/BENCH_engine.json
+
+Usage: compare_bench.py BASELINE CURRENT [--max-regression 0.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_cells(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {(c["cell"], c["policy"]): c for c in doc["cells"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="maximum tolerated fractional events/sec drop per cell",
+    )
+    args = parser.parse_args()
+
+    baseline = load_cells(args.baseline)
+    current = load_cells(args.current)
+
+    missing = sorted(set(baseline) - set(current))
+    if missing:
+        print(f"FAIL: current run is missing cells: {missing}")
+        return 1
+
+    failures = []
+    width = max(len(f"{cell}/{policy}") for cell, policy in baseline)
+    print(f"{'cell':<{width}}  {'baseline':>12}  {'current':>12}  {'delta':>8}")
+    for (cell, policy), base in sorted(baseline.items()):
+        cur = current[(cell, policy)]
+        base_eps = base["events_per_sec"]
+        cur_eps = cur["events_per_sec"]
+        delta = (cur_eps - base_eps) / base_eps if base_eps > 0 else 0.0
+        marker = ""
+        if delta < -args.max_regression:
+            failures.append((cell, policy, delta))
+            marker = "  << REGRESSION"
+        name = f"{cell}/{policy}"
+        print(
+            f"{name:<{width}}  {base_eps:>12.0f}  {cur_eps:>12.0f}"
+            f"  {delta:>+7.1%}{marker}"
+        )
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} cell(s) regressed more than "
+            f"{args.max_regression:.0%} in events/sec:"
+        )
+        for cell, policy, delta in failures:
+            print(f"  {cell}/{policy}: {delta:+.1%}")
+        return 1
+    print(f"\nOK: no cell regressed more than {args.max_regression:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -91,4 +91,22 @@ std::vector<std::string> Config::Keys() const {
   return keys;
 }
 
+Status Config::ExpectKeys(const std::vector<std::string>& allowed) const {
+  for (const auto& [key, _] : values_) {
+    bool known = false;
+    for (const std::string& a : allowed) {
+      if (key == a) {
+        known = true;
+        break;
+      }
+    }
+    if (known) continue;
+    std::string message = "unknown key '" + key + "' (accepted:";
+    for (const std::string& a : allowed) message += " " + a;
+    message += ")";
+    return Status::InvalidArgument(message);
+  }
+  return Status::Ok();
+}
+
 }  // namespace unitdb

@@ -13,8 +13,9 @@ namespace unitdb {
 /// experiments can be tweaked from the command line without recompiling.
 ///
 /// Accepted syntax per entry: `key=value`. `ParseArgs` also accepts
-/// `--key=value`. Lookup is typed with defaults; unknown keys can be listed
-/// for "did you mean" style validation by the caller.
+/// `--key=value`. Lookup is typed with defaults; callers validate the key
+/// set with ExpectKeys so a typo fails loudly instead of silently running
+/// with the default value.
 class Config {
  public:
   Config() = default;
@@ -37,6 +38,13 @@ class Config {
 
   /// All keys, sorted, for help/debug output.
   std::vector<std::string> Keys() const;
+
+  /// Fails with InvalidArgument if any parsed key is not in `allowed`,
+  /// naming the offending key and the accepted set. Every binary that
+  /// parses a Config should call this right after parsing — a mistyped
+  /// key silently falling back to its default is the worst failure mode
+  /// a benchmark CLI can have.
+  Status ExpectKeys(const std::vector<std::string>& allowed) const;
 
  private:
   std::map<std::string, std::string> values_;

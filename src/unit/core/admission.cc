@@ -222,6 +222,7 @@ bool AdmissionController::AdmitNaive(const Engine& engine,
   const bool naive = weights.AllZeroPenalties();
   if (!DecideDeadline(engine, candidate, est, naive, weights)) {
     ++rejected_by_deadline_;
+    last_reject_reason_ = "deadline";
     return false;
   }
 
@@ -246,12 +247,14 @@ bool AdmissionController::AdmitNaive(const Engine& engine,
       }
       if (endangered_cost > rejection_cost) {
         ++rejected_by_usm_;
+        last_reject_reason_ = "usm";
         return false;
       }
     }
   }
 
   ++admitted_;
+  last_reject_reason_ = nullptr;
   return true;
 }
 
@@ -270,6 +273,7 @@ bool AdmissionController::AdmitIndexed(const Engine& engine,
   const bool naive = weights.AllZeroPenalties();
   if (!DecideDeadline(engine, candidate, est, naive, weights)) {
     ++rejected_by_deadline_;
+    last_reject_reason_ = "deadline";
     return false;
   }
 
@@ -293,12 +297,14 @@ bool AdmissionController::AdmitIndexed(const Engine& engine,
       for (int64_t i = 0; i < endangered; ++i) endangered_cost += dmf_cost;
       if (endangered_cost > rejection_cost) {
         ++rejected_by_usm_;
+        last_reject_reason_ = "usm";
         return false;
       }
     }
   }
 
   ++admitted_;
+  last_reject_reason_ = nullptr;
   return true;
 }
 

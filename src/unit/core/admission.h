@@ -148,6 +148,11 @@ class AdmissionController {
   int64_t rejected_by_usm() const { return rejected_by_usm_; }
   int64_t admitted() const { return admitted_; }
 
+  /// Which check failed the most recent Admit call ("deadline" or "usm";
+  /// nullptr when it admitted). Static-storage strings — callers may hold
+  /// the pointer. Feeds the reject-reason field of obs/ trace events.
+  const char* last_reject_reason() const { return last_reject_reason_; }
+
  private:
   bool AdmitNaive(const Engine& engine, const Transaction& candidate,
                   const UsmWeights& weights);
@@ -162,6 +167,7 @@ class AdmissionController {
   int64_t rejected_by_deadline_ = 0;
   int64_t rejected_by_usm_ = 0;
   int64_t admitted_ = 0;
+  const char* last_reject_reason_ = nullptr;
 };
 
 }  // namespace unitdb

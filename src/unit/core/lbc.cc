@@ -75,10 +75,12 @@ double LoadBalancingController::RangeOverClasses() const {
   return range;
 }
 
-ControlSignal LoadBalancingController::Tick(
+LbcDecision LoadBalancingController::TickDecision(
     SimTime now, const std::vector<OutcomeCounts>& per_class_cumulative,
     double tick_utilization, Rng& rng) {
   utilization_ewma_ = 0.3 * tick_utilization + 0.7 * utilization_ewma_;
+  LbcDecision decision;
+  decision.utilization = utilization_ewma_;
 
   // --- per-tick USM monitoring (drop detector) ---
   const std::vector<OutcomeCounts> tick_window =
@@ -98,9 +100,10 @@ ControlSignal LoadBalancingController::Tick(
       usm_ewma_ = next;
     }
   }
+  decision.usm_ewma = usm_ewma_;
 
   const bool periodic = (now - last_eval_) >= params_.grace_period;
-  if (!periodic && !dropped) return ControlSignal::kNone;
+  if (!periodic && !dropped) return decision;
 
   // --- adaptive allocation over the cohort since the last evaluation ---
   const std::vector<OutcomeCounts> window =
@@ -108,8 +111,11 @@ ControlSignal LoadBalancingController::Tick(
   last_eval_counts_ = per_class_cumulative;
   last_eval_ = now;
   const int64_t resolved = TotalResolved(window);
-  if (resolved <= 0) return ControlSignal::kNone;
+  if (resolved <= 0) return decision;
   if (dropped) ++drop_triggers_;
+  decision.evaluated = true;
+  decision.drop_triggered = dropped;
+  decision.resolved = resolved;
 
   // Paper Fig. 2: weigh each failure ratio by its (per-class) penalty; with
   // all-zero penalties the raw ratios themselves drive the decision.
@@ -145,6 +151,9 @@ ControlSignal LoadBalancingController::Tick(
       fs_count < params_.min_actionable_count) {
     fs = 0.0;
   }
+  decision.r = r;
+  decision.fm = fm;
+  decision.fs = fs;
 
   const double top = std::max({r, fm, fs});
   if (top <= 0.0) {
@@ -152,9 +161,9 @@ ControlSignal LoadBalancingController::Tick(
     // preventively instead of waiting for the first deadline misses.
     if (utilization_ewma_ >= params_.preventive_utilization) {
       ++triggers_;
-      return ControlSignal::kPreventiveDegrade;
+      decision.signal = ControlSignal::kPreventiveDegrade;
     }
-    return ControlSignal::kNone;
+    return decision;
   }
 
   // Break ties randomly among the maximal costs.
@@ -165,11 +174,17 @@ ControlSignal LoadBalancingController::Tick(
     candidates[n_candidates++] = ControlSignal::kDegradeAndTighten;
   }
   if (fs == top) candidates[n_candidates++] = ControlSignal::kUpgradeUpdates;
-  const ControlSignal signal =
+  decision.signal =
       candidates[n_candidates == 1 ? 0 : rng.UniformInt(0, n_candidates - 1)];
 
   ++triggers_;
-  return signal;
+  return decision;
+}
+
+ControlSignal LoadBalancingController::Tick(
+    SimTime now, const std::vector<OutcomeCounts>& per_class_cumulative,
+    double tick_utilization, Rng& rng) {
+  return TickDecision(now, per_class_cumulative, tick_utilization, rng).signal;
 }
 
 ControlSignal LoadBalancingController::Tick(SimTime now,

@@ -28,6 +28,24 @@ enum class ControlSignal {
 
 const char* ControlSignalName(ControlSignal s);
 
+/// Full record of one LBC monitoring tick, for telemetry (obs/ trace events
+/// carry these fields so tools/trace_check can re-verify the Fig. 2 rule).
+/// `evaluated` is true only when the adaptive-allocation pass actually ran —
+/// i.e. the grace period elapsed or the USM dropped, and the cohort since
+/// the last pass resolved at least one query. The ratios are the post-floor
+/// penalty-weighted values the dominant-cost comparison chose between.
+struct LbcDecision {
+  ControlSignal signal = ControlSignal::kNone;
+  bool evaluated = false;
+  bool drop_triggered = false;  ///< this pass was caused by a USM drop
+  int64_t resolved = 0;         ///< cohort size the ratios are over
+  double r = 0.0;               ///< weighted rejection ratio (post-floor)
+  double fm = 0.0;              ///< weighted DMF ratio (post-floor)
+  double fs = 0.0;              ///< weighted DSF ratio (post-floor)
+  double utilization = 0.0;     ///< utilization EWMA the decision saw
+  double usm_ewma = 0.0;        ///< smoothed per-tick USM after this tick
+};
+
 /// LBC tunables.
 struct LbcParams {
   /// Periodic trigger: at least one adaptive-allocation pass per grace
@@ -87,6 +105,13 @@ class LoadBalancingController {
   /// Single-class convenience overload.
   ControlSignal Tick(SimTime now, const OutcomeCounts& cumulative,
                      double tick_utilization, Rng& rng);
+
+  /// Like Tick, additionally reporting the evaluation telemetry the signal
+  /// was derived from. Tick delegates here; behavior (including RNG
+  /// consumption on ties) is identical.
+  LbcDecision TickDecision(
+      SimTime now, const std::vector<OutcomeCounts>& per_class_cumulative,
+      double tick_utilization, Rng& rng);
 
   /// Number of adaptive-allocation evaluations that produced a signal.
   int64_t triggers() const { return triggers_; }

@@ -1,5 +1,6 @@
 #include "unit/core/policies/unit_policy.h"
 
+#include "unit/obs/trace_sink.h"
 #include "unit/sched/engine.h"
 
 namespace unitdb {
@@ -19,13 +20,16 @@ UnitPolicy::UnitPolicy(std::vector<UsmWeights> class_weights,
 void UnitPolicy::Attach(Engine& engine) {
   modulator_ = UpdateModulator(engine.db().num_items(), params_.modulation);
   modulator_.AttachSources(engine.db());
+  modulator_.set_trace(engine.params().trace);
 }
 
 bool UnitPolicy::AdmitQuery(Engine& engine, const Transaction& query) {
   if (!params_.enable_admission_control) return true;
-  return admission_.Admit(
+  const bool admit = admission_.Admit(
       engine, query,
       WeightsForClass(class_weights_, query.preference_class()));
+  if (!admit) engine.ReportRejectReason(admission_.last_reject_reason());
+  return admit;
 }
 
 void UnitPolicy::OnQueryResolved(Engine& engine, const Transaction& query,
@@ -69,10 +73,11 @@ void UnitPolicy::OnControlTick(Engine& engine) {
   last_busy_s_ = busy;
   last_tick_ = engine.now();
 
-  const ControlSignal signal = lbc_.Tick(engine.now(),
-                                         engine.per_class_counts(),
-                                         utilization, rng_);
+  const LbcDecision decision = lbc_.TickDecision(
+      engine.now(), engine.per_class_counts(), utilization, rng_);
+  const ControlSignal signal = decision.signal;
   ++signal_counts_[static_cast<int>(signal)];
+  const double knob_before = AdmissionKnob();
   switch (signal) {
     case ControlSignal::kNone:
       break;
@@ -81,13 +86,13 @@ void UnitPolicy::OnControlTick(Engine& engine) {
       break;
     case ControlSignal::kDegradeAndTighten:
       if (params_.enable_update_modulation) {
-        modulator_.Degrade(engine.db(), rng_);
+        modulator_.Degrade(engine.db(), rng_, engine.now());
       }
       if (params_.enable_admission_control) admission_.Tighten();
       break;
     case ControlSignal::kPreventiveDegrade:
       if (params_.enable_update_modulation) {
-        modulator_.Degrade(engine.db(), rng_);
+        modulator_.Degrade(engine.db(), rng_, engine.now());
       }
       break;
     case ControlSignal::kUpgradeUpdates:
@@ -95,7 +100,7 @@ void UnitPolicy::OnControlTick(Engine& engine) {
         // Push feeds keep delivering values while application is shed; on
         // restore, apply the buffered newest value right away instead of
         // waiting up to a full period for the next arrival.
-        for (ItemId item : modulator_.Upgrade(engine.db())) {
+        for (ItemId item : modulator_.Upgrade(engine.db(), engine.now())) {
           if (engine.db().Udrop(item, engine.now()) > 0 &&
               engine.PendingUpdatesForItem(item) == 0) {
             engine.IssueOnDemandUpdate(item);
@@ -103,6 +108,25 @@ void UnitPolicy::OnControlTick(Engine& engine) {
         }
       }
       break;
+  }
+  // One trace record per adaptive-allocation pass (including the "none"
+  // verdict): the ratios it weighed, what it chose, and how the admission
+  // knob moved. tools/trace_check re-verifies the Fig. 2 rule from these.
+  TraceSink* trace = engine.params().trace;
+  if (trace != nullptr && decision.evaluated) {
+    TraceEvent e;
+    e.time = engine.now();
+    e.type = TraceEventType::kLbcSignal;
+    e.set_reason(ControlSignalName(signal));
+    e.r = decision.r;
+    e.fm = decision.fm;
+    e.fs = decision.fs;
+    e.utilization = decision.utilization;
+    e.resolved = decision.resolved;
+    e.drop_trigger = decision.drop_triggered;
+    e.knob_before = knob_before;
+    e.knob = AdmissionKnob();
+    trace->Emit(e);
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef UNIT_CORE_POLICIES_UNIT_POLICY_H_
 #define UNIT_CORE_POLICIES_UNIT_POLICY_H_
 
+#include <limits>
 #include <memory>
 #include <string>
 
@@ -45,6 +46,11 @@ class UnitPolicy : public Policy {
                        Outcome outcome) override;
   void OnUpdateSourceArrival(Engine& engine, ItemId item) override;
   void OnControlTick(Engine& engine) override;
+  double AdmissionKnob() const override {
+    return params_.enable_admission_control
+               ? admission_.c_flex()
+               : std::numeric_limits<double>::quiet_NaN();
+  }
 
   // Introspection (tests / benches).
   const AdmissionController& admission() const { return admission_; }

@@ -1,6 +1,7 @@
 #ifndef UNIT_CORE_POLICY_H_
 #define UNIT_CORE_POLICY_H_
 
+#include <limits>
 #include <string>
 
 #include "unit/txn/outcome.h"
@@ -69,6 +70,13 @@ class Policy {
 
   /// Called every engine control period (EngineParams::control_period).
   virtual void OnControlTick(Engine& engine) { (void)engine; }
+
+  /// Current admission-control knob (C_flex for UNIT-style policies), for
+  /// telemetry only — the engine samples it into the window time series.
+  /// NaN means "this policy has no such knob" and serializes as null.
+  virtual double AdmissionKnob() const {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
 
   /// Whether the engine should generate periodic update transactions from
   /// the items' (current) periods. ODU turns this off and refreshes data

@@ -67,7 +67,21 @@ void UpdateModulator::OnUpdateArrival(ItemId item, SimDuration exec,
   sampler_.SetTicket(item, DecayedTicket(item, now) + it_j);
 }
 
-void UpdateModulator::Degrade(Database& db, Rng& rng) {
+void UpdateModulator::EmitPeriodChange(ItemId item, SimDuration from,
+                                       SimDuration to, const char* cause,
+                                       SimTime now) {
+  if (trace_ == nullptr || to == from) return;
+  TraceEvent e;
+  e.time = now;
+  e.type = TraceEventType::kPeriodChange;
+  e.item = item;
+  e.period_from = from;
+  e.period_to = to;
+  e.set_reason(cause);
+  trace_->Emit(e);
+}
+
+void UpdateModulator::Degrade(Database& db, Rng& rng, SimTime now) {
   ++degrade_signals_;
   const int batch =
       params_.degrade_batch > 0 ? params_.degrade_batch : sampler_.size();
@@ -75,17 +89,20 @@ void UpdateModulator::Degrade(Database& db, Rng& rng) {
     const int victim = sampler_.Sample(rng);
     if (victim < 0) return;  // nothing eligible
     DataItemState& item = db.mutable_item(victim);
+    const SimDuration before = item.current_period;
     const double cap =
         static_cast<double>(item.ideal_period) * params_.max_stretch;
     const double stretched =
         std::min(cap, static_cast<double>(item.current_period) *
                           (1.0 + params_.c_du));
     db.SetCurrentPeriod(victim, static_cast<SimDuration>(stretched));
+    EmitPeriodChange(victim, before, db.item(victim).current_period,
+                     "degrade", now);
     ++total_picks_;
   }
 }
 
-std::vector<ItemId> UpdateModulator::Upgrade(Database& db) {
+std::vector<ItemId> UpdateModulator::Upgrade(Database& db, SimTime now) {
   ++upgrade_signals_;
   std::vector<ItemId> touched;
   for (ItemId i = 0; i < db.num_items(); ++i) {
@@ -95,6 +112,7 @@ std::vector<ItemId> UpdateModulator::Upgrade(Database& db) {
       stale_hits_[i] = 0;
       continue;
     }
+    const SimDuration before = item.current_period;
     if (params_.selective_upgrade) {
       if (stale_hits_[i] == 0) continue;
       stale_hits_[i] = 0;
@@ -113,6 +131,7 @@ std::vector<ItemId> UpdateModulator::Upgrade(Database& db) {
                             static_cast<double>(item.current_period) *
                             params_.c_uu)));
       }
+      EmitPeriodChange(i, before, item.current_period, "upgrade", now);
       touched.push_back(i);
       continue;
     }
@@ -124,6 +143,7 @@ std::vector<ItemId> UpdateModulator::Upgrade(Database& db) {
                             : current * params_.c_uu;
     db.SetCurrentPeriod(
         i, std::max(item.ideal_period, static_cast<SimDuration>(next)));
+    EmitPeriodChange(i, before, item.current_period, "upgrade", now);
     touched.push_back(i);
   }
   return touched;

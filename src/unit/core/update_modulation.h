@@ -8,6 +8,7 @@
 #include "unit/common/stats.h"
 #include "unit/core/lottery.h"
 #include "unit/db/database.h"
+#include "unit/obs/trace_sink.h"
 #include "unit/txn/transaction.h"
 
 namespace unitdb {
@@ -102,17 +103,23 @@ class UpdateModulator {
   /// source (applied or not); its execution time is `exec`.
   void OnUpdateArrival(ItemId item, SimDuration exec, SimTime now);
 
+  /// Emit a "period-change" trace event for every period the modulator
+  /// actually changes (nullptr = off; that is the default).
+  void set_trace(TraceSink* trace) { trace_ = trace; }
+
   /// One Degrade-Update control signal: `degrade_batch` lottery picks, each
-  /// stretching its victim's current period by (1 + C_du).
-  void Degrade(Database& db, Rng& rng);
+  /// stretching its victim's current period by (1 + C_du). `now` only
+  /// timestamps trace events; it does not affect modulation.
+  void Degrade(Database& db, Rng& rng, SimTime now = 0);
 
   /// One Upgrade-Update control signal. Selective mode restores exactly the
   /// items users demanded (stale or degraded read sets) to their source
   /// rate; global mode shrinks every degraded period by C_uu, clamped at
   /// the ideal period. Returns the items whose period was restored/shrunk,
   /// so the caller can re-apply the buffered newest value (push feeds keep
-  /// delivering values even while their application is shed).
-  std::vector<ItemId> Upgrade(Database& db);
+  /// delivering values even while their application is shed). `now` only
+  /// timestamps trace events.
+  std::vector<ItemId> Upgrade(Database& db, SimTime now = 0);
 
   double ticket(ItemId item) const { return sampler_.ticket(item); }
   int64_t stale_hits(ItemId item) const { return stale_hits_[item]; }
@@ -126,6 +133,10 @@ class UpdateModulator {
 
   double DecayedTicket(ItemId item, SimTime now);
 
+  void EmitPeriodChange(ItemId item, SimDuration from, SimDuration to,
+                        const char* cause, SimTime now);
+
+  TraceSink* trace_ = nullptr;
   ModulationParams params_;
   LotterySampler sampler_;
   std::vector<int64_t> stale_hits_;

@@ -1,0 +1,118 @@
+#include "unit/obs/timeseries.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace unitdb {
+
+namespace {
+
+std::string FmtG(double v) {
+  char tmp[40];
+  std::snprintf(tmp, sizeof(tmp), "%.17g", v);
+  return tmp;
+}
+
+void AppendRowValues(const WindowSample& s, std::vector<std::string>& out) {
+  out.push_back(FmtG(s.t_s));
+  out.push_back(std::to_string(s.window.submitted));
+  out.push_back(std::to_string(s.window.success));
+  out.push_back(std::to_string(s.window.rejected));
+  out.push_back(std::to_string(s.window.dmf));
+  out.push_back(std::to_string(s.window.dsf));
+  out.push_back(FmtG(s.usm.s));
+  out.push_back(FmtG(s.usm.r));
+  out.push_back(FmtG(s.usm.fm));
+  out.push_back(FmtG(s.usm.fs));
+  out.push_back(FmtG(s.utilization));
+  out.push_back(std::to_string(s.ready_queries));
+  out.push_back(std::to_string(s.ready_updates));
+  out.push_back(FmtG(s.udrop_p50));
+  out.push_back(FmtG(s.udrop_p90));
+  out.push_back(std::to_string(s.udrop_max));
+  out.push_back(FmtG(s.admission_knob));
+  out.push_back(std::to_string(s.degraded_items));
+}
+
+Status WriteStringToFile(const std::string& text, const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f.is_open()) {
+    return Status(StatusCode::kIoError, "cannot open " + path);
+  }
+  f << text;
+  if (!f.good()) return Status(StatusCode::kIoError, "write failed " + path);
+  return Status::Ok();
+}
+
+}  // namespace
+
+TimeSeriesRecorder::TimeSeriesRecorder(const UsmWeights& weights)
+    : weights_(weights) {}
+
+void TimeSeriesRecorder::Record(WindowSample sample) {
+  sample.usm = UsmDecompose(sample.window, weights_);
+  samples_.push_back(sample);
+}
+
+const std::vector<std::string>& TimeSeriesRecorder::ColumnNames() {
+  static const std::vector<std::string> kColumns = {
+      "t_s",         "submitted",     "success",       "rejected",
+      "dmf",         "dsf",           "usm_s",         "usm_r",
+      "usm_fm",      "usm_fs",        "utilization",   "ready_queries",
+      "ready_updates", "udrop_p50",   "udrop_p90",     "udrop_max",
+      "c_flex",      "degraded_items"};
+  return kColumns;
+}
+
+std::string TimeSeriesRecorder::ToCsv() const {
+  std::string out;
+  const auto& cols = ColumnNames();
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (i > 0) out += ',';
+    out += cols[i];
+  }
+  out += '\n';
+  std::vector<std::string> row;
+  for (const WindowSample& s : samples_) {
+    row.clear();
+    AppendRowValues(s, row);
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += row[i];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TimeSeriesRecorder::ToJson() const {
+  const auto& cols = ColumnNames();
+  std::string out = "[\n";
+  std::vector<std::string> row;
+  for (size_t r = 0; r < samples_.size(); ++r) {
+    row.clear();
+    AppendRowValues(samples_[r], row);
+    out += "  {";
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += '"';
+      out += cols[i];
+      out += "\": ";
+      // NaN (no admission knob) is not valid JSON; emit null instead.
+      out += row[i] == "nan" || row[i] == "-nan" ? "null" : row[i];
+    }
+    out += r + 1 < samples_.size() ? "},\n" : "}\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+Status TimeSeriesRecorder::WriteCsv(const std::string& path) const {
+  return WriteStringToFile(ToCsv(), path);
+}
+
+Status TimeSeriesRecorder::WriteJson(const std::string& path) const {
+  return WriteStringToFile(ToJson(), path);
+}
+
+}  // namespace unitdb

@@ -1,0 +1,59 @@
+#ifndef UNIT_OBS_TIMESERIES_H_
+#define UNIT_OBS_TIMESERIES_H_
+
+#include <string>
+#include <vector>
+
+#include "unit/common/status.h"
+#include "unit/core/usm.h"
+#include "unit/txn/outcome.h"
+
+namespace unitdb {
+
+/// One window of engine telemetry, sampled at every control tick (the LBC
+/// window) plus once at end of run for the trailing partial window. The
+/// engine fills the raw fields; the recorder derives the USM decomposition
+/// from `window` under its weights.
+struct WindowSample {
+  double t_s = 0.0;          ///< window end, simulated seconds
+  OutcomeCounts window;      ///< outcome diff over the window
+  UsmBreakdown usm;          ///< per-window Eq. 5 terms (S, R, F_m, F_s)
+  double utilization = 0.0;  ///< CPU utilization over the window
+  int ready_queries = 0;     ///< ready-queue depth at the sample instant
+  int ready_updates = 0;
+  double udrop_p50 = 0.0;    ///< Udrop percentiles over all data items
+  double udrop_p90 = 0.0;
+  int64_t udrop_max = 0;
+  double admission_knob = 0.0;  ///< C_flex (NaN: policy has no AC knob)
+  int degraded_items = 0;       ///< items with current period > ideal
+};
+
+/// Collects WindowSamples during a run (EngineParams::series) and exports
+/// them as CSV or JSON. Column set and order are stable — plotting scripts
+/// and the DESIGN.md §8 schema table key off ColumnNames().
+class TimeSeriesRecorder {
+ public:
+  explicit TimeSeriesRecorder(const UsmWeights& weights = {});
+
+  /// Called by the engine once per window; fills `usm` from `window`.
+  void Record(WindowSample sample);
+
+  const std::vector<WindowSample>& samples() const { return samples_; }
+  const UsmWeights& weights() const { return weights_; }
+
+  /// Stable CSV/JSON column names, in emission order.
+  static const std::vector<std::string>& ColumnNames();
+
+  std::string ToCsv() const;
+  std::string ToJson() const;
+  Status WriteCsv(const std::string& path) const;
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  UsmWeights weights_;
+  std::vector<WindowSample> samples_;
+};
+
+}  // namespace unitdb
+
+#endif  // UNIT_OBS_TIMESERIES_H_

@@ -1,0 +1,273 @@
+#include "unit/obs/trace_check.h"
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+
+namespace unitdb {
+
+namespace {
+
+// Eq. 1 tolerance. Values round-trip bit-exactly through %.17g, so this only
+// absorbs the divide in 1/(1 + Udrop) being re-done here.
+constexpr double kFreshnessEps = 1e-12;
+
+enum class TxnPhase { kArrived, kAdmitted, kDone };
+
+class Checker {
+ public:
+  TraceCheckResult Run(const std::vector<TraceEvent>& events) {
+    for (const TraceEvent& e : events) {
+      ++result_.events;
+      CheckTime(e);
+      switch (e.type) {
+        case TraceEventType::kQueryArrival:
+          ++result_.arrivals;
+          OnArrival(e);
+          break;
+        case TraceEventType::kAdmit:
+          ++result_.admits;
+          OnAdmit(e);
+          break;
+        case TraceEventType::kReject:
+          ++result_.rejects;
+          OnReject(e);
+          break;
+        case TraceEventType::kPreempt:
+        case TraceEventType::kLockRestart:
+          RequireAdmitted(e, e.type == TraceEventType::kPreempt
+                                 ? "preempt"
+                                 : "lock-restart");
+          break;
+        case TraceEventType::kCommit:
+          ++result_.commits;
+          OnCommit(e);
+          break;
+        case TraceEventType::kDeadlineMiss:
+          ++result_.deadline_misses;
+          OnDeadlineMiss(e);
+          break;
+        case TraceEventType::kUpdateArrival:
+          ++result_.update_arrivals;
+          break;
+        case TraceEventType::kUpdateDrop:
+          ++result_.update_drops;
+          break;
+        case TraceEventType::kUpdateApply:
+          ++result_.update_applies;
+          if (e.lag < 0) Violation(e, "update-apply with negative lag");
+          break;
+        case TraceEventType::kPeriodChange:
+          OnPeriodChange(e);
+          break;
+        case TraceEventType::kLbcSignal:
+          ++result_.lbc_signals;
+          OnLbcSignal(e);
+          break;
+      }
+    }
+    // Invariant 2 epilogue: nothing admitted may be left without a terminal
+    // outcome — firm deadlines guarantee every admitted query resolves.
+    for (const auto& [txn, phase] : txns_) {
+      if (phase == TxnPhase::kAdmitted) {
+        Record("txn " + std::to_string(txn) +
+               " admitted but has no terminal outcome");
+      }
+    }
+    return result_;
+  }
+
+ private:
+  void Record(std::string what) {
+    ++result_.violation_count;
+    if (result_.violation_count <= TraceCheckResult::kMaxRecordedViolations) {
+      result_.violations.push_back(std::move(what));
+    }
+  }
+
+  void Violation(const TraceEvent& e, const std::string& what) {
+    Record("t=" + std::to_string(e.time) + " " +
+           TraceEventTypeName(e.type) + ": " + what);
+  }
+
+  void CheckTime(const TraceEvent& e) {
+    if (e.time < last_time_) Violation(e, "timestamp went backwards");
+    last_time_ = e.time;
+  }
+
+  TxnPhase* Find(const TraceEvent& e, const char* what) {
+    auto it = txns_.find(e.txn);
+    if (it == txns_.end()) {
+      Violation(e, std::string(what) + " for unknown txn " +
+                       std::to_string(e.txn));
+      return nullptr;
+    }
+    return &it->second;
+  }
+
+  void OnArrival(const TraceEvent& e) {
+    if (!txns_.emplace(e.txn, TxnPhase::kArrived).second) {
+      Violation(e, "duplicate arrival for txn " + std::to_string(e.txn));
+    }
+  }
+
+  void OnAdmit(const TraceEvent& e) {
+    TxnPhase* phase = Find(e, "admit");
+    if (phase == nullptr) return;
+    if (*phase != TxnPhase::kArrived) {
+      Violation(e, "admit out of order for txn " + std::to_string(e.txn));
+    }
+    *phase = TxnPhase::kAdmitted;
+  }
+
+  void OnReject(const TraceEvent& e) {
+    TxnPhase* phase = Find(e, "reject");
+    if (phase == nullptr) return;
+    if (*phase != TxnPhase::kArrived) {
+      Violation(e, "reject of a non-pending txn " + std::to_string(e.txn));
+    }
+    *phase = TxnPhase::kDone;
+  }
+
+  void RequireAdmitted(const TraceEvent& e, const char* what) {
+    TxnPhase* phase = Find(e, what);
+    if (phase != nullptr && *phase != TxnPhase::kAdmitted) {
+      Violation(e, std::string(what) + " of a txn that is not running");
+    }
+  }
+
+  void OnCommit(const TraceEvent& e) {
+    RequireAdmitted(e, "commit");
+    auto it = txns_.find(e.txn);
+    if (it != txns_.end()) it->second = TxnPhase::kDone;
+
+    const bool is_success = std::strcmp(e.reason, "success") == 0;
+    const bool is_stale = std::strcmp(e.reason, "dsf") == 0;
+    if (is_success) ++result_.success;
+    if (is_stale) ++result_.stale;
+    if (!is_success && !is_stale) {
+      Violation(e, std::string("unknown commit outcome \"") + e.reason + "\"");
+      return;
+    }
+    // Invariant 3: Eq. 1 freshness accounting. The committed freshness must
+    // equal 1/(1 + Udrop) for the staleness-dominant item, and the outcome
+    // must follow from the freshness requirement.
+    if (e.udrop < 0) {
+      Violation(e, "commit without Udrop accounting");
+      return;
+    }
+    const double expected = 1.0 / (1.0 + static_cast<double>(e.udrop));
+    if (std::fabs(e.freshness - expected) > kFreshnessEps) {
+      Violation(e, "freshness " + std::to_string(e.freshness) +
+                       " != 1/(1+Udrop) = " + std::to_string(expected));
+    }
+    const bool should_succeed = e.freshness >= e.freshness_req;
+    if (is_success != should_succeed) {
+      Violation(e, "outcome " + std::string(e.reason) +
+                       " contradicts freshness " + std::to_string(e.freshness) +
+                       " vs required " + std::to_string(e.freshness_req));
+    }
+  }
+
+  void OnDeadlineMiss(const TraceEvent& e) {
+    RequireAdmitted(e, "deadline-miss");
+    auto it = txns_.find(e.txn);
+    if (it != txns_.end()) it->second = TxnPhase::kDone;
+  }
+
+  void OnPeriodChange(const TraceEvent& e) {
+    if (std::strcmp(e.reason, "degrade") == 0) {
+      if (e.period_to <= e.period_from) {
+        Violation(e, "degrade did not stretch the period");
+      }
+    } else if (std::strcmp(e.reason, "upgrade") == 0) {
+      if (e.period_to >= e.period_from) {
+        Violation(e, "upgrade did not shrink the period");
+      }
+    } else {
+      Violation(e, std::string("unknown period-change reason \"") + e.reason +
+                       "\"");
+    }
+  }
+
+  void OnLbcSignal(const TraceEvent& e) {
+    // Invariant 4: the Fig. 2 dominant-penalty rule. The event carries the
+    // post-floor weighted ratios the controller chose between; the chosen
+    // signal must target the (possibly tied) maximum, and the quiescent
+    // signals require all ratios to have been floored to zero.
+    const char* s = e.reason;
+    bool rule_ok = true;
+    if (std::strcmp(s, "loosen-ac") == 0) {
+      rule_ok = e.r > 0.0 && e.r >= e.fm && e.r >= e.fs;
+    } else if (std::strcmp(s, "degrade+tighten") == 0) {
+      rule_ok = e.fm > 0.0 && e.fm >= e.r && e.fm >= e.fs;
+    } else if (std::strcmp(s, "upgrade") == 0) {
+      rule_ok = e.fs > 0.0 && e.fs >= e.r && e.fs >= e.fm;
+    } else if (std::strcmp(s, "preventive-degrade") == 0 ||
+               std::strcmp(s, "none") == 0) {
+      rule_ok = e.r <= 0.0 && e.fm <= 0.0 && e.fs <= 0.0;
+    } else {
+      Violation(e, std::string("unknown LBC signal \"") + s + "\"");
+      return;
+    }
+    if (!rule_ok) {
+      Violation(e, std::string("signal ") + s + " violates dominant-penalty" +
+                       " rule (r=" + std::to_string(e.r) +
+                       " fm=" + std::to_string(e.fm) +
+                       " fs=" + std::to_string(e.fs) + ")");
+    }
+    // Knob movement (only meaningful when the policy has an AC knob; both
+    // fields are NaN otherwise). The knob is C_flex — larger is *tighter* —
+    // so loosen-ac must not raise it and degrade+tighten must not lower it.
+    // Either may saturate at its bound, so direction is checked, not strict
+    // movement.
+    if (std::isnan(e.knob_before) || std::isnan(e.knob)) return;
+    if (std::strcmp(s, "loosen-ac") == 0) {
+      if (e.knob > e.knob_before) Violation(e, "loosen-ac tightened the knob");
+    } else if (std::strcmp(s, "degrade+tighten") == 0) {
+      if (e.knob < e.knob_before) {
+        Violation(e, "degrade+tighten loosened the knob");
+      }
+    } else if (e.knob != e.knob_before) {
+      Violation(e, std::string("signal ") + s + " moved the admission knob");
+    }
+  }
+
+  TraceCheckResult result_;
+  SimTime last_time_ = 0;
+  std::unordered_map<TxnId, TxnPhase> txns_;
+};
+
+}  // namespace
+
+TraceCheckResult CheckTrace(const std::vector<TraceEvent>& events) {
+  return Checker().Run(events);
+}
+
+std::string TraceCheckSummary(const TraceCheckResult& r) {
+  std::string out = std::to_string(r.events) + " events (" +
+                    std::to_string(r.arrivals) + " arrivals, " +
+                    std::to_string(r.admits) + " admits, " +
+                    std::to_string(r.rejects) + " rejects, " +
+                    std::to_string(r.commits) + " commits, " +
+                    std::to_string(r.deadline_misses) + " deadline misses, " +
+                    std::to_string(r.update_applies) + " update applies, " +
+                    std::to_string(r.update_drops) + " update drops, " +
+                    std::to_string(r.lbc_signals) + " lbc signals): ";
+  if (r.ok()) {
+    out += "all invariants hold";
+    return out;
+  }
+  out += std::to_string(r.violation_count) + " violation(s)";
+  const size_t show = r.violations.size() < 5 ? r.violations.size() : 5;
+  for (size_t i = 0; i < show; ++i) {
+    out += "\n  - " + r.violations[i];
+  }
+  if (r.violation_count > static_cast<int64_t>(show)) {
+    out += "\n  ... and " + std::to_string(r.violation_count - show) + " more";
+  }
+  return out;
+}
+
+}  // namespace unitdb

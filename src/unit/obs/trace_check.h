@@ -1,0 +1,61 @@
+#ifndef UNIT_OBS_TRACE_CHECK_H_
+#define UNIT_OBS_TRACE_CHECK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "unit/obs/trace_event.h"
+
+namespace unitdb {
+
+/// Aggregate result of replaying a trace through the invariant checker.
+/// `violations` holds human-readable descriptions (capped at
+/// kMaxRecordedViolations; `violation_count` is the true total).
+struct TraceCheckResult {
+  static constexpr int64_t kMaxRecordedViolations = 50;
+
+  int64_t events = 0;
+  int64_t arrivals = 0;
+  int64_t admits = 0;
+  int64_t rejects = 0;
+  int64_t commits = 0;
+  int64_t success = 0;
+  int64_t stale = 0;
+  int64_t deadline_misses = 0;
+  int64_t update_arrivals = 0;
+  int64_t update_drops = 0;
+  int64_t update_applies = 0;
+  int64_t lbc_signals = 0;
+
+  int64_t violation_count = 0;
+  std::vector<std::string> violations;
+
+  bool ok() const { return violation_count == 0; }
+};
+
+/// Replays `events` (chronological, as read from one run's trace) and checks
+/// the engine's observable invariants:
+///
+///  1. Timestamps are non-decreasing.
+///  2. Per-query lifecycle: arrival -> (admit | reject); admit -> exactly one
+///     terminal outcome (commit or deadline-miss); preempt / lock-restart
+///     only while admitted and live; no event for an unknown transaction.
+///  3. Commit freshness accounting matches Eq. 1: freshness = 1/(1 + Udrop),
+///     and outcome is "success" iff freshness >= required freshness (values
+///     round-trip bit-exactly through the %.17g wire format).
+///  4. Every LBC signal obeys the Fig. 2 dominant-penalty rule given the
+///     post-floor weighted ratios carried on the event, and "loosen-ac" /
+///     "preventive-degrade" signals move the admission knob while "none"
+///     leaves it alone.
+///  5. Update sanity: apply lag >= 0, period changes actually change the
+///     period ("degrade" stretches, "upgrade" shrinks).
+TraceCheckResult CheckTrace(const std::vector<TraceEvent>& events);
+
+/// One-paragraph summary ("N events, M violations" + the first few) used by
+/// tools/trace_check's report output.
+std::string TraceCheckSummary(const TraceCheckResult& result);
+
+}  // namespace unitdb
+
+#endif  // UNIT_OBS_TRACE_CHECK_H_

@@ -1,0 +1,162 @@
+#include "unit/obs/trace_event.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace unitdb {
+
+namespace {
+
+struct TypeName {
+  TraceEventType type;
+  const char* name;
+};
+
+constexpr TypeName kTypeNames[] = {
+    {TraceEventType::kQueryArrival, "query-arrival"},
+    {TraceEventType::kAdmit, "admit"},
+    {TraceEventType::kReject, "reject"},
+    {TraceEventType::kPreempt, "preempt"},
+    {TraceEventType::kLockRestart, "lock-restart"},
+    {TraceEventType::kCommit, "commit"},
+    {TraceEventType::kDeadlineMiss, "deadline-miss"},
+    {TraceEventType::kUpdateArrival, "update-arrival"},
+    {TraceEventType::kUpdateDrop, "update-drop"},
+    {TraceEventType::kUpdateApply, "update-apply"},
+    {TraceEventType::kPeriodChange, "period-change"},
+    {TraceEventType::kLbcSignal, "lbc"},
+};
+
+}  // namespace
+
+const char* TraceEventTypeName(TraceEventType t) {
+  for (const TypeName& tn : kTypeNames) {
+    if (tn.type == t) return tn.name;
+  }
+  return "?";
+}
+
+bool TraceEventTypeFromName(const char* name, TraceEventType* out) {
+  for (const TypeName& tn : kTypeNames) {
+    if (std::strcmp(tn.name, name) == 0) {
+      *out = tn.type;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Bounded appender over the caller's buffer; silently truncates at cap - 1
+/// (well-formed events never get close).
+class Appender {
+ public:
+  Appender(char* buf, size_t cap) : buf_(buf), cap_(cap) {}
+
+  void Raw(const char* s) {
+    while (*s != '\0' && len_ + 1 < cap_) buf_[len_++] = *s++;
+  }
+
+  void Int(const char* key, int64_t v) {
+    Key(key);
+    char tmp[32];
+    std::snprintf(tmp, sizeof(tmp), "%" PRId64, v);
+    Raw(tmp);
+  }
+
+  void Double(const char* key, double v) {
+    Key(key);
+    char tmp[40];
+    std::snprintf(tmp, sizeof(tmp), "%.17g", v);
+    Raw(tmp);
+  }
+
+  void Str(const char* key, const char* v) {
+    Key(key);
+    Raw("\"");
+    Raw(v);  // reasons/outcomes are fixed identifiers; nothing to escape
+    Raw("\"");
+  }
+
+  size_t Finish() {
+    Raw("}");
+    buf_[len_] = '\0';
+    return len_;
+  }
+
+ private:
+  void Key(const char* key) {
+    Raw(len_ == 1 ? "\"" : ",\"");  // len_ == 1: only '{' written so far
+    Raw(key);
+    Raw("\":");
+  }
+
+  char* buf_;
+  size_t cap_;
+  size_t len_ = 0;
+};
+
+}  // namespace
+
+size_t FormatJsonl(const TraceEvent& e, char* buf, size_t cap) {
+  Appender a(buf, cap);
+  a.Raw("{");
+  a.Int("t", e.time);
+  a.Str("ev", TraceEventTypeName(e.type));
+  switch (e.type) {
+    case TraceEventType::kQueryArrival:
+      a.Int("txn", e.txn);
+      a.Int("class", e.pref_class);
+      a.Int("deadline", e.deadline);
+      a.Int("est", e.estimate);
+      break;
+    case TraceEventType::kAdmit:
+    case TraceEventType::kPreempt:
+    case TraceEventType::kLockRestart:
+    case TraceEventType::kDeadlineMiss:
+      a.Int("txn", e.txn);
+      break;
+    case TraceEventType::kReject:
+      a.Int("txn", e.txn);
+      a.Str("reason", e.reason);
+      break;
+    case TraceEventType::kCommit:
+      a.Int("txn", e.txn);
+      a.Str("outcome", e.reason);
+      a.Double("freshness", e.freshness);
+      a.Double("freq", e.freshness_req);
+      a.Int("udrop", e.udrop);
+      break;
+    case TraceEventType::kUpdateArrival:
+    case TraceEventType::kUpdateDrop:
+      a.Int("item", e.item);
+      break;
+    case TraceEventType::kUpdateApply:
+      a.Int("txn", e.txn);
+      a.Int("item", e.item);
+      a.Int("lag", e.lag);
+      a.Str("reason", e.reason);
+      break;
+    case TraceEventType::kPeriodChange:
+      a.Int("item", e.item);
+      a.Int("from", e.period_from);
+      a.Int("to", e.period_to);
+      a.Str("reason", e.reason);
+      break;
+    case TraceEventType::kLbcSignal:
+      a.Str("signal", e.reason);
+      a.Double("r", e.r);
+      a.Double("fm", e.fm);
+      a.Double("fs", e.fs);
+      a.Double("util", e.utilization);
+      a.Int("resolved", e.resolved);
+      a.Int("drop", e.drop_trigger ? 1 : 0);
+      a.Double("knob0", e.knob_before);
+      a.Double("knob", e.knob);
+      break;
+  }
+  return a.Finish();
+}
+
+}  // namespace unitdb

@@ -1,0 +1,86 @@
+#ifndef UNIT_OBS_TRACE_EVENT_H_
+#define UNIT_OBS_TRACE_EVENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "unit/common/types.h"
+
+namespace unitdb {
+
+/// Typed events the engine and its controllers emit when a TraceSink is
+/// attached (EngineParams::trace). One flat POD struct carries every event
+/// kind so sinks never allocate per event; unused fields keep their
+/// defaults and are omitted from the serialized form.
+enum class TraceEventType : uint8_t {
+  kQueryArrival = 0,  ///< user query entered the system
+  kAdmit,             ///< admission control accepted the query
+  kReject,            ///< query turned away (reason: deadline / usm / policy)
+  kPreempt,           ///< running transaction displaced by a higher priority
+  kLockRestart,       ///< 2PL-HP restart of a lock-holding query
+  kCommit,            ///< query committed (outcome: success / dsf)
+  kDeadlineMiss,      ///< admitted query aborted at its firm deadline (DMF)
+  kUpdateArrival,     ///< update message arrived from the source
+  kUpdateDrop,        ///< arrival shed by update frequency modulation
+  kUpdateApply,       ///< update transaction committed (value installed)
+  kPeriodChange,      ///< modulation stretched/restored an item's period
+  kLbcSignal,         ///< LBC adaptive-allocation evaluation + its signal
+};
+
+/// Stable wire name of an event type ("query-arrival", "admit", ...).
+const char* TraceEventTypeName(TraceEventType t);
+
+/// Inverse of TraceEventTypeName; returns false on an unknown name.
+bool TraceEventTypeFromName(const char* name, TraceEventType* out);
+
+/// One trace record. POD (fixed-size reason buffer, no heap members) so the
+/// ring-buffer sink and the JSONL formatter are allocation-free per event.
+struct TraceEvent {
+  SimTime time = 0;
+  TraceEventType type = TraceEventType::kQueryArrival;
+  TxnId txn = kInvalidTxn;
+  ItemId item = kInvalidItem;
+  int pref_class = 0;
+
+  SimTime deadline = 0;          ///< absolute deadline (query-arrival)
+  SimDuration estimate = 0;      ///< admission estimate qe (query-arrival)
+  SimDuration lag = 0;           ///< arrival-to-commit latency (update-apply)
+  SimDuration period_from = 0;   ///< period before a change (period-change)
+  SimDuration period_to = 0;     ///< period after a change (period-change)
+
+  /// Reject reason / commit outcome / period-change cause / LBC signal name.
+  char reason[24] = {0};
+
+  double freshness = -1.0;       ///< observed read-set freshness (commit)
+  double freshness_req = -1.0;   ///< required freshness (commit)
+  int64_t udrop = -1;            ///< max Udrop over the read set (commit)
+
+  // LBC evaluation fields (kLbcSignal): post-floor penalty-weighted failure
+  // ratios the Fig. 2 rule chose between, the utilization EWMA the decision
+  // saw, the cohort size, and the admission knob before/after the signal.
+  double r = 0.0, fm = 0.0, fs = 0.0;
+  double utilization = 0.0;
+  int64_t resolved = 0;
+  bool drop_trigger = false;
+  double knob_before = 0.0, knob = 0.0;
+
+  void set_reason(const char* s) {
+    // Truncation to the fixed buffer is deliberate; memcpy with an explicit
+    // clamped length (rather than strncpy) keeps -Wstringop-truncation quiet.
+    size_t n = s == nullptr ? 0 : std::strlen(s);
+    if (n > sizeof(reason) - 1) n = sizeof(reason) - 1;
+    if (n > 0) std::memcpy(reason, s, n);
+    reason[n] = '\0';
+  }
+};
+
+/// Serializes one event as a single JSON line (no trailing newline) into
+/// `buf`; returns the number of characters written (truncated at cap - 1,
+/// which no well-formed event reaches). Doubles use %.17g so parsed values
+/// round-trip bit-exactly — trace_check re-evaluates producer comparisons.
+size_t FormatJsonl(const TraceEvent& e, char* buf, size_t cap);
+
+}  // namespace unitdb
+
+#endif  // UNIT_OBS_TRACE_EVENT_H_

@@ -1,0 +1,76 @@
+#include "unit/obs/trace_sink.h"
+
+#include <algorithm>
+
+namespace unitdb {
+
+TraceSink::~TraceSink() = default;
+
+// --- JsonlTraceSink -------------------------------------------------------
+
+JsonlTraceSink::JsonlTraceSink(std::ostream& os, CounterRegistry* counters)
+    : os_(&os) {
+  if (counters != nullptr) {
+    c_events_ = &counters->Counter("sink.jsonl.events");
+    c_bytes_ = &counters->Counter("sink.jsonl.bytes");
+  }
+}
+
+StatusOr<std::unique_ptr<JsonlTraceSink>> JsonlTraceSink::Open(
+    const std::string& path, CounterRegistry* counters) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!file->is_open()) {
+    return Status(StatusCode::kIoError, "cannot open trace file " + path);
+  }
+  auto sink = std::unique_ptr<JsonlTraceSink>(
+      new JsonlTraceSink(*file, counters));
+  sink->owned_ = std::move(file);
+  return sink;
+}
+
+void JsonlTraceSink::Emit(const TraceEvent& e) {
+  char line[640];
+  const size_t n = FormatJsonl(e, line, sizeof(line));
+  os_->write(line, static_cast<std::streamsize>(n));
+  os_->put('\n');
+  ++emitted_;
+  if (c_events_ != nullptr) {
+    ++*c_events_;
+    *c_bytes_ += static_cast<int64_t>(n) + 1;
+  }
+}
+
+void JsonlTraceSink::Flush() { os_->flush(); }
+
+// --- RingBufferTraceSink --------------------------------------------------
+
+RingBufferTraceSink::RingBufferTraceSink(size_t capacity,
+                                         CounterRegistry* counters)
+    : buf_(std::max<size_t>(capacity, 1)) {
+  if (counters != nullptr) {
+    c_events_ = &counters->Counter("sink.ring.events");
+    c_overwrites_ = &counters->Counter("sink.ring.overwrites");
+  }
+}
+
+void RingBufferTraceSink::Emit(const TraceEvent& e) {
+  if (size_ < buf_.size()) {
+    buf_[(head_ + size_) % buf_.size()] = e;
+    ++size_;
+  } else {
+    buf_[head_] = e;  // overwrite the oldest
+    head_ = (head_ + 1) % buf_.size();
+    if (c_overwrites_ != nullptr) ++*c_overwrites_;
+  }
+  ++emitted_;
+  if (c_events_ != nullptr) ++*c_events_;
+}
+
+std::vector<TraceEvent> RingBufferTraceSink::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  for (size_t i = 0; i < size_; ++i) out.push_back(at(i));
+  return out;
+}
+
+}  // namespace unitdb

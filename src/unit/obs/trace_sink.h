@@ -1,0 +1,89 @@
+#ifndef UNIT_OBS_TRACE_SINK_H_
+#define UNIT_OBS_TRACE_SINK_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "unit/common/status.h"
+#include "unit/obs/counters.h"
+#include "unit/obs/trace_event.h"
+
+namespace unitdb {
+
+/// Destination for engine trace events (EngineParams::trace). Emission is
+/// synchronous on the simulation thread; sinks must not call back into the
+/// engine. Implementations are expected to be allocation-free per event so
+/// that tracing perturbs timing, not behavior.
+class TraceSink {
+ public:
+  virtual ~TraceSink();
+  virtual void Emit(const TraceEvent& e) = 0;
+  virtual void Flush() {}
+};
+
+/// Writes one JSON object per event (JSONL) to a stream or file. Formats
+/// into a fixed stack buffer — no per-event allocation. Registers
+/// "sink.jsonl.events" / "sink.jsonl.bytes" when a registry is supplied.
+class JsonlTraceSink : public TraceSink {
+ public:
+  /// Non-owning stream variant (tests, stringstream goldens).
+  explicit JsonlTraceSink(std::ostream& os, CounterRegistry* counters = nullptr);
+
+  /// Opens `path` for writing (truncating); fails on I/O error.
+  static StatusOr<std::unique_ptr<JsonlTraceSink>> Open(
+      const std::string& path, CounterRegistry* counters = nullptr);
+
+  void Emit(const TraceEvent& e) override;
+  void Flush() override;
+
+  int64_t emitted() const { return emitted_; }
+
+ private:
+  std::unique_ptr<std::ofstream> owned_;  ///< set by Open
+  std::ostream* os_;
+  int64_t emitted_ = 0;
+  int64_t* c_events_ = nullptr;
+  int64_t* c_bytes_ = nullptr;
+};
+
+/// Fixed-capacity in-memory ring: keeps the newest `capacity` events,
+/// overwriting the oldest. All storage is preallocated at construction, so
+/// emission never allocates — the always-on flight-recorder sink. Registers
+/// "sink.ring.events" / "sink.ring.overwrites" when a registry is supplied.
+class RingBufferTraceSink : public TraceSink {
+ public:
+  explicit RingBufferTraceSink(size_t capacity,
+                               CounterRegistry* counters = nullptr);
+
+  void Emit(const TraceEvent& e) override;
+
+  size_t capacity() const { return buf_.size(); }
+  size_t size() const { return size_; }
+  int64_t emitted() const { return emitted_; }
+  /// Events lost to overwriting (= emitted - size).
+  int64_t overwritten() const { return emitted_ - static_cast<int64_t>(size_); }
+
+  /// i-th retained event in chronological order (0 = oldest).
+  const TraceEvent& at(size_t i) const {
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+  /// Chronological copy of the retained events.
+  std::vector<TraceEvent> Events() const;
+
+ private:
+  std::vector<TraceEvent> buf_;
+  size_t head_ = 0;  ///< index of the oldest retained event
+  size_t size_ = 0;
+  int64_t emitted_ = 0;
+  int64_t* c_events_ = nullptr;
+  int64_t* c_overwrites_ = nullptr;
+};
+
+}  // namespace unitdb
+
+#endif  // UNIT_OBS_TRACE_SINK_H_

@@ -5,6 +5,19 @@
 #include <cmath>
 
 #include "unit/common/logging.h"
+#include "unit/obs/counters.h"
+#include "unit/obs/timeseries.h"
+#include "unit/obs/trace_sink.h"
+
+// Trace emission helpers are kept out of line and out of the hot path: a
+// TraceEvent is ~170 bytes of zero-initialized struct, and building one
+// inline would grow the stack frame and icache footprint of every handler
+// even on trace-off runs where the guarded branch is never taken.
+#if defined(__GNUC__) || defined(__clang__)
+#define UNIT_COLD __attribute__((noinline, cold))
+#else
+#define UNIT_COLD
+#endif
 
 namespace unitdb {
 
@@ -67,6 +80,10 @@ RunMetrics Engine::Run() {
   }
   assert(running_ == nullptr);
   assert(ready_.empty());
+  if (params_.series != nullptr || params_.trace != nullptr ||
+      params_.counters != nullptr) {
+    FinalizeObservability();
+  }
   metrics_.peak_ready_depth = ready_.peak_size();
   // Copy per-item bookkeeping out of the database.
   metrics_.per_item_accesses.resize(db_.num_items());
@@ -133,11 +150,13 @@ void Engine::HandleQueryArrival(int64_t query_index) {
   const QueryRequest& request = workload_.queries[query_index];
   Transaction* t = NewQueryTxn(static_cast<size_t>(query_index), request);
   ++metrics_.counts.submitted;
+  if (tracing()) TraceQueryArrival(*t);
   if (!policy_->AdmitQuery(*this, *t)) {
     t->set_state(TxnState::kAborted);
     ResolveQuery(t, Outcome::kRejected);
     return;
   }
+  if (tracing()) TraceSimpleEvent(TraceEventType::kAdmit, t->id());
   t->set_state(TxnState::kReady);
   ReadyInsert(t);
   events_.Push(t->absolute_deadline(), EventType::kQueryDeadline, t->id());
@@ -156,12 +175,14 @@ void Engine::HandleUpdateArrival(ItemId item) {
   if (next < workload_.duration) {
     events_.Push(next, EventType::kUpdateArrival, item);
   }
+  if (tracing()) TraceItemEvent(TraceEventType::kUpdateArrival, item);
   policy_->OnUpdateSourceArrival(*this, item);
   const bool due = state.last_pull < 0 ||
                    (now_ - state.last_pull) + state.ideal_period / 2 >=
                        state.current_period;
   if (!due) {
     ++metrics_.updates_dropped;
+    if (tracing()) TraceItemEvent(TraceEventType::kUpdateDrop, item);
     return;
   }
   state.last_pull = now_;
@@ -202,6 +223,7 @@ void Engine::HandleQueryDeadline(TxnId id) {
 
 void Engine::HandleControlTick() {
   policy_->OnControlTick(*this);
+  if (params_.series != nullptr) RecordWindowSample();
   const SimTime next = now_ + params_.control_period;
   if (next <= workload_.duration) {
     events_.Push(next, EventType::kControlTick, 0);
@@ -271,6 +293,11 @@ void Engine::PreemptRunning() {
   running_ = nullptr;
   ReadyInsert(t);
   ++metrics_.preemptions;
+  // Only query preemptions are traced: update transactions have no arrival
+  // event, so the lifecycle checker could not account for them.
+  if (tracing() && t->is_query()) {
+    TraceSimpleEvent(TraceEventType::kPreempt, t->id());
+  }
 }
 
 bool Engine::AcquireLocks(Transaction* t) {
@@ -334,6 +361,7 @@ void Engine::RestartQuery(Transaction* t) {
   t->set_state(TxnState::kReady);
   ReadyInsert(t);
   ++metrics_.lock_restarts;
+  if (tracing()) TraceSimpleEvent(TraceEventType::kLockRestart, t->id());
 }
 
 void Engine::AbortQuery(Transaction* t, Outcome outcome) {
@@ -359,6 +387,7 @@ void Engine::AbortQuery(Transaction* t, Outcome outcome) {
 
 void Engine::ResolveQuery(Transaction* t, Outcome outcome) {
   t->set_outcome(outcome);
+  if (tracing()) TraceQueryResolution(*t, outcome);
   const size_t cls = static_cast<size_t>(t->preference_class());
   if (metrics_.per_class_counts.size() <= cls) {
     metrics_.per_class_counts.resize(cls + 1);
@@ -409,6 +438,7 @@ void Engine::CompleteRunning(Transaction* t) {
     --pending_updates_per_item_[t->update_item()];
     ++metrics_.update_commits;
     metrics_.update_latency_s.Add(SimToSeconds(now_ - t->arrival()));
+    if (tracing()) TraceUpdateApply(*t);
     ReleaseLocksOf(t);
     policy_->OnUpdateCommit(*this, *t);
     return;
@@ -429,6 +459,125 @@ void Engine::CompleteRunning(Transaction* t) {
                               ? Outcome::kSuccess
                               : Outcome::kDataStale;
   ResolveQuery(t, outcome);
+}
+
+UNIT_COLD void Engine::FinalizeObservability() {
+  // Trailing partial control window (runs whose duration is not a multiple
+  // of the control period, or with control ticks disabled).
+  if (params_.series != nullptr && now_ > series_last_sample_) {
+    RecordWindowSample();
+  }
+  if (params_.trace != nullptr) params_.trace->Flush();
+  if (params_.counters != nullptr) {
+    metrics_.obs_counters = params_.counters->CounterSnapshot();
+    metrics_.obs_gauges = params_.counters->GaugeSnapshot();
+  }
+}
+
+UNIT_COLD void Engine::TraceQueryArrival(const Transaction& t) {
+  TraceEvent e;
+  e.time = now_;
+  e.type = TraceEventType::kQueryArrival;
+  e.txn = t.id();
+  e.pref_class = t.preference_class();
+  e.deadline = t.absolute_deadline();
+  e.estimate = t.estimate();
+  params_.trace->Emit(e);
+}
+
+UNIT_COLD void Engine::TraceSimpleEvent(TraceEventType type, TxnId txn) {
+  TraceEvent e;
+  e.time = now_;
+  e.type = type;
+  e.txn = txn;
+  params_.trace->Emit(e);
+}
+
+UNIT_COLD void Engine::TraceItemEvent(TraceEventType type, ItemId item) {
+  TraceEvent e;
+  e.time = now_;
+  e.type = type;
+  e.item = item;
+  params_.trace->Emit(e);
+}
+
+UNIT_COLD void Engine::TraceUpdateApply(const Transaction& t) {
+  TraceEvent e;
+  e.time = now_;
+  e.type = TraceEventType::kUpdateApply;
+  e.txn = t.id();
+  e.item = t.update_item();
+  e.lag = now_ - t.arrival();
+  e.set_reason(t.on_demand() ? "on-demand" : "periodic");
+  params_.trace->Emit(e);
+}
+
+UNIT_COLD
+void Engine::TraceQueryResolution(const Transaction& t, Outcome outcome) {
+  TraceEvent e;
+  e.time = now_;
+  e.txn = t.id();
+  switch (outcome) {
+    case Outcome::kRejected:
+      e.type = TraceEventType::kReject;
+      e.set_reason(pending_reject_reason_ != nullptr ? pending_reject_reason_
+                                                     : "policy");
+      break;
+    case Outcome::kDeadlineMiss:
+      e.type = TraceEventType::kDeadlineMiss;
+      break;
+    case Outcome::kSuccess:
+    case Outcome::kDataStale: {
+      e.type = TraceEventType::kCommit;
+      e.set_reason(outcome == Outcome::kSuccess ? "success" : "dsf");
+      e.freshness = t.observed_freshness();
+      e.freshness_req = t.freshness_req();
+      // Udrop of the staleness-dominant item: freshness is the min over the
+      // read set of 1/(1 + Udrop), i.e. 1/(1 + max Udrop) — the checker
+      // re-verifies Eq. 1 from this.
+      int64_t udrop = 0;
+      for (ItemId item : t.items()) {
+        udrop = std::max(udrop, db_.Udrop(item, now_));
+      }
+      e.udrop = udrop;
+      break;
+    }
+    case Outcome::kPending:
+      return;  // unreachable (ResolveQuery asserts)
+  }
+  pending_reject_reason_ = nullptr;
+  params_.trace->Emit(e);
+}
+
+void Engine::RecordWindowSample() {
+  WindowSample s;
+  s.t_s = SimToSeconds(now_);
+  s.window = metrics_.counts - series_last_counts_;
+  series_last_counts_ = metrics_.counts;
+  const double busy = BusySeconds();
+  const double window_s = SimToSeconds(now_ - series_last_sample_);
+  s.utilization =
+      window_s > 0.0 ? (busy - series_last_busy_) / window_s : 0.0;
+  series_last_busy_ = busy;
+  series_last_sample_ = now_;
+  s.ready_queries = ready_.query_count();
+  s.ready_updates = ready_.update_count();
+  udrop_scratch_.clear();
+  for (ItemId i = 0; i < db_.num_items(); ++i) {
+    udrop_scratch_.push_back(db_.Udrop(i, now_));
+  }
+  if (!udrop_scratch_.empty()) {
+    std::sort(udrop_scratch_.begin(), udrop_scratch_.end());
+    const size_t n = udrop_scratch_.size();
+    // Nearest-rank percentiles: ceil(p * n) - 1.
+    auto rank = [n](int p) { return (static_cast<size_t>(p) * n + 99) / 100 - 1; };
+    s.udrop_p50 = static_cast<double>(udrop_scratch_[rank(50)]);
+    s.udrop_p90 = static_cast<double>(udrop_scratch_[rank(90)]);
+    s.udrop_max = udrop_scratch_.back();
+  }
+  s.admission_knob = policy_->AdmissionKnob();
+  s.degraded_items = db_.DegradedCount();
+  params_.series->Record(s);
 }
 
 void Engine::ReadyInsert(Transaction* t) {

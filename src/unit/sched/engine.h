@@ -18,6 +18,11 @@
 
 namespace unitdb {
 
+class CounterRegistry;
+class TimeSeriesRecorder;
+class TraceSink;
+enum class TraceEventType : uint8_t;
+
 /// Engine tunables.
 struct EngineParams {
   /// Policy control-tick period (the paper triggers its Load Balancing
@@ -41,6 +46,23 @@ struct EngineParams {
   /// Periodically compacts tombstoned (lazily cancelled) events out of the
   /// event heap. Pop order of live events is unaffected either way.
   bool compact_events = true;
+
+  // --- observability hooks (src/unit/obs/; all non-owning, may be null) ---
+  // Tracing is strictly read-only with respect to engine and policy state:
+  // a run produces bit-identical RunMetrics (modulo the obs_* snapshot
+  // fields) whether these are set or not. When null, every emission site
+  // reduces to one predictable untaken branch.
+
+  /// Typed event stream (arrivals, admits/rejects, preempts, commits,
+  /// deadline misses, update lifecycle, LBC signals).
+  TraceSink* trace = nullptr;
+  /// Per-control-window telemetry (USM decomposition, queue depths, Udrop
+  /// percentiles, admission knob), sampled at every control tick plus once
+  /// at end of run.
+  TimeSeriesRecorder* series = nullptr;
+  /// Named counter/gauge registry; its snapshot is merged into
+  /// RunMetrics::obs_counters / obs_gauges at end of run.
+  CounterRegistry* counters = nullptr;
 };
 
 /// Single-CPU discrete-event web-database server: dual-priority preemptive
@@ -122,6 +144,14 @@ class Engine {
   /// Exposed for tests: the live transaction table.
   const Transaction& txn(TxnId id) const { return txns_[id]; }
 
+  /// Records why the policy is about to reject the arriving query ("deadline"
+  /// / "usm"; must point at static storage). Consumed by the reject trace
+  /// event of the next ResolveQuery; policies without a reason stay silent
+  /// and the event carries "policy". No-op when tracing is off.
+  void ReportRejectReason(const char* reason) {
+    if (params_.trace != nullptr) pending_reject_reason_ = reason;
+  }
+
  private:
   Transaction* NewQueryTxn(size_t query_index, const QueryRequest& request);
   Transaction* NewUpdateTxn(ItemId item, SimDuration relative_deadline,
@@ -136,6 +166,24 @@ class Engine {
   /// predicate compaction uses to drop tombstones. Mirrors the staleness
   /// checks in HandleCompletion / HandleQueryDeadline exactly.
   bool EventIsDead(const Event& e) const;
+
+  bool tracing() const { return params_.trace != nullptr; }
+  /// Trace emission helpers, one per event kind. Each is called only when
+  /// tracing is on, and all are defined noinline/cold in engine.cc so the
+  /// ~170-byte TraceEvent construction never bloats a hot handler's frame
+  /// on trace-off runs (measurably ~4% engine throughput).
+  /// End-of-run obs epilogue (final window sample, sink flush, registry
+  /// snapshot); called from Run() only when some hook is attached.
+  void FinalizeObservability();
+  void TraceQueryArrival(const Transaction& t);
+  void TraceSimpleEvent(TraceEventType type, TxnId txn);
+  void TraceItemEvent(TraceEventType type, ItemId item);
+  void TraceUpdateApply(const Transaction& t);
+  /// Emits the terminal trace event (reject / deadline-miss / commit) for a
+  /// query being resolved.
+  void TraceQueryResolution(const Transaction& t, Outcome outcome);
+  /// Appends one WindowSample to params_.series (no-op when unset).
+  void RecordWindowSample();
 
   void ScheduleInitialEvents();
   void HandleQueryArrival(int64_t query_index);
@@ -182,6 +230,13 @@ class Engine {
   SimTime run_start_ = 0;
   SimTime now_ = 0;
   bool ran_ = false;
+
+  // Observability bookkeeping (only touched when the hooks are set).
+  const char* pending_reject_reason_ = nullptr;
+  OutcomeCounts series_last_counts_;
+  double series_last_busy_ = 0.0;
+  SimTime series_last_sample_ = 0;
+  std::vector<int64_t> udrop_scratch_;
 
   RunMetrics metrics_;
 };

@@ -1,0 +1,11 @@
+#include "unit/sched/event_queue.h"
+
+namespace unitdb {
+
+void EventQueue::Push(SimTime time, EventType type, int64_t payload,
+                      uint64_t generation) {
+  events_.push_back(Event{time, next_seq_++, type, payload, generation});
+  std::push_heap(events_.begin(), events_.end(), Later{});
+}
+
+}  // namespace unitdb

@@ -36,11 +36,11 @@ struct Event {
 /// dead events stop paying O(log n) sift costs on heavy update traces.
 class EventQueue {
  public:
+  /// Out of line (event_queue.cc) on purpose: the inlined push_heap body is
+  /// several hundred bytes, and letting the compiler splice it into every
+  /// engine handler measurably slows the event loop (icache pressure).
   void Push(SimTime time, EventType type, int64_t payload,
-            uint64_t generation = 0) {
-    events_.push_back(Event{time, next_seq_++, type, payload, generation});
-    std::push_heap(events_.begin(), events_.end(), Later{});
-  }
+            uint64_t generation = 0);
 
   bool empty() const { return events_.empty(); }
   size_t size() const { return events_.size(); }

@@ -2,6 +2,8 @@
 #define UNIT_SCHED_METRICS_H_
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "unit/common/stats.h"
@@ -50,6 +52,15 @@ struct RunMetrics {
   /// Per-item counters copied from the database at end of run.
   std::vector<int64_t> per_item_accesses;
   std::vector<int64_t> per_item_applied_updates;
+
+  /// Observability registry snapshot (EngineParams::counters), taken at end
+  /// of run. Empty unless a registry was attached AND something registered
+  /// into it (sinks / recorders only register when tracing is on — the
+  /// trace-off overhead test asserts these stay empty). Excluded from
+  /// behavior-equivalence comparisons: tracing must not change any other
+  /// field of this struct.
+  std::vector<std::pair<std::string, int64_t>> obs_counters;
+  std::vector<std::pair<std::string, double>> obs_gauges;
 };
 
 }  // namespace unitdb

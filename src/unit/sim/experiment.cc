@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <future>
+#include <memory>
 #include <utility>
 
 #include "unit/common/thread_pool.h"
+#include "unit/obs/counters.h"
+#include "unit/obs/trace_sink.h"
 
 namespace unitdb {
 
@@ -30,6 +33,43 @@ StatusOr<ExperimentResult> RunExperiment(const Workload& workload,
   result.metrics = (*server)->Run();
   result.usm = UsmAverage(result.metrics.counts, weights);
   result.breakdown = UsmDecompose(result.metrics.counts, weights);
+  return result;
+}
+
+StatusOr<ExperimentResult> RunTracedExperiment(
+    const Workload& workload, const std::string& policy,
+    const UsmWeights& weights, const ObsOptions& obs,
+    const EngineParams& engine, const PolicyOptions& options) {
+  EngineParams ep = engine;
+  CounterRegistry counters;
+  ep.counters = &counters;
+
+  std::unique_ptr<JsonlTraceSink> sink;
+  if (!obs.trace_path.empty()) {
+    auto opened = JsonlTraceSink::Open(obs.trace_path, &counters);
+    if (!opened.ok()) return opened.status();
+    sink = std::move(*opened);
+    ep.trace = sink.get();
+  }
+
+  const bool want_series = obs.series || !obs.series_csv_path.empty() ||
+                           !obs.series_json_path.empty();
+  TimeSeriesRecorder recorder(weights);
+  if (want_series) ep.series = &recorder;
+
+  auto result = RunExperiment(workload, policy, weights, ep, options);
+  if (!result.ok()) return result;
+  if (want_series) {
+    result->series = recorder.samples();
+    if (!obs.series_csv_path.empty()) {
+      Status s = recorder.WriteCsv(obs.series_csv_path);
+      if (!s.ok()) return s;
+    }
+    if (!obs.series_json_path.empty()) {
+      Status s = recorder.WriteJson(obs.series_json_path);
+      if (!s.ok()) return s;
+    }
+  }
   return result;
 }
 

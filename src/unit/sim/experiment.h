@@ -7,6 +7,7 @@
 #include "unit/common/stats.h"
 #include "unit/common/status.h"
 #include "unit/core/usm.h"
+#include "unit/obs/timeseries.h"
 #include "unit/sched/engine.h"
 #include "unit/sched/metrics.h"
 #include "unit/sim/server.h"
@@ -23,6 +24,9 @@ struct ExperimentResult {
   RunMetrics metrics;
   double usm = 0.0;  ///< average USM (Eq. 5)
   UsmBreakdown breakdown;
+  /// Window time series (RunTracedExperiment with ObsOptions::series; empty
+  /// otherwise).
+  std::vector<WindowSample> series;
 };
 
 /// Runs `policy` on `workload` under `weights`. Fails on an unknown policy.
@@ -31,6 +35,27 @@ StatusOr<ExperimentResult> RunExperiment(const Workload& workload,
                                          const UsmWeights& weights,
                                          const EngineParams& engine = {},
                                          const PolicyOptions& options = {});
+
+/// Observability attachments for one run. RunTracedExperiment owns the
+/// actual sinks/recorders for the duration of the run; the engine only ever
+/// sees non-owning pointers (EngineParams::{trace, series, counters}).
+struct ObsOptions {
+  /// Write the JSONL event trace here ("" = no trace sink).
+  std::string trace_path;
+  /// Record the per-control-window time series into ExperimentResult::series.
+  bool series = false;
+  /// Also export the series ("" = don't). Either implies `series`.
+  std::string series_csv_path;
+  std::string series_json_path;
+};
+
+/// RunExperiment with tracing/telemetry attached per `obs`. The counter
+/// registry snapshot lands in RunMetrics::obs_counters / obs_gauges. With a
+/// default ObsOptions this is exactly RunExperiment (no hooks attached).
+StatusOr<ExperimentResult> RunTracedExperiment(
+    const Workload& workload, const std::string& policy,
+    const UsmWeights& weights, const ObsOptions& obs,
+    const EngineParams& engine = {}, const PolicyOptions& options = {});
 
 /// Runs several policies over one workload (same weights, same engine).
 StatusOr<std::vector<ExperimentResult>> RunPolicies(

@@ -86,5 +86,27 @@ TEST(ConfigTest, ValueMayContainEquals) {
   EXPECT_EQ(c->GetString("expr"), "a=b");
 }
 
+TEST(ConfigTest, ExpectKeysAcceptsKnownSubset) {
+  Config c;
+  c.Set("scale", "0.5");
+  c.Set("seed", "7");
+  EXPECT_TRUE(c.ExpectKeys({"scale", "seed", "jobs"}).ok());
+  // An empty config is fine under any allowed set.
+  EXPECT_TRUE(Config().ExpectKeys({"scale"}).ok());
+  EXPECT_TRUE(Config().ExpectKeys({}).ok());
+}
+
+TEST(ConfigTest, ExpectKeysRejectsUnknownKey) {
+  Config c;
+  c.Set("scale", "0.5");
+  c.Set("sede", "7");  // typo'd "seed"
+  Status s = c.ExpectKeys({"scale", "seed"});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  // The message names the offender and lists the accepted keys.
+  EXPECT_NE(s.ToString().find("sede"), std::string::npos) << s.ToString();
+  EXPECT_NE(s.ToString().find("seed"), std::string::npos) << s.ToString();
+}
+
 }  // namespace
 }  // namespace unitdb

@@ -1,0 +1,112 @@
+#include "unit/obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+namespace unitdb {
+namespace {
+
+WindowSample Sample(double t_s) {
+  WindowSample s;
+  s.t_s = t_s;
+  s.window.submitted = 10;
+  s.window.success = 6;
+  s.window.rejected = 2;
+  s.window.dmf = 1;
+  s.window.dsf = 1;
+  s.utilization = 0.5;
+  s.ready_queries = 3;
+  s.ready_updates = 1;
+  s.udrop_p50 = 0.0;
+  s.udrop_p90 = 2.0;
+  s.udrop_max = 5;
+  s.admission_knob = 1.1;
+  s.degraded_items = 4;
+  return s;
+}
+
+TEST(TimeSeriesRecorderTest, ColumnNamesAreStable) {
+  const auto& cols = TimeSeriesRecorder::ColumnNames();
+  ASSERT_EQ(cols.size(), 18u);
+  EXPECT_EQ(cols.front(), "t_s");
+  EXPECT_EQ(cols[6], "usm_s");
+  EXPECT_EQ(cols.back(), "degraded_items");
+}
+
+TEST(TimeSeriesRecorderTest, RecordDerivesTheUsmDecomposition) {
+  const UsmWeights weights{1.0, 0.5, 1.0, 0.5};
+  TimeSeriesRecorder rec(weights);
+  rec.Record(Sample(1.0));
+  ASSERT_EQ(rec.samples().size(), 1u);
+  const UsmBreakdown expected =
+      UsmDecompose(rec.samples()[0].window, weights);
+  EXPECT_DOUBLE_EQ(rec.samples()[0].usm.s, expected.s);
+  EXPECT_DOUBLE_EQ(rec.samples()[0].usm.r, expected.r);
+  EXPECT_DOUBLE_EQ(rec.samples()[0].usm.fm, expected.fm);
+  EXPECT_DOUBLE_EQ(rec.samples()[0].usm.fs, expected.fs);
+  EXPECT_GT(rec.samples()[0].usm.s, 0.0);
+}
+
+TEST(TimeSeriesRecorderTest, CsvHasHeaderAndOneRowPerSample) {
+  TimeSeriesRecorder rec;
+  rec.Record(Sample(1.0));
+  rec.Record(Sample(2.0));
+  const std::string csv = rec.ToCsv();
+  std::istringstream in(csv);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line.rfind("t_s,submitted,", 0), 0u) << line;
+  int rows = 0;
+  while (std::getline(in, line)) {
+    ++rows;
+    // Every row has exactly as many comma-separated cells as columns.
+    size_t commas = 0;
+    for (char c : line) commas += (c == ',');
+    EXPECT_EQ(commas + 1, TimeSeriesRecorder::ColumnNames().size()) << line;
+  }
+  EXPECT_EQ(rows, 2);
+}
+
+TEST(TimeSeriesRecorderTest, JsonEncodesNanKnobAsNull) {
+  TimeSeriesRecorder rec;
+  WindowSample s = Sample(1.0);
+  s.admission_knob = std::numeric_limits<double>::quiet_NaN();
+  rec.Record(s);
+  const std::string json = rec.ToJson();
+  EXPECT_NE(json.find("\"c_flex\": null"), std::string::npos) << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+}
+
+TEST(TimeSeriesRecorderTest, WritesCsvAndJsonFiles) {
+  TimeSeriesRecorder rec;
+  rec.Record(Sample(1.0));
+  const std::string csv_path = ::testing::TempDir() + "/obs_series.csv";
+  const std::string json_path = ::testing::TempDir() + "/obs_series.json";
+  ASSERT_TRUE(rec.WriteCsv(csv_path).ok());
+  ASSERT_TRUE(rec.WriteJson(json_path).ok());
+  std::ifstream csv(csv_path);
+  std::string header;
+  ASSERT_TRUE(std::getline(csv, header));
+  EXPECT_EQ(header.rfind("t_s,", 0), 0u);
+  std::ifstream json(json_path);
+  std::stringstream buf;
+  buf << json.rdbuf();
+  EXPECT_NE(buf.str().find("\"t_s\""), std::string::npos);
+  std::remove(csv_path.c_str());
+  std::remove(json_path.c_str());
+}
+
+TEST(TimeSeriesRecorderTest, WriteFailsOnBadPath) {
+  TimeSeriesRecorder rec;
+  rec.Record(Sample(1.0));
+  EXPECT_FALSE(rec.WriteCsv("/nonexistent-dir/series.csv").ok());
+  EXPECT_FALSE(rec.WriteJson("/nonexistent-dir/series.json").ok());
+}
+
+}  // namespace
+}  // namespace unitdb

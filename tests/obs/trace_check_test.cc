@@ -1,0 +1,282 @@
+#include "unit/obs/trace_check.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace unitdb {
+namespace {
+
+TraceEvent Ev(SimTime t, TraceEventType type, TxnId txn = kInvalidTxn) {
+  TraceEvent e;
+  e.time = t;
+  e.type = type;
+  e.txn = txn;
+  return e;
+}
+
+TraceEvent Arrival(SimTime t, TxnId txn) {
+  TraceEvent e = Ev(t, TraceEventType::kQueryArrival, txn);
+  e.deadline = t + 1000;
+  e.estimate = 10;
+  return e;
+}
+
+TraceEvent Commit(SimTime t, TxnId txn, int64_t udrop, double freshness_req,
+                  const char* outcome) {
+  TraceEvent e = Ev(t, TraceEventType::kCommit, txn);
+  e.set_reason(outcome);
+  e.udrop = udrop;
+  e.freshness = 1.0 / (1.0 + static_cast<double>(udrop));
+  e.freshness_req = freshness_req;
+  return e;
+}
+
+TraceEvent Lbc(SimTime t, const char* signal, double r, double fm, double fs,
+               double knob_before, double knob) {
+  TraceEvent e = Ev(t, TraceEventType::kLbcSignal);
+  e.set_reason(signal);
+  e.r = r;
+  e.fm = fm;
+  e.fs = fs;
+  e.resolved = 10;
+  e.knob_before = knob_before;
+  e.knob = knob;
+  return e;
+}
+
+// A small but complete run: two queries (one success, one DMF), one
+// rejection, an update cycle, a degrade/upgrade pair, and LBC signals of
+// every kind.
+std::vector<TraceEvent> ValidTrace() {
+  std::vector<TraceEvent> t;
+  t.push_back(Arrival(10, 0));
+  t.push_back(Ev(10, TraceEventType::kAdmit, 0));
+  t.push_back(Arrival(20, 1));
+  t.push_back(Ev(20, TraceEventType::kAdmit, 1));
+  TraceEvent reject = Ev(30, TraceEventType::kReject, 2);
+  reject.set_reason("deadline");
+  t.push_back(Arrival(30, 2));
+  t.push_back(reject);
+
+  TraceEvent up = Ev(40, TraceEventType::kUpdateArrival);
+  up.item = 5;
+  t.push_back(up);
+  TraceEvent apply = Ev(45, TraceEventType::kUpdateApply, 100);
+  apply.item = 5;
+  apply.lag = 5;
+  apply.set_reason("periodic");
+  t.push_back(apply);
+  TraceEvent drop = Ev(50, TraceEventType::kUpdateDrop);
+  drop.item = 5;
+  t.push_back(drop);
+
+  t.push_back(Ev(55, TraceEventType::kPreempt, 1));
+  t.push_back(Ev(56, TraceEventType::kLockRestart, 1));
+
+  t.push_back(Commit(60, 0, 0, 0.9, "success"));
+  t.push_back(Ev(1020, TraceEventType::kDeadlineMiss, 1));
+
+  TraceEvent degrade = Ev(1100, TraceEventType::kPeriodChange);
+  degrade.item = 5;
+  degrade.period_from = 1000;
+  degrade.period_to = 1800;
+  degrade.set_reason("degrade");
+  t.push_back(degrade);
+  TraceEvent upgrade = degrade;
+  upgrade.time = 1200;
+  upgrade.period_from = 1800;
+  upgrade.period_to = 1000;
+  upgrade.set_reason("upgrade");
+  t.push_back(upgrade);
+
+  t.push_back(Lbc(1300, "loosen-ac", 0.5, 0.2, 0.1, 1.21, 1.1));
+  t.push_back(Lbc(1400, "degrade+tighten", 0.2, 0.5, 0.1, 1.1, 1.21));
+  t.push_back(Lbc(1500, "upgrade", 0.1, 0.2, 0.5, 1.21, 1.21));
+  t.push_back(Lbc(1600, "preventive-degrade", 0.0, 0.0, 0.0, 1.21, 1.21));
+  t.push_back(Lbc(1700, "none", 0.0, 0.0, 0.0, 1.21, 1.21));
+  return t;
+}
+
+TEST(TraceCheckTest, ValidTracePasses) {
+  const TraceCheckResult r = CheckTrace(ValidTrace());
+  EXPECT_TRUE(r.ok()) << TraceCheckSummary(r);
+  EXPECT_EQ(r.arrivals, 3);
+  EXPECT_EQ(r.admits, 2);
+  EXPECT_EQ(r.rejects, 1);
+  EXPECT_EQ(r.commits, 1);
+  EXPECT_EQ(r.success, 1);
+  EXPECT_EQ(r.deadline_misses, 1);
+  EXPECT_EQ(r.update_arrivals, 1);
+  EXPECT_EQ(r.update_applies, 1);
+  EXPECT_EQ(r.update_drops, 1);
+  EXPECT_EQ(r.lbc_signals, 5);
+}
+
+TEST(TraceCheckTest, EmptyTracePasses) {
+  EXPECT_TRUE(CheckTrace({}).ok());
+}
+
+TEST(TraceCheckTest, FlagsTimeRegression) {
+  auto t = ValidTrace();
+  t.back().time = 0;  // earlier than its predecessor
+  EXPECT_FALSE(CheckTrace(t).ok());
+}
+
+TEST(TraceCheckTest, FlagsDuplicateArrival) {
+  auto t = ValidTrace();
+  t.push_back(Arrival(2000, 0));
+  EXPECT_FALSE(CheckTrace(t).ok());
+}
+
+TEST(TraceCheckTest, FlagsAdmitWithoutArrival) {
+  std::vector<TraceEvent> t = {Ev(1, TraceEventType::kAdmit, 77)};
+  EXPECT_FALSE(CheckTrace(t).ok());
+}
+
+TEST(TraceCheckTest, FlagsSecondTerminalOutcome) {
+  auto t = ValidTrace();
+  t.push_back(Commit(2000, 0, 0, 0.9, "success"));  // txn 0 already done
+  EXPECT_FALSE(CheckTrace(t).ok());
+}
+
+TEST(TraceCheckTest, FlagsAdmittedQueryWithoutTerminal) {
+  std::vector<TraceEvent> t = {Arrival(1, 0),
+                               Ev(1, TraceEventType::kAdmit, 0)};
+  const TraceCheckResult r = CheckTrace(t);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TraceCheckTest, RejectedQueryNeedsNoTerminal) {
+  TraceEvent reject = Ev(1, TraceEventType::kReject, 0);
+  reject.set_reason("usm");
+  std::vector<TraceEvent> t = {Arrival(1, 0), reject};
+  EXPECT_TRUE(CheckTrace(t).ok());
+}
+
+TEST(TraceCheckTest, FlagsEq1FreshnessMismatch) {
+  auto t = ValidTrace();
+  TraceEvent bad = Commit(2000, 3, 4, 0.5, "dsf");
+  bad.freshness = 0.3;  // should be 1/(1+4) = 0.2
+  t.insert(t.begin(), Arrival(1, 3));
+  t.insert(t.begin() + 1, Ev(1, TraceEventType::kAdmit, 3));
+  t.push_back(bad);
+  EXPECT_FALSE(CheckTrace(t).ok());
+}
+
+TEST(TraceCheckTest, FlagsSuccessBelowRequiredFreshness) {
+  std::vector<TraceEvent> t = {Arrival(1, 0),
+                               Ev(1, TraceEventType::kAdmit, 0)};
+  // freshness 1/(1+4) = 0.2 < req 0.5, yet labeled success.
+  t.push_back(Commit(10, 0, 4, 0.5, "success"));
+  EXPECT_FALSE(CheckTrace(t).ok());
+}
+
+TEST(TraceCheckTest, FlagsStaleOutcomeMeetingRequirement) {
+  std::vector<TraceEvent> t = {Arrival(1, 0),
+                               Ev(1, TraceEventType::kAdmit, 0)};
+  // freshness 1.0 >= req 0.9, yet labeled dsf.
+  t.push_back(Commit(10, 0, 0, 0.9, "dsf"));
+  EXPECT_FALSE(CheckTrace(t).ok());
+}
+
+TEST(TraceCheckTest, FlagsNegativeApplyLag) {
+  TraceEvent apply = Ev(1, TraceEventType::kUpdateApply, 100);
+  apply.item = 1;
+  apply.lag = -3;
+  apply.set_reason("periodic");
+  EXPECT_FALSE(CheckTrace({apply}).ok());
+}
+
+TEST(TraceCheckTest, FlagsDegradeThatShrinksThePeriod) {
+  TraceEvent e = Ev(1, TraceEventType::kPeriodChange);
+  e.item = 1;
+  e.period_from = 1800;
+  e.period_to = 1000;
+  e.set_reason("degrade");
+  EXPECT_FALSE(CheckTrace({e}).ok());
+}
+
+TEST(TraceCheckTest, FlagsUpgradeThatStretchesThePeriod) {
+  TraceEvent e = Ev(1, TraceEventType::kPeriodChange);
+  e.item = 1;
+  e.period_from = 1000;
+  e.period_to = 1800;
+  e.set_reason("upgrade");
+  EXPECT_FALSE(CheckTrace({e}).ok());
+}
+
+// Fig. 2 dominance: the emitted signal must match the largest positive
+// post-floor weighted ratio.
+TEST(TraceCheckTest, FlagsLoosenAcWithoutDominantR) {
+  EXPECT_FALSE(
+      CheckTrace({Lbc(1, "loosen-ac", 0.2, 0.5, 0.1, 1.21, 1.1)}).ok());
+  EXPECT_FALSE(
+      CheckTrace({Lbc(1, "loosen-ac", 0.0, 0.0, 0.0, 1.21, 1.1)}).ok());
+}
+
+TEST(TraceCheckTest, FlagsDegradeTightenWithoutDominantFm) {
+  EXPECT_FALSE(
+      CheckTrace({Lbc(1, "degrade+tighten", 0.5, 0.2, 0.1, 1.1, 1.21)})
+          .ok());
+}
+
+TEST(TraceCheckTest, FlagsUpgradeWithoutDominantFs) {
+  EXPECT_FALSE(
+      CheckTrace({Lbc(1, "upgrade", 0.5, 0.2, 0.1, 1.1, 1.1)}).ok());
+}
+
+TEST(TraceCheckTest, FlagsNoneWithPositiveRatios) {
+  EXPECT_FALSE(
+      CheckTrace({Lbc(1, "none", 0.5, 0.2, 0.1, 1.1, 1.1)}).ok());
+}
+
+// C_flex is larger-is-tighter: loosen-ac must not raise the knob and
+// degrade+tighten must not lower it; other signals leave it unchanged.
+TEST(TraceCheckTest, FlagsLoosenAcThatTightensTheKnob) {
+  EXPECT_FALSE(
+      CheckTrace({Lbc(1, "loosen-ac", 0.5, 0.2, 0.1, 1.1, 1.21)}).ok());
+}
+
+TEST(TraceCheckTest, FlagsDegradeTightenThatLoosensTheKnob) {
+  EXPECT_FALSE(
+      CheckTrace({Lbc(1, "degrade+tighten", 0.2, 0.5, 0.1, 1.21, 1.1)})
+          .ok());
+}
+
+TEST(TraceCheckTest, FlagsKnobDriftOnNone) {
+  EXPECT_FALSE(
+      CheckTrace({Lbc(1, "none", 0.0, 0.0, 0.0, 1.1, 1.21)}).ok());
+}
+
+TEST(TraceCheckTest, NanKnobSkipsKnobChecks) {
+  // Policies without admission control report NaN knobs; direction checks
+  // must not fire on them.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(
+      CheckTrace({Lbc(1, "loosen-ac", 0.5, 0.2, 0.1, nan, nan)}).ok());
+}
+
+TEST(TraceCheckTest, ViolationRecordingIsCapped) {
+  std::vector<TraceEvent> t;
+  const int n = 2 * TraceCheckResult::kMaxRecordedViolations;
+  for (int i = 0; i < n; ++i) {
+    t.push_back(Ev(i, TraceEventType::kAdmit, i));  // all unknown txns
+  }
+  const TraceCheckResult r = CheckTrace(t);
+  EXPECT_FALSE(r.ok());
+  EXPECT_GE(r.violation_count, static_cast<int64_t>(n));
+  EXPECT_LE(static_cast<int64_t>(r.violations.size()),
+            TraceCheckResult::kMaxRecordedViolations);
+}
+
+TEST(TraceCheckTest, SummaryMentionsViolations) {
+  std::vector<TraceEvent> t = {Ev(1, TraceEventType::kAdmit, 77)};
+  const TraceCheckResult r = CheckTrace(t);
+  const std::string summary = TraceCheckSummary(r);
+  EXPECT_NE(summary.find("violation"), std::string::npos) << summary;
+}
+
+}  // namespace
+}  // namespace unitdb

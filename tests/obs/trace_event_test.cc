@@ -1,0 +1,119 @@
+#include "unit/obs/trace_event.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace unitdb {
+namespace {
+
+std::string Format(const TraceEvent& e) {
+  char buf[640];
+  const size_t n = FormatJsonl(e, buf, sizeof(buf));
+  return std::string(buf, n);
+}
+
+TEST(TraceEventTest, TypeNamesRoundTrip) {
+  const TraceEventType all[] = {
+      TraceEventType::kQueryArrival, TraceEventType::kAdmit,
+      TraceEventType::kReject,       TraceEventType::kPreempt,
+      TraceEventType::kLockRestart,  TraceEventType::kCommit,
+      TraceEventType::kDeadlineMiss, TraceEventType::kUpdateArrival,
+      TraceEventType::kUpdateDrop,   TraceEventType::kUpdateApply,
+      TraceEventType::kPeriodChange, TraceEventType::kLbcSignal,
+  };
+  for (TraceEventType t : all) {
+    TraceEventType back;
+    ASSERT_TRUE(TraceEventTypeFromName(TraceEventTypeName(t), &back))
+        << TraceEventTypeName(t);
+    EXPECT_EQ(back, t);
+  }
+  TraceEventType unused;
+  EXPECT_FALSE(TraceEventTypeFromName("not-an-event", &unused));
+}
+
+TEST(TraceEventTest, ReasonTruncatesSafely) {
+  TraceEvent e;
+  e.set_reason("this-reason-is-much-longer-than-the-buffer");
+  EXPECT_EQ(e.reason[sizeof(e.reason) - 1], '\0');
+  EXPECT_EQ(std::string(e.reason).size(), sizeof(e.reason) - 1);
+  e.set_reason(nullptr);
+  EXPECT_EQ(std::string(e.reason), "");
+  // The longest real reason must fit without truncation.
+  e.set_reason("preventive-degrade");
+  EXPECT_EQ(std::string(e.reason), "preventive-degrade");
+}
+
+TEST(TraceEventGoldenTest, QueryArrival) {
+  TraceEvent e;
+  e.time = 549139;
+  e.type = TraceEventType::kQueryArrival;
+  e.txn = 7;
+  e.pref_class = 2;
+  e.deadline = 1909620;
+  e.estimate = 19543;
+  EXPECT_EQ(Format(e),
+            "{\"t\":549139,\"ev\":\"query-arrival\",\"txn\":7,\"class\":2,"
+            "\"deadline\":1909620,\"est\":19543}");
+}
+
+TEST(TraceEventGoldenTest, Admit) {
+  TraceEvent e;
+  e.time = 10;
+  e.type = TraceEventType::kAdmit;
+  e.txn = 3;
+  EXPECT_EQ(Format(e), "{\"t\":10,\"ev\":\"admit\",\"txn\":3}");
+}
+
+TEST(TraceEventGoldenTest, RejectCarriesReason) {
+  TraceEvent e;
+  e.time = 11;
+  e.type = TraceEventType::kReject;
+  e.txn = 4;
+  e.set_reason("usm");
+  EXPECT_EQ(Format(e), "{\"t\":11,\"ev\":\"reject\",\"txn\":4,"
+                       "\"reason\":\"usm\"}");
+}
+
+TEST(TraceEventGoldenTest, CommitDoublesRoundTripExactly) {
+  TraceEvent e;
+  e.time = 568682;
+  e.type = TraceEventType::kCommit;
+  e.txn = 0;
+  e.set_reason("success");
+  e.freshness = 0.1;  // not exactly representable: %.17g must round-trip
+  e.freshness_req = 0.9;
+  e.udrop = 9;
+  const std::string line = Format(e);
+  EXPECT_EQ(line,
+            "{\"t\":568682,\"ev\":\"commit\",\"txn\":0,"
+            "\"outcome\":\"success\",\"freshness\":0.10000000000000001,"
+            "\"freq\":0.90000000000000002,\"udrop\":9}");
+}
+
+TEST(TraceEventGoldenTest, PeriodChange) {
+  TraceEvent e;
+  e.time = 99;
+  e.type = TraceEventType::kPeriodChange;
+  e.item = 12;
+  e.period_from = 1000;
+  e.period_to = 2000;
+  e.set_reason("degrade");
+  EXPECT_EQ(Format(e),
+            "{\"t\":99,\"ev\":\"period-change\",\"item\":12,"
+            "\"from\":1000,\"to\":2000,\"reason\":\"degrade\"}");
+}
+
+TEST(TraceEventGoldenTest, TruncationIsBounded) {
+  TraceEvent e;
+  e.type = TraceEventType::kLbcSignal;
+  e.set_reason("degrade+tighten");
+  e.resolved = 123456789;
+  char tiny[16];
+  const size_t n = FormatJsonl(e, tiny, sizeof(tiny));
+  EXPECT_LT(n, sizeof(tiny));
+  EXPECT_EQ(tiny[n], '\0');
+}
+
+}  // namespace
+}  // namespace unitdb

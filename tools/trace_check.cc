@@ -1,0 +1,37 @@
+// Replays JSONL run traces (EngineParams::trace / ObsOptions::trace_path)
+// and validates the engine's observable invariants: per-query lifecycle
+// (every admit reaches exactly one terminal outcome), Eq. 1 freshness
+// accounting (freshness = 1/(1 + Udrop), success iff freshness meets the
+// requirement), the Fig. 2 dominant-penalty rule behind every LBC signal,
+// and update/period-change sanity. CI pipes freshly generated traces
+// through this binary; exit status 1 flags any violation (or parse error,
+// which usually means writer/checker schema drift).
+//
+// Usage: trace_check FILE [FILE...]
+
+#include <cstdio>
+
+#include "unit/obs/trace_check.h"
+#include "unit/obs/trace_reader.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s FILE [FILE...]\n", argv[0]);
+    return 2;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    auto events = unitdb::ReadTraceFile(argv[i]);
+    if (!events.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[i],
+                   events.status().ToString().c_str());
+      all_ok = false;
+      continue;
+    }
+    const unitdb::TraceCheckResult result = unitdb::CheckTrace(*events);
+    std::printf("%s: %s\n", argv[i],
+                unitdb::TraceCheckSummary(result).c_str());
+    if (!result.ok()) all_ok = false;
+  }
+  return all_ok ? 0 : 1;
+}
