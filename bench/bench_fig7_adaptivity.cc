@@ -1,0 +1,244 @@
+// Load-variation / adaptivity bench (the paper's Fig. 7 territory): how do
+// UNIT and the fixed baselines respond when the operating point moves under
+// them mid-run? Each scenario compiles a deterministic fault schedule (step
+// query load, update outage) against the standard med-unif workload and
+// reports the disturbance summary per policy — pre-fault baseline USM, dip
+// depth inside the fault window, and time-to-recover after it. A policy with
+// a working feedback loop (UNIT) should dip less and settle faster than the
+// ablated/static baselines.
+//
+// The "none" scenario is the fault layer's regression guard: an empty
+// schedule must be a strict behavioral no-op, so the bench re-runs the cell
+// without the fault layer attached and exits nonzero if any headline metric
+// differs bit-for-bit.
+//
+// Usage: bench_fig7_adaptivity [scale=0.25] [seed=42] [epsilon=0.25]
+//                              [policies=unit,unit-bare,imu,qmf]
+//                              [scenario=path/to/spec] [trace_dir=DIR]
+//                              [out=BENCH_fig7.json]
+//   scenario= replaces the two canned scenarios with a spec file (the no-op
+//   check still runs); trace_dir= also writes one JSONL trace per cell.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "unit/common/config.h"
+#include "unit/faults/schedule.h"
+#include "unit/faults/scenario.h"
+#include "unit/faults/settling.h"
+#include "unit/sim/experiment.h"
+#include "unit/sim/report.h"
+
+namespace unitdb {
+namespace {
+
+struct CellResult {
+  std::string scenario;
+  std::string policy;
+  double usm = 0.0;
+  DisturbanceReport disturbance;
+};
+
+struct NamedScenario {
+  std::string name;
+  FaultScenarioSpec spec;
+};
+
+/// The two canned disturbances, windowed relative to the run length so any
+/// `scale` keeps the pre-fault baseline and post-fault recovery tail.
+StatusOr<std::vector<NamedScenario>> CannedScenarios(double duration_s) {
+  const auto window = [&](double lo, double hi) {
+    std::ostringstream os;
+    os << "fault0.start_s = " << duration_s * lo << "\n"
+       << "fault0.end_s = " << duration_s * hi << "\n";
+    return os.str();
+  };
+  auto step = FaultScenarioSpec::Parse(
+      "name = step\nfault0.kind = load-step\nfault0.rate_hz = 20\n" +
+      window(0.4, 0.6));
+  if (!step.ok()) return step.status();
+  auto outage = FaultScenarioSpec::Parse(
+      "name = outage\nfault0.kind = update-outage\nfault0.items = 0-63\n" +
+      window(0.4, 0.7));
+  if (!outage.ok()) return outage.status();
+  return std::vector<NamedScenario>{{"step", std::move(*step)},
+                                    {"outage", std::move(*outage)}};
+}
+
+/// Empty schedule must not perturb the engine at all: compare every headline
+/// metric of a faulted-but-empty run against the plain run, bit for bit.
+Status CheckNoFaultNoOp(const Workload& workload, const std::string& policy,
+                        const UsmWeights& weights) {
+  FaultScenarioSpec none;
+  auto schedule = FaultSchedule::Compile(none, workload, /*workload_seed=*/0);
+  if (!schedule.ok()) return schedule.status();
+  auto faulted = RunFaultedExperiment(workload, policy, weights, *schedule);
+  if (!faulted.ok()) return faulted.status();
+  auto plain = RunExperiment(workload, policy, weights);
+  if (!plain.ok()) return plain.status();
+
+  const RunMetrics& a = faulted->metrics;
+  const RunMetrics& b = plain->metrics;
+  const bool same =
+      faulted->usm == plain->usm && a.counts.submitted == b.counts.submitted &&
+      a.counts.success == b.counts.success &&
+      a.counts.rejected == b.counts.rejected &&
+      a.counts.dmf == b.counts.dmf && a.counts.dsf == b.counts.dsf &&
+      a.busy_s == b.busy_s &&
+      a.events_processed == b.events_processed &&
+      a.events_cancelled == b.events_cancelled &&
+      a.preemptions == b.preemptions && a.lock_restarts == b.lock_restarts &&
+      a.update_commits == b.update_commits &&
+      a.updates_dropped == b.updates_dropped && a.fault_edges == 0 &&
+      a.fault_injected_queries == 0 && a.fault_injected_updates == 0 &&
+      a.fault_suppressed_updates == 0;
+  if (!same) {
+    return Status(StatusCode::kInternal,
+                  "empty fault schedule perturbed policy '" + policy +
+                      "' (usm " + Fmt(faulted->usm, 6) + " vs " +
+                      Fmt(plain->usm, 6) + ")");
+  }
+  return Status::Ok();
+}
+
+void WriteJson(const std::vector<CellResult>& results, double scale,
+               uint64_t seed, double epsilon, const std::string& path) {
+  std::ofstream f(path);
+  f << "{\n";
+  f << "  \"bench\": \"bench_fig7_adaptivity\",\n";
+  f << "  \"scale\": " << scale << ",\n";
+  f << "  \"seed\": " << seed << ",\n";
+  f << "  \"epsilon\": " << epsilon << ",\n";
+  f << "  \"cells\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    const DisturbanceReport& d = r.disturbance;
+    f << "    {\"scenario\": \"" << r.scenario << "\", \"policy\": \""
+      << r.policy << "\", \"usm\": " << r.usm
+      << ", \"baseline_usm\": " << d.baseline_usm
+      << ", \"min_usm\": " << d.min_usm << ", \"dip_depth\": " << d.dip_depth
+      << ", \"recover_s\": " << d.recover_s
+      << ", \"fault_start_s\": " << d.fault_start_s
+      << ", \"fault_end_s\": " << d.fault_end_s << "}"
+      << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  f << "  ]\n";
+  f << "}\n";
+}
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(tok);
+  }
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  auto config = Config::ParseArgs(argc, argv);
+  if (!config.ok()) {
+    std::cerr << config.status().ToString() << "\n";
+    return 1;
+  }
+  if (Status s = config->ExpectKeys({"scale", "seed", "epsilon", "policies",
+                                     "scenario", "trace_dir", "out"});
+      !s.ok()) {
+    std::cerr << s.ToString() << "\n";
+    return 1;
+  }
+  const double scale = config->GetDouble("scale", 0.25);
+  const uint64_t seed = config->GetInt("seed", 42);
+  const double epsilon = config->GetDouble("epsilon", 0.25);
+  const std::string trace_dir = config->GetString("trace_dir", "");
+  const std::string out = config->GetString("out", "BENCH_fig7.json");
+  const std::vector<std::string> policies =
+      SplitCsv(config->GetString("policies", "unit,unit-bare,imu,qmf"));
+  const UsmWeights weights{1.0, 0.5, 1.0, 0.5};
+
+  auto workload =
+      MakeStandardWorkload(UpdateVolume::kMedium, UpdateDistribution::kUniform,
+                           scale, seed);
+  if (!workload.ok()) {
+    std::cerr << workload.status().ToString() << "\n";
+    return 1;
+  }
+  const double duration_s = SimToSeconds(workload->duration);
+
+  std::vector<NamedScenario> scenarios;
+  if (const std::string path = config->GetString("scenario", "");
+      !path.empty()) {
+    auto spec = FaultScenarioSpec::Load(path);
+    if (!spec.ok()) {
+      std::cerr << spec.status().ToString() << "\n";
+      return 1;
+    }
+    scenarios.push_back({spec->name, std::move(*spec)});
+  } else {
+    auto canned = CannedScenarios(duration_s);
+    if (!canned.ok()) {
+      std::cerr << canned.status().ToString() << "\n";
+      return 1;
+    }
+    scenarios = std::move(*canned);
+  }
+
+  std::cout << "=== Adaptivity under disturbance (Fig. 7 territory) ===\n";
+  for (const std::string& policy : policies) {
+    if (Status s = CheckNoFaultNoOp(*workload, policy, weights); !s.ok()) {
+      std::cerr << s.ToString() << "\n";
+      return 1;
+    }
+  }
+  std::cout << "no-fault no-op check: ok (" << policies.size()
+            << " policies)\n";
+
+  TextTable table;
+  table.SetHeader({"scenario", "policy", "usm", "baseline", "dip",
+                   "recover_s"});
+  std::vector<CellResult> results;
+  for (const NamedScenario& scenario : scenarios) {
+    auto schedule = FaultSchedule::Compile(scenario.spec, *workload, seed);
+    if (!schedule.ok()) {
+      std::cerr << schedule.status().ToString() << "\n";
+      return 1;
+    }
+    for (const std::string& policy : policies) {
+      ObsOptions obs;
+      obs.series = true;
+      if (!trace_dir.empty()) {
+        obs.trace_path =
+            trace_dir + "/fig7_" + scenario.name + "_" + policy + ".jsonl";
+      }
+      auto r = RunFaultedExperiment(*workload, policy, weights, *schedule,
+                                    obs, {}, {}, epsilon);
+      if (!r.ok()) {
+        std::cerr << r.status().ToString() << "\n";
+        return 1;
+      }
+      CellResult cell;
+      cell.scenario = scenario.name;
+      cell.policy = policy;
+      cell.usm = r->usm;
+      cell.disturbance = r->disturbance;
+      results.push_back(cell);
+      const DisturbanceReport& d = cell.disturbance;
+      table.AddRow({cell.scenario, cell.policy, Fmt(cell.usm, 4),
+                    Fmt(d.baseline_usm, 4), Fmt(d.dip_depth, 4),
+                    d.recover_s < 0 ? "never" : Fmt(d.recover_s, 1)});
+    }
+  }
+  table.Print(std::cout);
+  WriteJson(results, scale, seed, epsilon, out);
+  std::cout << "wrote " << out << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace unitdb
+
+int main(int argc, char** argv) { return unitdb::Main(argc, argv); }

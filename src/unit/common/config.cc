@@ -22,7 +22,14 @@ Status ParseEntry(const std::string& token, Config& config) {
   if (eq == std::string::npos || eq == 0) {
     return Status::InvalidArgument("expected key=value, got '" + token + "'");
   }
-  config.Set(Trim(t.substr(0, eq)), Trim(t.substr(eq + 1)));
+  const std::string key = Trim(t.substr(0, eq));
+  // Set() overwrites, but a key appearing twice in one parsed source is a
+  // typo (a scenario file silently dropping its first fault0.kind would be
+  // miserable to debug), so the parsers reject it.
+  if (config.Has(key)) {
+    return Status::InvalidArgument("duplicate key '" + key + "'");
+  }
+  config.Set(key, Trim(t.substr(eq + 1)));
   return Status::Ok();
 }
 

@@ -12,25 +12,35 @@ namespace unitdb {
 
 // --- AdmissionIndex -------------------------------------------------------
 
-void AdmissionIndex::Init(const Workload& workload) {
-  const size_t n = workload.queries.size();
+void AdmissionIndex::Init(const Workload& workload,
+                          const std::vector<QueryRequest>* injected) {
+  const size_t nw = workload.queries.size();
+  const size_t n = nw + (injected != nullptr ? injected->size() : 0);
+  num_workload_ = nw;
   initialized_ = true;
 
+  // Combined index space: [0, nw) are workload queries, [nw, n) injected
+  // ones (fault-schedule order). Request `qi` resolves through this.
+  auto request_of = [&workload, injected, nw](size_t qi) -> const QueryRequest& {
+    return qi < nw ? workload.queries[qi] : (*injected)[qi - nw];
+  };
+
   // Creation order of query transactions equals arrival order: the event
-  // queue breaks time ties by push sequence, which is workload index order.
+  // queue breaks time ties by push sequence — workload index order first,
+  // then injected index order (ScheduleInitialEvents pushes every workload
+  // query arrival before any injected one, so the stable sort's tie-break
+  // matches the pop order at equal timestamps).
   std::vector<size_t> creation(n);
   std::iota(creation.begin(), creation.end(), size_t{0});
   std::stable_sort(creation.begin(), creation.end(),
-                   [&workload](size_t a, size_t b) {
-                     return workload.queries[a].arrival <
-                            workload.queries[b].arrival;
+                   [&request_of](size_t a, size_t b) {
+                     return request_of(a).arrival < request_of(b).arrival;
                    });
 
   // Rank order (deadline, creation position) matches the naive scan's EDF
   // (deadline, txn id) order, since query txn ids increase with creation.
-  auto deadline_of = [&workload](size_t qi) {
-    return workload.queries[qi].arrival +
-           workload.queries[qi].relative_deadline;
+  auto deadline_of = [&request_of](size_t qi) {
+    return request_of(qi).arrival + request_of(qi).relative_deadline;
   };
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), size_t{0});

@@ -56,9 +56,13 @@ struct AdmissionParams {
 /// naive scan bit for bit.
 class AdmissionIndex {
  public:
-  /// Precomputes deadline ranks for every query in `workload`. Ranks assume
-  /// EDF dispatch order; do not enable the index under other disciplines.
-  void Init(const Workload& workload);
+  /// Precomputes deadline ranks for every query in `workload`, plus the
+  /// fault layer's injected queries when a schedule supplies them — injected
+  /// arrivals are known up front too (compiled before the run), so they get
+  /// static slots like everyone else. Ranks assume EDF dispatch order; do
+  /// not enable the index under other disciplines.
+  void Init(const Workload& workload,
+            const std::vector<QueryRequest>* injected = nullptr);
 
   bool enabled() const { return initialized_; }
 
@@ -66,6 +70,12 @@ class AdmissionIndex {
   /// stamps this onto the Transaction at creation.
   int32_t RankOfQuery(size_t query_index) const {
     return ranks_[query_index];
+  }
+
+  /// Deadline rank of injected query `injected_index` (fault schedule
+  /// order). Only valid when Init saw the injected list.
+  int32_t RankOfInjected(size_t injected_index) const {
+    return ranks_[num_workload_ + injected_index];
   }
 
   /// The query entered the ready queue (remaining stays fixed while queued).
@@ -103,6 +113,7 @@ class AdmissionIndex {
                         int64_t lo, int64_t hi, int64_t& acc) const;
 
   bool initialized_ = false;
+  size_t num_workload_ = 0;             ///< injected queries rank after these
   std::vector<int32_t> ranks_;          ///< workload query index -> rank
   std::vector<SimTime> rank_deadline_;  ///< rank -> absolute deadline (sorted)
   BasicFenwickTree<int64_t> work_;      ///< rank -> remaining demand

@@ -1,0 +1,107 @@
+#ifndef UNIT_FAULTS_SCENARIO_H_
+#define UNIT_FAULTS_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "unit/common/config.h"
+#include "unit/common/status.h"
+
+namespace unitdb {
+
+/// Kinds of disturbance the fault layer can inject into a running
+/// experiment. Each perturbs exactly one side of the feedback loop the
+/// paper's LBC balances, so the adaptivity benches can attribute a USM dip
+/// to one cause:
+///
+///  - kUpdateOutage: the update sources of chosen items stop delivering
+///    messages for the window; installed values decay (Udrop grows) and the
+///    staleness penalty Fs rises.
+///  - kUpdateBurst: the sources of chosen items push extra versions at
+///    `rate_hz` per item on top of the periodic stream; the server must
+///    ingest them (they bypass frequency modulation's due-check), raising
+///    update load and the miss penalty Fm.
+///  - kLoadStep: extra query arrivals at `rate_hz` (seeded Poisson process,
+///    templates drawn from the workload's own trace), raising R and Fm.
+///  - kServiceSlowdown: service demand of every transaction *created*
+///    during the window is multiplied by `factor` (server degradation).
+///  - kFreshnessShift: `delta` is added to the freshness requirement of
+///    queries arriving during the window (clamped to [0, 1]).
+enum class FaultKind : uint8_t {
+  kUpdateOutage = 0,
+  kUpdateBurst,
+  kLoadStep,
+  kServiceSlowdown,
+  kFreshnessShift,
+};
+
+/// Stable wire/spec name ("update-outage", "load-step", ...).
+const char* FaultKindName(FaultKind k);
+
+/// Inverse of FaultKindName; returns false on an unknown name.
+bool FaultKindFromName(const std::string& name, FaultKind* out);
+
+/// One timed disturbance of a scenario. Which optional fields are required
+/// (and which are forbidden) depends on the kind; FaultScenarioSpec
+/// validation enforces it so a typo'd spec fails loudly.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kUpdateOutage;
+  double start_s = 0.0;  ///< window start, seconds from run start
+  double end_s = 0.0;    ///< window end (exclusive), must be > start_s
+
+  /// Item selection for kUpdateOutage / kUpdateBurst: "a-b" (inclusive
+  /// range), "a,b,c" (list), or "*" (every item with an update source).
+  std::string items;
+
+  double rate_hz = 0.0;  ///< kUpdateBurst: extra versions per item per
+                         ///< second; kLoadStep: extra query arrivals per
+                         ///< second
+  double factor = 0.0;   ///< kServiceSlowdown: service-demand multiplier > 0
+  double delta = 0.0;    ///< kFreshnessShift: freshness_req addend, != 0
+};
+
+/// A named, seeded set of FaultSpecs — everything needed to compile a
+/// deterministic FaultSchedule against a concrete workload.
+///
+/// Spec grammar (Config key=value lines, '#' comments):
+///
+///   name   = outage-demo          # optional scenario name
+///   seed   = 7                    # optional injection seed
+///   fault0.kind    = update-outage
+///   fault0.start_s = 200
+///   fault0.end_s   = 350
+///   fault0.items   = 0-63
+///   fault1.kind    = load-step
+///   fault1.start_s = 200
+///   fault1.end_s   = 300
+///   fault1.rate_hz = 20
+///
+/// Fault indices must be dense from 0. Unknown keys are rejected via
+/// Config::ExpectKeys.
+struct FaultScenarioSpec {
+  std::string name = "scenario";
+  /// Scenario-level injection seed. Mixed (SplitMix64) with the per-run
+  /// workload seed at compile time, so replications draw decorrelated
+  /// injection streams while staying bit-identical for a fixed pair.
+  uint64_t seed = 7;
+  std::vector<FaultSpec> faults;
+
+  bool empty() const { return faults.empty(); }
+
+  /// Builds and validates a scenario from a parsed Config (rejecting
+  /// unknown keys, unknown kinds, empty/inverted windows, missing or
+  /// extraneous kind-specific fields, and overlapping windows of the same
+  /// scalar kind).
+  static StatusOr<FaultScenarioSpec> FromConfig(const Config& config);
+
+  /// FromConfig over Config::ParseString(text).
+  static StatusOr<FaultScenarioSpec> Parse(const std::string& text);
+
+  /// FromConfig over the contents of the file at `path`.
+  static StatusOr<FaultScenarioSpec> Load(const std::string& path);
+};
+
+}  // namespace unitdb
+
+#endif  // UNIT_FAULTS_SCENARIO_H_

@@ -1,0 +1,110 @@
+#include "unit/faults/settling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "unit/faults/schedule.h"
+
+namespace unitdb {
+
+namespace {
+
+/// Trailing moving-average width: wide enough to tame the per-window USM
+/// noise (single windows swing by several units even in steady state), but
+/// never wider than a quarter of the pre-fault history so the baseline
+/// regime still fits several independent smoothed points.
+int SmoothingWindows(int baseline_n) {
+  return std::clamp(baseline_n / 4, 5, 50);
+}
+
+}  // namespace
+
+DisturbanceReport ComputeDisturbance(const std::vector<WindowSample>& series,
+                                     double fault_start_s, double fault_end_s,
+                                     double epsilon) {
+  DisturbanceReport report;
+  report.fault_start_s = fault_start_s;
+  report.fault_end_s = fault_end_s;
+  report.epsilon = epsilon;
+
+  double baseline_sum = 0.0;
+  int baseline_n = 0;
+  for (const WindowSample& w : series) {
+    if (w.t_s > fault_start_s) break;
+    baseline_sum += w.usm.Value();
+    ++baseline_n;
+  }
+
+  // Smooth the raw window USM with a trailing moving average: single
+  // windows resolve only a handful of queries, so the raw signal is far too
+  // noisy to measure dip or settling against.
+  const int k = SmoothingWindows(baseline_n);
+  std::vector<double> smooth(series.size(), 0.0);
+  double rolling = 0.0;
+  for (size_t i = 0; i < series.size(); ++i) {
+    rolling += series[i].usm.Value();
+    if (i >= static_cast<size_t>(k)) {
+      rolling -= series[i - static_cast<size_t>(k)].usm.Value();
+    }
+    const int denom = std::min<int>(static_cast<int>(i) + 1, k);
+    smooth[i] = rolling / denom;
+  }
+
+  bool have_min = false;
+  for (size_t i = 0; i < series.size(); ++i) {
+    const WindowSample& w = series[i];
+    if (w.t_s <= fault_start_s || w.t_s > fault_end_s) continue;
+    DisturbanceWindow d;
+    d.t_s = w.t_s;
+    d.usm = smooth[i];
+    d.r = w.usm.r;
+    d.fm = w.usm.fm;
+    d.fs = w.usm.fs;
+    report.during.push_back(d);
+    if (!have_min || smooth[i] < report.min_usm) {
+      report.min_usm = smooth[i];
+      have_min = true;
+    }
+  }
+  // Without an undisturbed window to measure against (or any window inside
+  // the envelope), dip and recovery are undefined.
+  if (baseline_n == 0 || !have_min) return report;
+  report.valid = true;
+  report.baseline_usm = baseline_sum / baseline_n;
+  report.dip_depth = report.baseline_usm - report.min_usm;
+  // The rolling sum leaves ~1e-15 of float dust even on a perfectly flat
+  // series; a dip that small is measurement noise, not a disturbance, and
+  // must not poison the settling threshold below.
+  const double dust =
+      1e-9 * std::max(1.0, std::abs(report.baseline_usm));
+  if (report.dip_depth < dust) report.dip_depth = 0.0;
+
+  // Settling time, control-style: recovered once the smoothed USM is back
+  // within epsilon * dip of the baseline *for good* (the last sub-threshold
+  // window decides). No dip, nothing to recover from.
+  if (report.dip_depth == 0.0) {
+    report.recover_s = 0.0;
+    return report;
+  }
+  const double threshold =
+      report.baseline_usm - epsilon * report.dip_depth;
+  report.recover_s = 0.0;
+  bool last_below = false;
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (series[i].t_s <= fault_end_s) continue;
+    last_below = smooth[i] < threshold;
+    if (last_below) report.recover_s = series[i].t_s - fault_end_s;
+  }
+  if (last_below) report.recover_s = -1.0;  // never settled within the run
+  return report;
+}
+
+DisturbanceReport ComputeDisturbance(const std::vector<WindowSample>& series,
+                                     const FaultSchedule& schedule,
+                                     double epsilon) {
+  if (schedule.empty()) return DisturbanceReport{};
+  return ComputeDisturbance(series, SimToSeconds(schedule.envelope_start()),
+                            SimToSeconds(schedule.envelope_end()), epsilon);
+}
+
+}  // namespace unitdb

@@ -1,0 +1,69 @@
+#ifndef UNIT_FAULTS_SETTLING_H_
+#define UNIT_FAULTS_SETTLING_H_
+
+#include <vector>
+
+#include "unit/obs/timeseries.h"
+
+namespace unitdb {
+
+class FaultSchedule;
+
+/// One control window inside the fault envelope: the per-window USM
+/// decomposition the disturbance report keeps for Fig. 7-style plots.
+/// `usm` carries the *smoothed* signal the dip is measured on; r/fm/fs stay
+/// raw so the plots can attribute the dip to one penalty.
+struct DisturbanceWindow {
+  double t_s = 0.0;  ///< window end, simulated seconds
+  double usm = 0.0;  ///< smoothed window USM (trailing moving average)
+  double r = 0.0;    ///< rejection cost term (raw)
+  double fm = 0.0;   ///< deadline-miss cost term (raw)
+  double fs = 0.0;   ///< staleness cost term (raw)
+};
+
+/// Dynamic-response summary of one faulted run, computed post hoc from the
+/// per-control-window time series (EngineParams::series) and the fault
+/// envelope. Single windows resolve only a handful of queries, so the raw
+/// per-window USM swings by whole units even in steady state; dip and
+/// settling are therefore measured on a trailing moving average (width
+/// auto-picked from the pre-fault history, 5..50 windows):
+///
+///  - baseline_usm: mean raw window USM over windows entirely before the
+///    fault;
+///  - dip_depth: baseline_usm minus the minimum *smoothed* window USM
+///    inside the envelope (clamped at 0 — no dip, no depth);
+///  - recover_s: settling time, control-style — seconds after the envelope
+///    ends until the smoothed USM is back within `epsilon * dip_depth` of
+///    the baseline *for good* (the last sub-threshold window decides).
+///    0 when the run never leaves the band after the fault; -1 when it
+///    never settles before the run ends.
+struct DisturbanceReport {
+  bool valid = false;  ///< false: no series or no pre-fault window
+  double fault_start_s = 0.0;  ///< envelope start
+  double fault_end_s = 0.0;    ///< envelope end
+  double epsilon = 0.0;        ///< settling band, as a fraction of the dip
+
+  double baseline_usm = 0.0;
+  double min_usm = 0.0;  ///< minimum smoothed window USM inside the envelope
+  double dip_depth = 0.0;
+  double recover_s = -1.0;
+
+  std::vector<DisturbanceWindow> during;  ///< windows inside the envelope
+};
+
+/// Computes the report from a recorded series and an explicit envelope.
+/// Windows are attributed by their end time t_s: pre-fault means
+/// t_s <= fault_start_s, inside means fault_start_s < t_s <= fault_end_s.
+DisturbanceReport ComputeDisturbance(const std::vector<WindowSample>& series,
+                                     double fault_start_s, double fault_end_s,
+                                     double epsilon = 0.25);
+
+/// Convenience overload taking the envelope from a compiled schedule;
+/// returns an invalid report for an empty schedule.
+DisturbanceReport ComputeDisturbance(const std::vector<WindowSample>& series,
+                                     const FaultSchedule& schedule,
+                                     double epsilon = 0.25);
+
+}  // namespace unitdb
+
+#endif  // UNIT_FAULTS_SETTLING_H_

@@ -2,8 +2,11 @@
 
 #include <cmath>
 #include <cstring>
+#include <map>
 #include <string>
 #include <unordered_map>
+
+#include "unit/faults/scenario.h"
 
 namespace unitdb {
 
@@ -65,6 +68,14 @@ class Checker {
           ++result_.lbc_signals;
           OnLbcSignal(e);
           break;
+        case TraceEventType::kFaultStart:
+          ++result_.fault_starts;
+          OnFaultStart(e);
+          break;
+        case TraceEventType::kFaultStop:
+          ++result_.fault_stops;
+          OnFaultStop(e);
+          break;
       }
     }
     // Invariant 2 epilogue: nothing admitted may be left without a terminal
@@ -74,6 +85,12 @@ class Checker {
         Record("txn " + std::to_string(txn) +
                " admitted but has no terminal outcome");
       }
+    }
+    // Invariant 6 epilogue: every fault window closes before the trace ends
+    // (the schedule compiler clamps stop edges to the run duration).
+    for (const auto& [fault, kind] : active_faults_) {
+      Record("fault " + std::to_string(fault) + " (" + kind +
+             ") started but never stopped");
     }
     return result_;
   }
@@ -222,21 +239,120 @@ class Checker {
     // so loosen-ac must not raise it and degrade+tighten must not lower it.
     // Either may saturate at its bound, so direction is checked, not strict
     // movement.
-    if (std::isnan(e.knob_before) || std::isnan(e.knob)) return;
-    if (std::strcmp(s, "loosen-ac") == 0) {
-      if (e.knob > e.knob_before) Violation(e, "loosen-ac tightened the knob");
-    } else if (std::strcmp(s, "degrade+tighten") == 0) {
-      if (e.knob < e.knob_before) {
-        Violation(e, "degrade+tighten loosened the knob");
+    if (!std::isnan(e.knob_before) && !std::isnan(e.knob)) {
+      if (std::strcmp(s, "loosen-ac") == 0) {
+        if (e.knob > e.knob_before) {
+          Violation(e, "loosen-ac tightened the knob");
+        }
+      } else if (std::strcmp(s, "degrade+tighten") == 0) {
+        if (e.knob < e.knob_before) {
+          Violation(e, "degrade+tighten loosened the knob");
+        }
+      } else if (e.knob != e.knob_before) {
+        Violation(e, std::string("signal ") + s + " moved the admission knob");
       }
-    } else if (e.knob != e.knob_before) {
-      Violation(e, std::string("signal ") + s + " moved the admission knob");
     }
+    CheckFaultResponse(e);
+  }
+
+  /// Invariant 6 response direction: while open fault windows unanimously
+  /// pressure one penalty axis and the event shows that ratio as the strict
+  /// (unique, positive) maximum, the controller must pick the relieving
+  /// action. Scoped to strict maxima because the engine's LBC breaks ties
+  /// among equal maximal ratios randomly — non-strict dominance carries no
+  /// direction obligation.
+  void CheckFaultResponse(const TraceEvent& e) {
+    if (active_faults_.empty()) return;
+    ++result_.fault_window_lbc_signals;
+    const char* expected = nullptr;
+    if (fs_pressure_ > 0 && fm_pressure_ == 0) {
+      if (e.fs > e.r && e.fs > e.fm && e.fs > 0.0) expected = "upgrade";
+    } else if (fm_pressure_ > 0 && fs_pressure_ == 0) {
+      if (e.fm > e.r && e.fm > e.fs && e.fm > 0.0) expected = "degrade+tighten";
+    }
+    if (expected == nullptr) return;
+    if (std::strcmp(e.reason, expected) == 0) {
+      ++result_.fault_window_relief_signals;
+    } else {
+      Violation(e, std::string("LBC response \"") + e.reason +
+                       "\" during a fault window pressuring the dominant "
+                       "penalty; expected \"" + expected +
+                       "\" (r=" + std::to_string(e.r) +
+                       " fm=" + std::to_string(e.fm) +
+                       " fs=" + std::to_string(e.fs) + ")");
+    }
+  }
+
+  /// Which penalty axis `kind` pressures; updates the open-window tallies.
+  void AdjustPressure(FaultKind kind, int delta) {
+    switch (kind) {
+      case FaultKind::kUpdateOutage:
+      case FaultKind::kFreshnessShift:
+        fs_pressure_ += delta;
+        break;
+      case FaultKind::kUpdateBurst:
+      case FaultKind::kServiceSlowdown:
+        fm_pressure_ += delta;
+        break;
+      case FaultKind::kLoadStep:
+        // Pressures R and Fm together — no single relieving action, so a
+        // load-step window suspends the direction check via neither tally.
+        fs_pressure_ += delta;
+        fm_pressure_ += delta;
+        break;
+    }
+  }
+
+  void OnFaultStart(const TraceEvent& e) {
+    FaultKind kind;
+    if (!FaultKindFromName(e.reason, &kind)) {
+      Violation(e, std::string("unknown fault kind \"") + e.reason + "\"");
+      return;
+    }
+    if (!active_faults_.emplace(e.txn, e.reason).second) {
+      Violation(e, "duplicate start for fault " + std::to_string(e.txn));
+      return;
+    }
+    const bool item_scoped = kind == FaultKind::kUpdateOutage ||
+                             kind == FaultKind::kUpdateBurst;
+    if (item_scoped && e.resolved <= 0) {
+      Violation(e, "item-scoped fault with no affected items");
+    }
+    if (!item_scoped && e.resolved != 0) {
+      Violation(e, "global fault carries an item span");
+    }
+    if (kind != FaultKind::kUpdateOutage && e.magnitude == 0.0) {
+      Violation(e, "zero magnitude for kind \"" + std::string(e.reason) +
+                       "\"");
+    }
+    AdjustPressure(kind, +1);
+  }
+
+  void OnFaultStop(const TraceEvent& e) {
+    auto it = active_faults_.find(e.txn);
+    if (it == active_faults_.end()) {
+      Violation(e, "stop without start for fault " + std::to_string(e.txn));
+      return;
+    }
+    if (it->second != e.reason) {
+      Violation(e, "fault " + std::to_string(e.txn) + " started as \"" +
+                       it->second + "\" but stopped as \"" + e.reason + "\"");
+    }
+    FaultKind kind;
+    if (FaultKindFromName(it->second.c_str(), &kind)) {
+      AdjustPressure(kind, -1);
+    }
+    active_faults_.erase(it);
   }
 
   TraceCheckResult result_;
   SimTime last_time_ = 0;
   std::unordered_map<TxnId, TxnPhase> txns_;
+  /// Open fault windows: fault id -> kind name (ordered so the unclosed-
+  /// window epilogue reports deterministically).
+  std::map<int64_t, std::string> active_faults_;
+  int fs_pressure_ = 0;
+  int fm_pressure_ = 0;
 };
 
 }  // namespace
@@ -254,7 +370,8 @@ std::string TraceCheckSummary(const TraceCheckResult& r) {
                     std::to_string(r.deadline_misses) + " deadline misses, " +
                     std::to_string(r.update_applies) + " update applies, " +
                     std::to_string(r.update_drops) + " update drops, " +
-                    std::to_string(r.lbc_signals) + " lbc signals): ";
+                    std::to_string(r.lbc_signals) + " lbc signals, " +
+                    std::to_string(r.fault_starts) + " fault windows): ";
   if (r.ok()) {
     out += "all invariants hold";
     return out;

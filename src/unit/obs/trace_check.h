@@ -27,6 +27,14 @@ struct TraceCheckResult {
   int64_t update_drops = 0;
   int64_t update_applies = 0;
   int64_t lbc_signals = 0;
+  int64_t fault_starts = 0;
+  int64_t fault_stops = 0;
+  /// LBC evaluations that fired while at least one fault window was open,
+  /// and how many of those chose the action relieving the pressured
+  /// penalty — the adaptivity tests assert the controller actually
+  /// responded (> 0), not merely that nothing contradicted Fig. 2.
+  int64_t fault_window_lbc_signals = 0;
+  int64_t fault_window_relief_signals = 0;
 
   int64_t violation_count = 0;
   std::vector<std::string> violations;
@@ -50,6 +58,13 @@ struct TraceCheckResult {
 ///     leaves it alone.
 ///  5. Update sanity: apply lag >= 0, period changes actually change the
 ///     period ("degrade" stretches, "upgrade" shrinks).
+///  6. Fault windows: start/stop edges pair up per fault id with a known
+///     kind and a sane magnitude, every window is closed by end of trace,
+///     and — the response-direction check — while the open windows all
+///     pressure one penalty axis (update-outage / freshness-shift -> Fs;
+///     update-burst / service-slowdown -> Fm), an LBC evaluation whose
+///     pressured ratio is the strict maximum must emit the signal that
+///     relieves it ("upgrade" for Fs, "degrade+tighten" for Fm).
 TraceCheckResult CheckTrace(const std::vector<TraceEvent>& events);
 
 /// One-paragraph summary ("N events, M violations" + the first few) used by

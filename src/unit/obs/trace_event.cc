@@ -25,6 +25,8 @@ constexpr TypeName kTypeNames[] = {
     {TraceEventType::kUpdateApply, "update-apply"},
     {TraceEventType::kPeriodChange, "period-change"},
     {TraceEventType::kLbcSignal, "lbc"},
+    {TraceEventType::kFaultStart, "fault-start"},
+    {TraceEventType::kFaultStop, "fault-stop"},
 };
 
 }  // namespace
@@ -154,6 +156,14 @@ size_t FormatJsonl(const TraceEvent& e, char* buf, size_t cap) {
       a.Int("drop", e.drop_trigger ? 1 : 0);
       a.Double("knob0", e.knob_before);
       a.Double("knob", e.knob);
+      break;
+    case TraceEventType::kFaultStart:
+    case TraceEventType::kFaultStop:
+      a.Int("fault", e.txn);
+      a.Str("kind", e.reason);
+      a.Int("item", e.item);
+      a.Int("items", e.resolved);
+      a.Double("mag", e.magnitude);
       break;
   }
   return a.Finish();

@@ -26,6 +26,8 @@ enum class TraceEventType : uint8_t {
   kUpdateApply,       ///< update transaction committed (value installed)
   kPeriodChange,      ///< modulation stretched/restored an item's period
   kLbcSignal,         ///< LBC adaptive-allocation evaluation + its signal
+  kFaultStart,        ///< a fault-schedule disturbance window opened
+  kFaultStop,         ///< the window closed (effects restored)
 };
 
 /// Stable wire name of an event type ("query-arrival", "admit", ...).
@@ -64,6 +66,12 @@ struct TraceEvent {
   int64_t resolved = 0;
   bool drop_trigger = false;
   double knob_before = 0.0, knob = 0.0;
+
+  // Fault edges (kFaultStart / kFaultStop): txn carries the fault index,
+  // reason the kind name, item the first affected item (kInvalidItem for
+  // global kinds), resolved the affected-item count, and magnitude the
+  // kind's scalar (factor / delta / rate_hz; 0 for outages).
+  double magnitude = 0.0;
 
   void set_reason(const char* s) {
     // Truncation to the fixed buffer is deliberate; memcpy with an explicit

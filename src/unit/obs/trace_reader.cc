@@ -79,7 +79,7 @@ Status SetField(TraceEvent* e, const char* key, LineCursor& cur) {
     return Status::Ok();
   }
   if (std::strcmp(key, "reason") == 0 || std::strcmp(key, "outcome") == 0 ||
-      std::strcmp(key, "signal") == 0) {
+      std::strcmp(key, "signal") == 0 || std::strcmp(key, "kind") == 0) {
     return cur.QuotedString(e->reason, sizeof(e->reason));
   }
 
@@ -91,6 +91,9 @@ Status SetField(TraceEvent* e, const char* key, LineCursor& cur) {
 
   if (std::strcmp(key, "t") == 0) e->time = iv;
   else if (std::strcmp(key, "txn") == 0) e->txn = static_cast<TxnId>(iv);
+  else if (std::strcmp(key, "fault") == 0) e->txn = static_cast<TxnId>(iv);
+  else if (std::strcmp(key, "items") == 0) e->resolved = iv;
+  else if (std::strcmp(key, "mag") == 0) e->magnitude = dv;
   else if (std::strcmp(key, "item") == 0) e->item = static_cast<ItemId>(iv);
   else if (std::strcmp(key, "class") == 0) e->pref_class = static_cast<int>(iv);
   else if (std::strcmp(key, "deadline") == 0) e->deadline = iv;

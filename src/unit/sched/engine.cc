@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "unit/common/logging.h"
+#include "unit/faults/schedule.h"
 #include "unit/obs/counters.h"
 #include "unit/obs/timeseries.h"
 #include "unit/obs/trace_sink.h"
@@ -39,7 +40,12 @@ Engine::Engine(const Workload& workload, Policy* policy, EngineParams params)
   metrics_.duration_s = SimToSeconds(workload.duration);
   if (params_.use_admission_index &&
       params_.discipline == QueueDiscipline::kEdf) {
-    admission_index_.Init(workload);
+    admission_index_.Init(workload, params_.faults != nullptr
+                                        ? &params_.faults->injected_queries()
+                                        : nullptr);
+  }
+  if (params_.faults != nullptr) {
+    item_outage_.assign(workload.num_items, 0);
   }
 }
 
@@ -76,6 +82,15 @@ RunMetrics Engine::Run() {
       case EventType::kControlTick:
         HandleControlTick();
         break;
+      case EventType::kFaultEdge:
+        HandleFaultEdge(e.payload);
+        break;
+      case EventType::kFaultQueryArrival:
+        HandleFaultQueryArrival(e.payload);
+        break;
+      case EventType::kFaultUpdateArrival:
+        HandleFaultUpdateArrival(e.payload);
+        break;
     }
   }
   assert(running_ == nullptr);
@@ -95,16 +110,29 @@ RunMetrics Engine::Run() {
   return metrics_;
 }
 
-Transaction* Engine::NewQueryTxn(size_t query_index,
-                                 const QueryRequest& request) {
+Transaction* Engine::NewQueryTxn(const QueryRequest& request, int32_t rank) {
   const TxnId id = static_cast<TxnId>(txns_.size());
-  txns_.push_back(Transaction::MakeQuery(
-      id, request.arrival, request.exec, request.relative_deadline,
-      request.freshness_req, request.items, request.preference_class));
-  Transaction* t = &txns_.back();
-  if (admission_index_.enabled()) {
-    t->set_admission_rank(admission_index_.RankOfQuery(query_index));
+  SimDuration exec = request.exec;
+  double freshness_req = request.freshness_req;
+  if (params_.faults != nullptr) {
+    // Both adjustments are guarded so an inactive fault layer performs zero
+    // divergent operations (no int -> double -> int round trips): the
+    // empty-schedule run stays bit-identical to the fault-free engine.
+    if (fault_exec_scale_ != 1.0) {
+      exec = std::max<SimDuration>(
+          1, static_cast<SimDuration>(static_cast<double>(exec) *
+                                      fault_exec_scale_));
+    }
+    if (fault_freshness_shift_ != 0.0) {
+      freshness_req = std::min(
+          1.0, std::max(0.0, freshness_req + fault_freshness_shift_));
+    }
   }
+  txns_.push_back(Transaction::MakeQuery(
+      id, request.arrival, exec, request.relative_deadline, freshness_req,
+      request.items, request.preference_class));
+  Transaction* t = &txns_.back();
+  if (rank >= 0) t->set_admission_rank(rank);
   if (params_.estimate_noise_sigma > 0.0) {
     const double factor =
         rng_.LogNormal(0.0, params_.estimate_noise_sigma);
@@ -118,7 +146,12 @@ Transaction* Engine::NewQueryTxn(size_t query_index,
 Transaction* Engine::NewUpdateTxn(ItemId item, SimDuration relative_deadline,
                                   bool on_demand) {
   const TxnId id = static_cast<TxnId>(txns_.size());
-  const SimDuration exec = db_.item(item).update_exec;
+  SimDuration exec = db_.item(item).update_exec;
+  if (params_.faults != nullptr && fault_exec_scale_ != 1.0) {
+    exec = std::max<SimDuration>(
+        1, static_cast<SimDuration>(static_cast<double>(exec) *
+                                    fault_exec_scale_));
+  }
   txns_.push_back(Transaction::MakeUpdate(
       id, now_, exec, std::max<SimDuration>(1, relative_deadline), item,
       on_demand));
@@ -144,11 +177,38 @@ void Engine::ScheduleInitialEvents() {
       params_.control_period <= workload_.duration) {
     events_.Push(params_.control_period, EventType::kControlTick, 0);
   }
+  // Fault events are pushed after every workload event so that, at equal
+  // timestamps, workload arrivals pop first — the admission index's
+  // creation-order assumption (workload queries before injected ones)
+  // depends on this FIFO tie-break.
+  if (params_.faults != nullptr) {
+    const FaultSchedule& faults = *params_.faults;
+    for (size_t i = 0; i < faults.edges().size(); ++i) {
+      events_.Push(faults.edges()[i].time, EventType::kFaultEdge,
+                   static_cast<int64_t>(i));
+    }
+    for (size_t i = 0; i < faults.injected_queries().size(); ++i) {
+      events_.Push(faults.injected_queries()[i].arrival,
+                   EventType::kFaultQueryArrival, static_cast<int64_t>(i));
+    }
+    for (size_t i = 0; i < faults.injected_updates().size(); ++i) {
+      events_.Push(faults.injected_updates()[i].time,
+                   EventType::kFaultUpdateArrival, static_cast<int64_t>(i));
+    }
+  }
 }
 
 void Engine::HandleQueryArrival(int64_t query_index) {
   const QueryRequest& request = workload_.queries[query_index];
-  Transaction* t = NewQueryTxn(static_cast<size_t>(query_index), request);
+  const int32_t rank =
+      admission_index_.enabled()
+          ? admission_index_.RankOfQuery(static_cast<size_t>(query_index))
+          : -1;
+  AdmitArrivedQuery(request, rank);
+}
+
+void Engine::AdmitArrivedQuery(const QueryRequest& request, int32_t rank) {
+  Transaction* t = NewQueryTxn(request, rank);
   ++metrics_.counts.submitted;
   if (tracing()) TraceQueryArrival(*t);
   if (!policy_->AdmitQuery(*this, *t)) {
@@ -174,6 +234,14 @@ void Engine::HandleUpdateArrival(ItemId item) {
   const SimTime next = now_ + state.ideal_period;
   if (next < workload_.duration) {
     events_.Push(next, EventType::kUpdateArrival, item);
+  }
+  if (params_.faults != nullptr && item_outage_[item] > 0) {
+    // Source outage: the message never reaches the server — no trace, no
+    // policy hook, no transaction. The arrival chain keeps ticking so
+    // deliveries resume when the outage window closes, and the source's
+    // generations keep advancing, so the installed value decays.
+    ++metrics_.fault_suppressed_updates;
+    return;
   }
   if (tracing()) TraceItemEvent(TraceEventType::kUpdateArrival, item);
   policy_->OnUpdateSourceArrival(*this, item);
@@ -231,6 +299,65 @@ void Engine::HandleControlTick() {
   // A control action (e.g. admission loosening) never needs an immediate
   // dispatch, but period upgrades may have added update arrivals only at the
   // next arrival event; nothing to do here.
+}
+
+void Engine::HandleFaultEdge(int64_t edge_index) {
+  const FaultEdge& edge = params_.faults->edges()[edge_index];
+  ++metrics_.fault_edges;
+  switch (edge.kind) {
+    case FaultKind::kUpdateOutage:
+      for (int32_t k = 0; k < edge.item_count; ++k) {
+        const ItemId item = params_.faults->items()[edge.item_begin + k];
+        item_outage_[item] += edge.start ? 1 : -1;
+      }
+      break;
+    case FaultKind::kServiceSlowdown:
+      fault_exec_scale_ = edge.start ? edge.magnitude : 1.0;
+      break;
+    case FaultKind::kFreshnessShift:
+      fault_freshness_shift_ = edge.start ? edge.magnitude : 0.0;
+      break;
+    case FaultKind::kUpdateBurst:
+    case FaultKind::kLoadStep:
+      // Injection is pre-materialized; the edges only mark the window for
+      // the trace (and the checker's response-direction invariant).
+      break;
+  }
+  if (tracing()) TraceFaultEdge(edge);
+}
+
+void Engine::HandleFaultQueryArrival(int64_t injected_index) {
+  const QueryRequest& request =
+      params_.faults->injected_queries()[injected_index];
+  const int32_t rank =
+      admission_index_.enabled()
+          ? admission_index_.RankOfInjected(
+                static_cast<size_t>(injected_index))
+          : -1;
+  ++metrics_.fault_injected_queries;
+  AdmitArrivedQuery(request, rank);
+}
+
+void Engine::HandleFaultUpdateArrival(int64_t injected_index) {
+  if (now_ >= workload_.duration) return;
+  const ItemId item = params_.faults->injected_updates()[injected_index].item;
+  if (item_outage_[item] > 0) {
+    // A concurrent outage swallows forced deliveries too.
+    ++metrics_.fault_suppressed_updates;
+    return;
+  }
+  DataItemState& state = db_.mutable_item(item);
+  if (tracing()) TraceItemEvent(TraceEventType::kUpdateArrival, item);
+  policy_->OnUpdateSourceArrival(*this, item);
+  // A burst models the source pushing extra versions the server must
+  // ingest, so the delivery bypasses frequency modulation's due-check.
+  state.last_pull = now_;
+  Transaction* t = NewUpdateTxn(item, state.current_period,
+                                /*on_demand=*/false);
+  t->set_state(TxnState::kReady);
+  ReadyInsert(t);
+  ++metrics_.fault_injected_updates;
+  TryDispatch();
 }
 
 SimDuration Engine::RunningRemaining() const {
@@ -546,6 +673,19 @@ void Engine::TraceQueryResolution(const Transaction& t, Outcome outcome) {
       return;  // unreachable (ResolveQuery asserts)
   }
   pending_reject_reason_ = nullptr;
+  params_.trace->Emit(e);
+}
+
+UNIT_COLD void Engine::TraceFaultEdge(const FaultEdge& edge) {
+  TraceEvent e;
+  e.time = now_;
+  e.type = edge.start ? TraceEventType::kFaultStart : TraceEventType::kFaultStop;
+  e.txn = edge.fault;
+  e.set_reason(FaultKindName(edge.kind));
+  e.item = edge.item_count > 0 ? params_.faults->items()[edge.item_begin]
+                               : kInvalidItem;
+  e.resolved = edge.item_count;
+  e.magnitude = edge.magnitude;
   params_.trace->Emit(e);
 }
 

@@ -19,6 +19,8 @@
 namespace unitdb {
 
 class CounterRegistry;
+class FaultSchedule;
+struct FaultEdge;
 class TimeSeriesRecorder;
 class TraceSink;
 enum class TraceEventType : uint8_t;
@@ -63,6 +65,13 @@ struct EngineParams {
   /// Named counter/gauge registry; its snapshot is merged into
   /// RunMetrics::obs_counters / obs_gauges at end of run.
   CounterRegistry* counters = nullptr;
+
+  /// Compiled fault schedule (src/unit/faults/; non-owning, may be null).
+  /// Everything a schedule injects is materialized before the run, so the
+  /// hot path pays one predictable branch per site and zero allocations,
+  /// and an empty (or null) schedule is a strict behavioral no-op — the
+  /// run's RunMetrics are bit-identical either way.
+  const FaultSchedule* faults = nullptr;
 };
 
 /// Single-CPU discrete-event web-database server: dual-priority preemptive
@@ -153,7 +162,11 @@ class Engine {
   }
 
  private:
-  Transaction* NewQueryTxn(size_t query_index, const QueryRequest& request);
+  /// Creates the query transaction for `request` with precomputed admission
+  /// rank `rank` (-1: not indexed), applying any active fault adjustments
+  /// (service slowdown, freshness shift). Shared by workload and injected
+  /// arrivals.
+  Transaction* NewQueryTxn(const QueryRequest& request, int32_t rank);
   Transaction* NewUpdateTxn(ItemId item, SimDuration relative_deadline,
                             bool on_demand);
 
@@ -182,6 +195,8 @@ class Engine {
   /// Emits the terminal trace event (reject / deadline-miss / commit) for a
   /// query being resolved.
   void TraceQueryResolution(const Transaction& t, Outcome outcome);
+  /// Emits the kFaultStart / kFaultStop event for a processed edge.
+  void TraceFaultEdge(const FaultEdge& edge);
   /// Appends one WindowSample to params_.series (no-op when unset).
   void RecordWindowSample();
 
@@ -191,6 +206,14 @@ class Engine {
   void HandleCompletion(TxnId id, uint64_t generation);
   void HandleQueryDeadline(TxnId id);
   void HandleControlTick();
+  /// Flips a fault's effect on (start edge) or off (stop edge).
+  void HandleFaultEdge(int64_t edge_index);
+  /// Load-step arrival: admits an injected query like a workload one.
+  void HandleFaultQueryArrival(int64_t injected_index);
+  /// Burst delivery: a forced source message the server must ingest.
+  void HandleFaultUpdateArrival(int64_t injected_index);
+  /// Arrival-side admission path shared by workload and injected queries.
+  void AdmitArrivedQuery(const QueryRequest& request, int32_t rank);
 
   /// Core dispatch loop: preempts, acquires locks (applying 2PL-HP aborts),
   /// starts the highest-priority runnable transaction.
@@ -230,6 +253,14 @@ class Engine {
   SimTime run_start_ = 0;
   SimTime now_ = 0;
   bool ran_ = false;
+
+  // Fault-layer state (sized/used only when params_.faults is set). The
+  // outage counter nests overlapping windows; the scalars hold the single
+  // active slowdown factor / freshness shift (scenario validation forbids
+  // overlapping windows of those kinds).
+  std::vector<int32_t> item_outage_;
+  double fault_exec_scale_ = 1.0;
+  double fault_freshness_shift_ = 0.0;
 
   // Observability bookkeeping (only touched when the hooks are set).
   const char* pending_reject_reason_ = nullptr;

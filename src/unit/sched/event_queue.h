@@ -17,6 +17,9 @@ enum class EventType {
   kCompletion,         ///< payload: txn id + dispatch generation
   kQueryDeadline,      ///< payload: txn id (firm-deadline expiry)
   kControlTick,        ///< periodic policy/monitoring tick
+  kFaultEdge,          ///< payload: index into the fault schedule's edges
+  kFaultQueryArrival,  ///< payload: index into the injected query list
+  kFaultUpdateArrival, ///< payload: index into the injected update list
 };
 
 /// One scheduled event. `seq` breaks time ties deterministically in FIFO

@@ -42,6 +42,13 @@ struct RunMetrics {
   int64_t events_compacted = 0;   ///< dead events physically removed
   int peak_ready_depth = 0;       ///< largest ready-queue size observed
 
+  // --- fault-injection telemetry (src/unit/faults/; all 0 when no fault
+  // schedule is attached or the schedule is empty) ---
+  int64_t fault_edges = 0;               ///< fault start/stop edges processed
+  int64_t fault_injected_queries = 0;    ///< load-step query arrivals injected
+  int64_t fault_injected_updates = 0;    ///< burst update deliveries ingested
+  int64_t fault_suppressed_updates = 0;  ///< deliveries swallowed by outages
+
   int64_t preemptions = 0;
   int64_t lock_restarts = 0;      ///< 2PL-HP aborts of shared holders
   int64_t update_commits = 0;

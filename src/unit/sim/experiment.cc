@@ -73,6 +73,23 @@ StatusOr<ExperimentResult> RunTracedExperiment(
   return result;
 }
 
+StatusOr<ExperimentResult> RunFaultedExperiment(
+    const Workload& workload, const std::string& policy,
+    const UsmWeights& weights, const FaultSchedule& schedule,
+    const ObsOptions& obs, const EngineParams& engine,
+    const PolicyOptions& options, double settle_epsilon) {
+  EngineParams ep = engine;
+  ep.faults = &schedule;
+  auto result = RunTracedExperiment(workload, policy, weights, obs, ep,
+                                    options);
+  if (!result.ok()) return result;
+  if (!schedule.empty() && !result->series.empty()) {
+    result->disturbance =
+        ComputeDisturbance(result->series, schedule, settle_epsilon);
+  }
+  return result;
+}
+
 StatusOr<std::vector<ExperimentResult>> RunPolicies(
     const Workload& workload, const std::vector<std::string>& policies,
     const UsmWeights& weights, const EngineParams& engine,
@@ -192,6 +209,77 @@ StatusOr<ReplicatedResult> RunReplicatedParallel(
   }
   if (!first_error.ok()) return first_error;
   return agg;
+}
+
+namespace {
+
+// One fully self-contained faulted replication: workload and compiled
+// schedule both derive from the replication's seed, so a worker thread
+// needs nothing but the arguments. The series is always recorded — the
+// disturbance report is the whole point of a faulted replication.
+StatusOr<ExperimentResult> RunOneFaultedReplication(
+    UpdateVolume volume, UpdateDistribution distribution,
+    const std::string& policy, const UsmWeights& weights,
+    const FaultScenarioSpec& scenario, double scale, uint64_t seed,
+    const EngineParams& engine, const PolicyOptions& options,
+    double settle_epsilon) {
+  auto w = MakeStandardWorkload(volume, distribution, scale, seed);
+  if (!w.ok()) return w.status();
+  auto schedule = FaultSchedule::Compile(scenario, *w, seed);
+  if (!schedule.ok()) return schedule.status();
+  ObsOptions obs;
+  obs.series = true;
+  return RunFaultedExperiment(*w, policy, weights, *schedule, obs, engine,
+                              options, settle_epsilon);
+}
+
+}  // namespace
+
+StatusOr<std::vector<ExperimentResult>> RunFaultedReplicated(
+    UpdateVolume volume, UpdateDistribution distribution,
+    const std::string& policy, const UsmWeights& weights,
+    const FaultScenarioSpec& scenario, int replications, int jobs,
+    double scale, uint64_t base_seed, const EngineParams& engine,
+    const PolicyOptions& options, double settle_epsilon) {
+  if (replications <= 0) {
+    return Status::InvalidArgument("replications must be positive");
+  }
+  std::vector<ExperimentResult> results;
+  results.reserve(static_cast<size_t>(replications));
+  if (jobs <= 1) {
+    for (int i = 0; i < replications; ++i) {
+      auto r = RunOneFaultedReplication(
+          volume, distribution, policy, weights, scenario, scale,
+          ReplicationSeed(base_seed, i), engine, options, settle_epsilon);
+      if (!r.ok()) return r.status();
+      results.push_back(std::move(*r));
+    }
+    return results;
+  }
+  ThreadPool pool(std::min(ResolveJobs(jobs), replications));
+  std::vector<std::future<StatusOr<ExperimentResult>>> cells;
+  cells.reserve(static_cast<size_t>(replications));
+  for (int i = 0; i < replications; ++i) {
+    const uint64_t seed = ReplicationSeed(base_seed, i);
+    cells.push_back(pool.Submit([=]() {
+      return RunOneFaultedReplication(volume, distribution, policy, weights,
+                                      scenario, scale, seed, engine, options,
+                                      settle_epsilon);
+    }));
+  }
+  // Futures are consumed in submission order, so the returned vector is in
+  // replication order no matter how workers interleave.
+  Status first_error = Status::Ok();
+  for (auto& cell : cells) {
+    auto r = cell.get();
+    if (!r.ok()) {
+      if (first_error.ok()) first_error = r.status();
+      continue;  // keep draining so every future is consumed
+    }
+    if (first_error.ok()) results.push_back(std::move(*r));
+  }
+  if (!first_error.ok()) return first_error;
+  return results;
 }
 
 StatusOr<std::vector<GridCellResult>> RunGrid(const GridSpec& spec,

@@ -7,6 +7,8 @@
 #include "unit/common/stats.h"
 #include "unit/common/status.h"
 #include "unit/core/usm.h"
+#include "unit/faults/schedule.h"
+#include "unit/faults/settling.h"
 #include "unit/obs/timeseries.h"
 #include "unit/sched/engine.h"
 #include "unit/sched/metrics.h"
@@ -27,6 +29,9 @@ struct ExperimentResult {
   /// Window time series (RunTracedExperiment with ObsOptions::series; empty
   /// otherwise).
   std::vector<WindowSample> series;
+  /// Dynamic-response summary (RunFaultedExperiment with a non-empty
+  /// schedule and the series recorded; invalid otherwise).
+  DisturbanceReport disturbance;
 };
 
 /// Runs `policy` on `workload` under `weights`. Fails on an unknown policy.
@@ -56,6 +61,32 @@ StatusOr<ExperimentResult> RunTracedExperiment(
     const Workload& workload, const std::string& policy,
     const UsmWeights& weights, const ObsOptions& obs,
     const EngineParams& engine = {}, const PolicyOptions& options = {});
+
+/// RunTracedExperiment with `schedule` attached (EngineParams::faults).
+/// When the series is recorded and the schedule is non-empty, the result's
+/// DisturbanceReport (USM dip depth, settling time, per-window
+/// decomposition inside the fault envelope) is computed with
+/// `settle_epsilon` as the settling band (fraction of the dip). An empty schedule is a strict
+/// no-op: metrics are bit-identical to RunTracedExperiment.
+StatusOr<ExperimentResult> RunFaultedExperiment(
+    const Workload& workload, const std::string& policy,
+    const UsmWeights& weights, const FaultSchedule& schedule,
+    const ObsOptions& obs = {}, const EngineParams& engine = {},
+    const PolicyOptions& options = {}, double settle_epsilon = 0.25);
+
+/// Runs `replications` faulted standard workloads on a `jobs`-worker pool
+/// (jobs <= 1: sequential). Replication i builds its workload from
+/// ReplicationSeed(base_seed, i) and compiles `scenario` against it with
+/// that same seed, so each replication draws its own injection stream and
+/// the per-replication results (returned in replication order, series and
+/// disturbance included) are bit-identical for any jobs count.
+StatusOr<std::vector<ExperimentResult>> RunFaultedReplicated(
+    UpdateVolume volume, UpdateDistribution distribution,
+    const std::string& policy, const UsmWeights& weights,
+    const FaultScenarioSpec& scenario, int replications, int jobs = 1,
+    double scale = 1.0, uint64_t base_seed = 42,
+    const EngineParams& engine = {}, const PolicyOptions& options = {},
+    double settle_epsilon = 0.25);
 
 /// Runs several policies over one workload (same weights, same engine).
 StatusOr<std::vector<ExperimentResult>> RunPolicies(

@@ -86,6 +86,39 @@ TEST(ConfigTest, ValueMayContainEquals) {
   EXPECT_EQ(c->GetString("expr"), "a=b");
 }
 
+TEST(ConfigTest, ParseArgsRejectsDuplicateKey) {
+  const char* argv[] = {"prog", "scale=1", "--scale=2"};
+  auto c = Config::ParseArgs(3, argv);
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(c.status().ToString().find("duplicate"), std::string::npos)
+      << c.status().ToString();
+  EXPECT_NE(c.status().ToString().find("scale"), std::string::npos);
+}
+
+TEST(ConfigTest, ParseStringRejectsDuplicateKey) {
+  auto c = Config::ParseString(
+      "fault0.kind = update-outage\n"
+      "fault0.kind = load-step\n");
+  ASSERT_FALSE(c.ok());
+  EXPECT_NE(c.status().ToString().find("fault0.kind"), std::string::npos)
+      << c.status().ToString();
+  // Programmatic Set() still overwrites (see SetOverwrites above); only the
+  // parsed sources reject duplicates.
+}
+
+TEST(ConfigTest, EmptyValueIsLegal) {
+  auto c = Config::ParseString(
+      "empty=\n"
+      "blank =   \n");
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->Has("empty"));
+  EXPECT_TRUE(c->Has("blank"));
+  EXPECT_EQ(c->GetString("empty", "default"), "");
+  EXPECT_EQ(c->GetString("blank", "default"), "");
+  EXPECT_FALSE(c->GetBool("empty", false));
+}
+
 TEST(ConfigTest, ExpectKeysAcceptsKnownSubset) {
   Config c;
   c.Set("scale", "0.5");

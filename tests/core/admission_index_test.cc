@@ -11,6 +11,8 @@
 
 #include "testing/fake_policy.h"
 #include "unit/core/admission.h"
+#include "unit/faults/scenario.h"
+#include "unit/faults/schedule.h"
 #include "unit/sched/engine.h"
 #include "unit/sim/experiment.h"
 #include "unit/workload/spec.h"
@@ -38,7 +40,8 @@ struct ProbeStats {
 /// controllers per arrival — indexed and naive-scan — and asserts they agree
 /// on every single decision (the engine proceeds with the indexed one).
 ProbeStats RunProbed(const Workload& w, double c_flex,
-                     const UsmWeights& weights) {
+                     const UsmWeights& weights,
+                     const FaultSchedule* faults = nullptr) {
   AdmissionParams indexed_params;
   indexed_params.initial_c_flex = c_flex;
   indexed_params.use_index = true;
@@ -59,7 +62,9 @@ ProbeStats RunProbed(const Workload& w, double c_flex,
     if (engine.ReadyQueryCount() > 0) ++stats.nonempty_queue;
     return a;
   };
-  Engine engine(w, &policy, {});
+  EngineParams params;
+  params.faults = faults;
+  Engine engine(w, &policy, params);
   engine.Run();
 
   // The two controllers saw identical inputs, so their counters must agree.
@@ -135,6 +140,79 @@ TEST(AdmissionIndexEquivalenceTest, FullRunsMatchOnAllTracesAndPolicies) {
         ExpectSameOutcome(*a, *b);
       }
     }
+  }
+}
+
+// A burst-plus-outage-plus-load-step schedule: injected queries enter the
+// ready queue through RankOfInjected, so the indexed controller must agree
+// with the naive scan while the queue holds a mix of workload and injected
+// transactions.
+StatusOr<FaultSchedule> StressSchedule(const Workload& w) {
+  const double duration_s = SimToSeconds(w.duration);
+  auto spec = FaultScenarioSpec::Parse(
+      "fault0.kind = load-step\n"
+      "fault0.start_s = " + std::to_string(0.25 * duration_s) + "\n"
+      "fault0.end_s = " + std::to_string(0.75 * duration_s) + "\n"
+      "fault0.rate_hz = 25\n"
+      "fault1.kind = update-burst\n"
+      "fault1.start_s = " + std::to_string(0.3 * duration_s) + "\n"
+      "fault1.end_s = " + std::to_string(0.5 * duration_s) + "\n"
+      "fault1.items = *\nfault1.rate_hz = 2\n"
+      "fault2.kind = update-outage\n"
+      "fault2.start_s = " + std::to_string(0.55 * duration_s) + "\n"
+      "fault2.end_s = " + std::to_string(0.7 * duration_s) + "\n"
+      "fault2.items = *\n");
+  if (!spec.ok()) return spec.status();
+  return FaultSchedule::Compile(*spec, w, 42);
+}
+
+TEST(AdmissionIndexEquivalenceTest, FaultLadenArrivalsMatchNaive) {
+  const UsmWeights weights{1.0, 0.5, 1.0, 0.5};
+  ProbeStats total;
+  for (UpdateDistribution dist : kDists) {
+    auto w = MakeStandardWorkload(UpdateVolume::kMedium, dist,
+                                  /*scale=*/0.02, /*seed=*/42);
+    ASSERT_TRUE(w.ok());
+    auto faults = StressSchedule(*w);
+    ASSERT_TRUE(faults.ok()) << faults.status().ToString();
+    ASSERT_FALSE(faults->injected_queries().empty());
+    for (double c_flex : {0.5, 1.0}) {
+      const ProbeStats s = RunProbed(*w, c_flex, weights, &*faults);
+      // Injected queries face the same admission decision as workload ones.
+      EXPECT_GT(s.decisions, static_cast<int64_t>(w->queries.size()));
+      total.decisions += s.decisions;
+      total.rejections += s.rejections;
+      total.nonempty_queue += s.nonempty_queue;
+    }
+  }
+  EXPECT_GT(total.rejections, 0);
+  EXPECT_GT(total.nonempty_queue, 0);
+}
+
+TEST(AdmissionIndexEquivalenceTest, FaultLadenFullRunsMatch) {
+  const UsmWeights weights{1.0, 0.5, 1.0, 0.5};
+  EngineParams naive_engine;
+  naive_engine.use_admission_index = false;
+  PolicyOptions naive_options;
+  naive_options.unit.admission.use_index = false;
+  auto w = MakeStandardWorkload(UpdateVolume::kMedium,
+                                UpdateDistribution::kUniform,
+                                /*scale=*/0.02, /*seed=*/42);
+  ASSERT_TRUE(w.ok());
+  auto faults = StressSchedule(*w);
+  ASSERT_TRUE(faults.ok()) << faults.status().ToString();
+  for (const char* policy : {"imu", "odu", "qmf", "unit"}) {
+    auto a = RunFaultedExperiment(*w, policy, weights, *faults, {}, {}, {});
+    auto b = RunFaultedExperiment(*w, policy, weights, *faults, {},
+                                  naive_engine, naive_options);
+    ASSERT_TRUE(a.ok() && b.ok());
+    SCOPED_TRACE(policy);
+    ExpectSameOutcome(*a, *b);
+    EXPECT_GT(a->metrics.fault_injected_queries, 0);
+    EXPECT_EQ(a->metrics.fault_injected_queries,
+              b->metrics.fault_injected_queries);
+    EXPECT_EQ(a->metrics.fault_suppressed_updates,
+              b->metrics.fault_suppressed_updates);
   }
 }
 

@@ -5,8 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "testing/fake_policy.h"
 #include "unit/common/rng.h"
+#include "unit/faults/scenario.h"
+#include "unit/faults/schedule.h"
 #include "unit/sched/engine.h"
 #include "unit/workload/spec.h"
 
@@ -124,6 +128,80 @@ TEST_P(EngineRandomTest, InvariantsHoldOnArbitraryWorkloads) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineRandomTest,
                          ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+/// A seed-derived scenario sized to whatever RandomWorkload produced: a
+/// load-step always; an outage and a burst only when the workload has an
+/// update source for them to act on.
+StatusOr<FaultSchedule> RandomScenario(const Workload& w, uint64_t seed) {
+  const double duration_s = SimToSeconds(w.duration);
+  Rng rng(seed * 31 + 7);
+  std::string text =
+      "fault0.kind = load-step\n"
+      "fault0.start_s = " + std::to_string(0.25 * duration_s) + "\n"
+      "fault0.end_s = " + std::to_string(0.75 * duration_s) + "\n"
+      "fault0.rate_hz = " + std::to_string(rng.Uniform(1.0, 30.0)) + "\n";
+  if (!w.updates.empty()) {
+    text +=
+        "fault1.kind = update-outage\n"
+        "fault1.start_s = " + std::to_string(0.3 * duration_s) + "\n"
+        "fault1.end_s = " + std::to_string(0.5 * duration_s) + "\n"
+        "fault1.items = *\n"
+        "fault2.kind = update-burst\n"
+        "fault2.start_s = " + std::to_string(0.55 * duration_s) + "\n"
+        "fault2.end_s = " + std::to_string(0.7 * duration_s) + "\n"
+        "fault2.items = *\n"
+        "fault2.rate_hz = " + std::to_string(rng.Uniform(0.5, 5.0)) + "\n";
+  }
+  auto spec = FaultScenarioSpec::Parse(text);
+  if (!spec.ok()) return spec.status();
+  return FaultSchedule::Compile(*spec, w, seed);
+}
+
+TEST_P(EngineRandomTest, InvariantsHoldUnderRandomFaults) {
+  const Workload w = RandomWorkload(GetParam());
+  auto faults = RandomScenario(w, GetParam());
+  ASSERT_TRUE(faults.ok()) << faults.status().ToString();
+
+  Rng decision_rng(GetParam() * 7 + 1);
+  FakePolicy policy;
+  policy.admit = [&decision_rng](Engine&, const Transaction&) {
+    return !decision_rng.Bernoulli(0.15);
+  };
+
+  EngineParams params;
+  params.faults = &*faults;
+  Engine engine(w, &policy, params);
+  RunMetrics m = engine.Run();
+
+  // Conservation now includes the injected load: every arrival — workload
+  // or fault-injected — is resolved exactly once.
+  EXPECT_EQ(m.fault_injected_queries,
+            static_cast<int64_t>(faults->injected_queries().size()));
+  EXPECT_EQ(m.counts.submitted,
+            static_cast<int64_t>(w.queries.size()) + m.fault_injected_queries);
+  EXPECT_EQ(m.counts.resolved(), m.counts.submitted);
+  EXPECT_EQ(static_cast<int64_t>(policy.resolved.size()), m.counts.submitted);
+
+  // Update accounting: bursts add transactions, outages suppress deliveries
+  // before a transaction is created — generated always equals committed.
+  EXPECT_EQ(m.update_commits, m.updates_generated);
+  EXPECT_GE(m.fault_suppressed_updates, 0);
+  if (w.updates.empty()) {
+    EXPECT_EQ(m.fault_injected_updates, 0);
+    EXPECT_EQ(m.fault_suppressed_updates, 0);
+  }
+
+  // Every compiled edge fired: windows were clamped to the run at compile
+  // time, so none can be lost off the end.
+  EXPECT_EQ(m.fault_edges,
+            static_cast<int64_t>(2 * faults->spec().faults.size()));
+
+  EXPECT_GE(m.busy_s, 0.0);
+  if (m.query_freshness.count() > 0) {
+    EXPECT_GT(m.query_freshness.min(), 0.0);
+    EXPECT_LE(m.query_freshness.max(), 1.0);
+  }
+}
 
 }  // namespace
 }  // namespace unitdb
