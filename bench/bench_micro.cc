@@ -175,7 +175,7 @@ void BM_AdmissionScan(benchmark::State& state) {
     benchmark::State* state = nullptr;
     TxnId candidate_id = 0;
     std::string name() const override { return "probe"; }
-    bool AdmitQuery(Engine& e, const Transaction& q) override {
+    bool AdmitQuery(EngineContext& e, const Transaction& q) override {
       if (q.id() == candidate_id) {
         const auto t0 = std::chrono::steady_clock::now();
         benchmark::DoNotOptimize(ac->Admit(e, q));

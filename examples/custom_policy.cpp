@@ -31,7 +31,7 @@ class DeadlinePassPolicy : public Policy {
  public:
   std::string name() const override { return "laxity"; }
 
-  bool AdmitQuery(Engine& engine, const Transaction& query) override {
+  bool AdmitQuery(EngineContext& engine, const Transaction& query) override {
     // Admit iff the query could start right after the current backlog and
     // still meet its deadline (C_flex == 1, no USM check).
     SimDuration earlier = 0;
@@ -55,7 +55,7 @@ class MarkingHybrid : public UnitPolicy {
 
   std::string name() const override { return "marking-hybrid"; }
 
-  bool BeforeQueryDispatch(Engine& engine, Transaction& query) override {
+  bool BeforeQueryDispatch(EngineContext& engine, Transaction& query) override {
     if (query.refresh_rounds() >= engine.params().max_refresh_rounds) {
       return true;
     }

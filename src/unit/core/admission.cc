@@ -6,7 +6,7 @@
 #include <numeric>
 #include <vector>
 
-#include "unit/sched/engine.h"
+#include "unit/sched/engine_context.h"
 
 namespace unitdb {
 
@@ -174,12 +174,12 @@ AdmissionController::AdmissionController(const AdmissionParams& params,
                                          const UsmWeights& weights)
     : params_(params), weights_(weights), c_flex_(params.initial_c_flex) {}
 
-bool AdmissionController::Admit(const Engine& engine,
+bool AdmissionController::Admit(const EngineContext& engine,
                                 const Transaction& candidate) {
   return Admit(engine, candidate, weights_);
 }
 
-bool AdmissionController::Admit(const Engine& engine,
+bool AdmissionController::Admit(const EngineContext& engine,
                                 const Transaction& candidate,
                                 const UsmWeights& weights) {
   const AdmissionIndex& index = engine.admission_index();
@@ -195,7 +195,7 @@ bool AdmissionController::Admit(const Engine& engine,
 // no more than the deadline miss it prevents; with C_r > C_fm the
 // USM-rational move is to admit and let the firm deadline decide (the
 // system USM check still protects the other transactions).
-bool AdmissionController::DecideDeadline(const Engine& engine,
+bool AdmissionController::DecideDeadline(const EngineContext& engine,
                                          const Transaction& candidate,
                                          SimDuration est, bool naive,
                                          const UsmWeights& weights) {
@@ -207,7 +207,7 @@ bool AdmissionController::DecideDeadline(const Engine& engine,
   return lhs < qt;
 }
 
-bool AdmissionController::AdmitNaive(const Engine& engine,
+bool AdmissionController::AdmitNaive(const EngineContext& engine,
                                      const Transaction& candidate,
                                      const UsmWeights& weights) {
   // One O(N_rq) pass over queued queries gathers both the earlier-deadline
@@ -268,7 +268,7 @@ bool AdmissionController::AdmitNaive(const Engine& engine,
   return true;
 }
 
-bool AdmissionController::AdmitIndexed(const Engine& engine,
+bool AdmissionController::AdmitIndexed(const EngineContext& engine,
                                        const AdmissionIndex& index,
                                        const Transaction& candidate,
                                        const UsmWeights& weights) {

@@ -12,7 +12,7 @@
 
 namespace unitdb {
 
-class Engine;
+class EngineContext;
 
 /// Tunables of the paper's Query Admission Control (Section 3.3).
 struct AdmissionParams {
@@ -142,11 +142,11 @@ class AdmissionController {
 
   /// Full admission decision for `candidate` at its arrival instant, using
   /// the controller's default weights.
-  bool Admit(const Engine& engine, const Transaction& candidate);
+  bool Admit(const EngineContext& engine, const Transaction& candidate);
 
   /// Same, valuing the candidate and the endangered transactions with
   /// caller-chosen weights (multi-preference support).
-  bool Admit(const Engine& engine, const Transaction& candidate,
+  bool Admit(const EngineContext& engine, const Transaction& candidate,
              const UsmWeights& weights);
 
   /// TAC signal: tighten (C_flex up by adjust_step).
@@ -165,11 +165,11 @@ class AdmissionController {
   const char* last_reject_reason() const { return last_reject_reason_; }
 
  private:
-  bool AdmitNaive(const Engine& engine, const Transaction& candidate,
+  bool AdmitNaive(const EngineContext& engine, const Transaction& candidate,
                   const UsmWeights& weights);
-  bool AdmitIndexed(const Engine& engine, const AdmissionIndex& index,
+  bool AdmitIndexed(const EngineContext& engine, const AdmissionIndex& index,
                     const Transaction& candidate, const UsmWeights& weights);
-  bool DecideDeadline(const Engine& engine, const Transaction& candidate,
+  bool DecideDeadline(const EngineContext& engine, const Transaction& candidate,
                       SimDuration est, bool naive, const UsmWeights& weights);
 
   AdmissionParams params_;

@@ -1,10 +1,11 @@
 #include "unit/core/policies/hybrid.h"
 
-#include "unit/sched/engine.h"
+#include "unit/db/database.h"
+#include "unit/sched/engine_context.h"
 
 namespace unitdb {
 
-bool HybridPolicy::BeforeQueryDispatch(Engine& engine, Transaction& query) {
+bool HybridPolicy::BeforeQueryDispatch(EngineContext& engine, Transaction& query) {
   if (query.refresh_rounds() >= engine.params().max_refresh_rounds) {
     return true;
   }

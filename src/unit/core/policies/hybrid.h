@@ -27,7 +27,7 @@ class HybridPolicy : public UnitPolicy {
 
   /// Issues buffered-value refreshes for stale read-set items before the
   /// query occupies the CPU (bounded by EngineParams::max_refresh_rounds).
-  bool BeforeQueryDispatch(Engine& engine, Transaction& query) override;
+  bool BeforeQueryDispatch(EngineContext& engine, Transaction& query) override;
 
   int64_t repairs_issued() const { return repairs_issued_; }
 

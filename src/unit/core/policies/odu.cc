@@ -1,10 +1,11 @@
 #include "unit/core/policies/odu.h"
 
-#include "unit/sched/engine.h"
+#include "unit/db/database.h"
+#include "unit/sched/engine_context.h"
 
 namespace unitdb {
 
-int OduPolicy::RefreshStaleItems(Engine& engine, const Transaction& query) {
+int OduPolicy::RefreshStaleItems(EngineContext& engine, const Transaction& query) {
   int issued = 0;
   for (ItemId item : query.items()) {
     if (engine.db().Freshness(item, engine.now()) >= query.freshness_req()) {
@@ -20,12 +21,12 @@ int OduPolicy::RefreshStaleItems(Engine& engine, const Transaction& query) {
   return issued;
 }
 
-bool OduPolicy::AdmitQuery(Engine& engine, const Transaction& query) {
+bool OduPolicy::AdmitQuery(EngineContext& engine, const Transaction& query) {
   RefreshStaleItems(engine, query);
   return true;  // ODU never rejects
 }
 
-bool OduPolicy::BeforeQueryDispatch(Engine& engine, Transaction& query) {
+bool OduPolicy::BeforeQueryDispatch(EngineContext& engine, Transaction& query) {
   if (query.refresh_rounds() >= engine.params().max_refresh_rounds) {
     return true;  // stop chasing a source that outruns us; read what we have
   }

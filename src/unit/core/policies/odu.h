@@ -31,19 +31,19 @@ class OduPolicy : public Policy {
 
   bool UsesPeriodicUpdates() const override { return false; }
 
-  bool AdmitQuery(Engine& engine, const Transaction& query) override;
+  bool AdmitQuery(EngineContext& engine, const Transaction& query) override;
 
   /// Safety net: if an item is still stale when the query reaches the CPU
   /// (e.g. a fresh source generation landed while it queued), refresh once
   /// more before reading, bounded by EngineParams::max_refresh_rounds.
-  bool BeforeQueryDispatch(Engine& engine, Transaction& query) override;
+  bool BeforeQueryDispatch(EngineContext& engine, Transaction& query) override;
 
   int64_t refreshes_issued() const { return refreshes_issued_; }
   int64_t postponements() const { return postponements_; }
 
  private:
   /// Issues refreshes for stale items of `query`; returns how many.
-  int RefreshStaleItems(Engine& engine, const Transaction& query);
+  int RefreshStaleItems(EngineContext& engine, const Transaction& query);
 
   bool dedupe_in_flight_;
   int64_t refreshes_issued_ = 0;

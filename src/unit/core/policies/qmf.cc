@@ -4,14 +4,15 @@
 #include <cmath>
 #include <numeric>
 
-#include "unit/sched/engine.h"
+#include "unit/db/database.h"
+#include "unit/sched/engine_context.h"
 
 namespace unitdb {
 
 QmfPolicy::QmfPolicy(QmfParams params)
     : params_(params), budget_(params.initial_budget) {}
 
-void QmfPolicy::Attach(Engine& engine) {
+void QmfPolicy::Attach(EngineContext& engine) {
   const int n = engine.db().num_items();
   access_count_.assign(n, 0.0);
   update_count_.assign(n, 0.0);
@@ -22,7 +23,7 @@ void QmfPolicy::Attach(Engine& engine) {
   last_busy_s_ = 0.0;
 }
 
-bool QmfPolicy::AdmitQuery(Engine& engine, const Transaction& query) {
+bool QmfPolicy::AdmitQuery(EngineContext& engine, const Transaction& query) {
   (void)engine;
   const double demand_s = SimToSeconds(query.estimate());
   if (window_admitted_work_s_ + demand_s > window_budget_s_) {
@@ -33,7 +34,7 @@ bool QmfPolicy::AdmitQuery(Engine& engine, const Transaction& query) {
   return true;
 }
 
-void QmfPolicy::OnQueryResolved(Engine& engine, const Transaction& query,
+void QmfPolicy::OnQueryResolved(EngineContext& engine, const Transaction& query,
                                 Outcome outcome) {
   (void)engine;
   if (outcome == Outcome::kRejected) return;
@@ -48,12 +49,12 @@ void QmfPolicy::OnQueryResolved(Engine& engine, const Transaction& query,
   for (ItemId item : query.items()) access_count_[item] += 1.0;
 }
 
-void QmfPolicy::OnUpdateSourceArrival(Engine& engine, ItemId item) {
+void QmfPolicy::OnUpdateSourceArrival(EngineContext& engine, ItemId item) {
   (void)engine;
   update_count_[item] += 1.0;
 }
 
-void QmfPolicy::OnControlTick(Engine& engine) {
+void QmfPolicy::OnControlTick(EngineContext& engine) {
   const SimTime now = engine.now();
   const double window_s = SimToSeconds(now - last_tick_);
   last_tick_ = now;
@@ -103,7 +104,7 @@ void QmfPolicy::OnControlTick(Engine& engine) {
   for (auto& c : update_count_) c *= params_.counter_decay;
 }
 
-void QmfPolicy::DegradeLowestRatio(Engine& engine) {
+void QmfPolicy::DegradeLowestRatio(EngineContext& engine) {
   Database& db = engine.db();
   // Rank update-bearing items by access/update ratio, lowest first: items
   // that are updated a lot but read rarely lose update bandwidth first.
@@ -141,7 +142,7 @@ void QmfPolicy::DegradeLowestRatio(Engine& engine) {
   }
 }
 
-void QmfPolicy::UpgradeAll(Engine& engine) {
+void QmfPolicy::UpgradeAll(EngineContext& engine) {
   Database& db = engine.db();
   for (ItemId i = 0; i < db.num_items(); ++i) {
     const DataItemState& item = db.item(i);

@@ -53,19 +53,19 @@ class QmfPolicy : public Policy {
   explicit QmfPolicy(QmfParams params = {});
 
   std::string name() const override { return "qmf"; }
-  void Attach(Engine& engine) override;
-  bool AdmitQuery(Engine& engine, const Transaction& query) override;
-  void OnQueryResolved(Engine& engine, const Transaction& query,
+  void Attach(EngineContext& engine) override;
+  bool AdmitQuery(EngineContext& engine, const Transaction& query) override;
+  void OnQueryResolved(EngineContext& engine, const Transaction& query,
                        Outcome outcome) override;
-  void OnUpdateSourceArrival(Engine& engine, ItemId item) override;
-  void OnControlTick(Engine& engine) override;
+  void OnUpdateSourceArrival(EngineContext& engine, ItemId item) override;
+  void OnControlTick(EngineContext& engine) override;
 
   double budget() const { return budget_; }
   int64_t budget_rejections() const { return budget_rejections_; }
 
  private:
-  void DegradeLowestRatio(Engine& engine);
-  void UpgradeAll(Engine& engine);
+  void DegradeLowestRatio(EngineContext& engine);
+  void UpgradeAll(EngineContext& engine);
 
   QmfParams params_;
   double budget_;

@@ -1,7 +1,8 @@
 #include "unit/core/policies/unit_policy.h"
 
 #include "unit/obs/trace_sink.h"
-#include "unit/sched/engine.h"
+#include "unit/db/database.h"
+#include "unit/sched/engine_context.h"
 
 namespace unitdb {
 
@@ -17,13 +18,13 @@ UnitPolicy::UnitPolicy(std::vector<UsmWeights> class_weights,
       lbc_(params.lbc, class_weights_),
       rng_(params.seed) {}
 
-void UnitPolicy::Attach(Engine& engine) {
+void UnitPolicy::Attach(EngineContext& engine) {
   modulator_ = UpdateModulator(engine.db().num_items(), params_.modulation);
   modulator_.AttachSources(engine.db());
   modulator_.set_trace(engine.params().trace);
 }
 
-bool UnitPolicy::AdmitQuery(Engine& engine, const Transaction& query) {
+bool UnitPolicy::AdmitQuery(EngineContext& engine, const Transaction& query) {
   if (!params_.enable_admission_control) return true;
   const bool admit = admission_.Admit(
       engine, query,
@@ -32,7 +33,7 @@ bool UnitPolicy::AdmitQuery(Engine& engine, const Transaction& query) {
   return admit;
 }
 
-void UnitPolicy::OnQueryResolved(Engine& engine, const Transaction& query,
+void UnitPolicy::OnQueryResolved(EngineContext& engine, const Transaction& query,
                                  Outcome outcome) {
   // Ticket accounting counts actual data accesses: queries that committed
   // (successfully or stale) read their items; rejected/aborted ones did not.
@@ -59,12 +60,12 @@ void UnitPolicy::OnQueryResolved(Engine& engine, const Transaction& query,
   }
 }
 
-void UnitPolicy::OnUpdateSourceArrival(Engine& engine, ItemId item) {
+void UnitPolicy::OnUpdateSourceArrival(EngineContext& engine, ItemId item) {
   modulator_.OnUpdateArrival(item, engine.db().item(item).update_exec,
                              engine.now());
 }
 
-void UnitPolicy::OnControlTick(Engine& engine) {
+void UnitPolicy::OnControlTick(EngineContext& engine) {
   // Windowed CPU utilization over the last tick, for the preventive trigger.
   const double busy = engine.BusySeconds();
   const double window_s = SimToSeconds(engine.now() - last_tick_);

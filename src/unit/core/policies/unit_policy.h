@@ -40,12 +40,12 @@ class UnitPolicy : public Policy {
   UnitPolicy(std::vector<UsmWeights> class_weights, UnitParams params = {});
 
   std::string name() const override { return "unit"; }
-  void Attach(Engine& engine) override;
-  bool AdmitQuery(Engine& engine, const Transaction& query) override;
-  void OnQueryResolved(Engine& engine, const Transaction& query,
+  void Attach(EngineContext& engine) override;
+  bool AdmitQuery(EngineContext& engine, const Transaction& query) override;
+  void OnQueryResolved(EngineContext& engine, const Transaction& query,
                        Outcome outcome) override;
-  void OnUpdateSourceArrival(Engine& engine, ItemId item) override;
-  void OnControlTick(Engine& engine) override;
+  void OnUpdateSourceArrival(EngineContext& engine, ItemId item) override;
+  void OnControlTick(EngineContext& engine) override;
   double AdmissionKnob() const override {
     return params_.enable_admission_control
                ? admission_.c_flex()

@@ -9,7 +9,7 @@
 
 namespace unitdb {
 
-class Engine;
+class EngineContext;
 
 /// Extension point through which a transaction-management policy (UNIT, IMU,
 /// ODU, QMF, or a user-defined scheme) steers the engine. All hooks run on
@@ -23,11 +23,11 @@ class Policy {
   virtual std::string name() const = 0;
 
   /// Called once before the run starts, after the engine is fully built.
-  virtual void Attach(Engine& engine) { (void)engine; }
+  virtual void Attach(EngineContext& engine) { (void)engine; }
 
   /// Admission control: called when a user query arrives; returning false
   /// rejects it outright (paper outcome "Rejection").
-  virtual bool AdmitQuery(Engine& engine, const Transaction& query) {
+  virtual bool AdmitQuery(EngineContext& engine, const Transaction& query) {
     (void)engine;
     (void)query;
     return true;
@@ -38,7 +38,7 @@ class Policy {
   /// false postpones the query — legal only if the hook enqueued at least
   /// one transaction that now outranks it (e.g. ODU's on-demand refreshes);
   /// otherwise the engine would spin.
-  virtual bool BeforeQueryDispatch(Engine& engine, Transaction& query) {
+  virtual bool BeforeQueryDispatch(EngineContext& engine, Transaction& query) {
     (void)engine;
     (void)query;
     return true;
@@ -46,7 +46,7 @@ class Policy {
 
   /// Called exactly once per submitted query when its fortune is decided
   /// (success / rejected / DMF / DSF).
-  virtual void OnQueryResolved(Engine& engine, const Transaction& query,
+  virtual void OnQueryResolved(EngineContext& engine, const Transaction& query,
                                Outcome outcome) {
     (void)engine;
     (void)query;
@@ -54,7 +54,7 @@ class Policy {
   }
 
   /// Called when an update transaction commits.
-  virtual void OnUpdateCommit(Engine& engine, const Transaction& update) {
+  virtual void OnUpdateCommit(EngineContext& engine, const Transaction& update) {
     (void)engine;
     (void)update;
   }
@@ -63,13 +63,13 @@ class Policy {
   /// the ones frequency modulation subsequently drops. "There is an update
   /// on d_j" in the paper's ticket accounting (Eq. 7) is an arrival — tying
   /// it to commits would let degradation starve its own signal.
-  virtual void OnUpdateSourceArrival(Engine& engine, ItemId item) {
+  virtual void OnUpdateSourceArrival(EngineContext& engine, ItemId item) {
     (void)engine;
     (void)item;
   }
 
   /// Called every engine control period (EngineParams::control_period).
-  virtual void OnControlTick(Engine& engine) { (void)engine; }
+  virtual void OnControlTick(EngineContext& engine) { (void)engine; }
 
   /// Current admission-control knob (C_flex for UNIT-style policies), for
   /// telemetry only — the engine samples it into the window time series.

@@ -1,0 +1,426 @@
+#include "unit/model/diff.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "unit/core/policy.h"
+#include "unit/faults/schedule.h"
+#include "unit/model/reference_engine.h"
+#include "unit/model/reference_usm.h"
+#include "unit/sched/engine.h"
+
+namespace unitdb {
+namespace {
+
+/// Tolerance for the naive-USM cross-checks (different floating-point
+/// accumulation orders; everything else is compared bit-for-bit).
+constexpr double kUsmEps = 1e-9;
+
+/// Forwards every hook to the wrapped policy, records one QueryRecord per
+/// resolved query, and (for self-tests) injects the kAdmitOffByOne defect.
+class RecordingPolicy final : public Policy {
+ public:
+  RecordingPolicy(Policy* inner, Perturbation perturb)
+      : inner_(inner), perturb_(perturb) {}
+
+  std::string name() const override { return inner_->name(); }
+  void Attach(EngineContext& engine) override { inner_->Attach(engine); }
+
+  bool AdmitQuery(EngineContext& engine, const Transaction& query) override {
+    const bool admit = inner_->AdmitQuery(engine, query);
+    if (admit && perturb_ == Perturbation::kAdmitOffByOne &&
+        ++admitted_ == 8) {
+      return false;  // the injected defect: shed one admitted query
+    }
+    return admit;
+  }
+
+  bool BeforeQueryDispatch(EngineContext& engine,
+                           Transaction& query) override {
+    return inner_->BeforeQueryDispatch(engine, query);
+  }
+
+  void OnQueryResolved(EngineContext& engine, const Transaction& query,
+                       Outcome outcome) override {
+    QueryRecord r;
+    r.id = query.id();
+    r.outcome = outcome;
+    r.observed_freshness = query.observed_freshness();
+    r.commit_time = query.commit_time();
+    r.restarts = query.restarts();
+    records.push_back(r);
+    inner_->OnQueryResolved(engine, query, outcome);
+  }
+
+  void OnUpdateCommit(EngineContext& engine,
+                      const Transaction& update) override {
+    inner_->OnUpdateCommit(engine, update);
+  }
+
+  void OnUpdateSourceArrival(EngineContext& engine, ItemId item) override {
+    inner_->OnUpdateSourceArrival(engine, item);
+  }
+
+  void OnControlTick(EngineContext& engine) override {
+    inner_->OnControlTick(engine);
+  }
+
+  double AdmissionKnob() const override { return inner_->AdmissionKnob(); }
+  bool UsesPeriodicUpdates() const override {
+    return inner_->UsesPeriodicUpdates();
+  }
+
+  std::vector<QueryRecord> records;
+
+ private:
+  Policy* inner_;
+  Perturbation perturb_;
+  int admitted_ = 0;
+};
+
+PolicyOptions PerturbedOptions(const PolicyOptions& options,
+                               Perturbation perturb) {
+  PolicyOptions out = options;
+  if (perturb == Perturbation::kCFlexStep) {
+    out.unit.admission.adjust_step += 0.01;
+  }
+  return out;
+}
+
+bool BitEqual(double a, double b) {
+  uint64_t x = 0, y = 0;
+  std::memcpy(&x, &a, sizeof(a));
+  std::memcpy(&y, &b, sizeof(b));
+  return x == y;
+}
+
+class Comparer {
+ public:
+  Comparer(DiffResult* result, const DiffOptions& opts)
+      : result_(result), opts_(opts) {}
+
+  template <typename T>
+  void Eq(const std::string& field, const T& a, const T& b) {
+    if (a == b) return;
+    std::ostringstream os;
+    os << field << ": optimized=" << a << " reference=" << b;
+    Mismatch(os.str());
+  }
+
+  void EqBits(const std::string& field, double a, double b) {
+    if (BitEqual(a, b)) return;
+    std::ostringstream os;
+    os.precision(17);
+    os << field << ": optimized=" << a << " reference=" << b;
+    Mismatch(os.str());
+  }
+
+  void Near(const std::string& field, double a, double b, double eps) {
+    if (std::abs(a - b) <= eps) return;
+    std::ostringstream os;
+    os.precision(17);
+    os << field << ": value=" << a << " naive-model=" << b;
+    Mismatch(os.str());
+  }
+
+  void Mismatch(std::string msg) {
+    ++result_->divergence_count;
+    if (static_cast<int>(result_->divergences.size()) <
+        opts_.max_divergence_messages) {
+      result_->divergences.push_back(std::move(msg));
+    }
+  }
+
+  void Counts(const std::string& prefix, const OutcomeCounts& a,
+              const OutcomeCounts& b) {
+    Eq(prefix + ".submitted", a.submitted, b.submitted);
+    Eq(prefix + ".success", a.success, b.success);
+    Eq(prefix + ".rejected", a.rejected, b.rejected);
+    Eq(prefix + ".dmf", a.dmf, b.dmf);
+    Eq(prefix + ".dsf", a.dsf, b.dsf);
+  }
+
+  void Stat(const std::string& prefix, const RunningStat& a,
+            const RunningStat& b) {
+    Eq(prefix + ".count", a.count(), b.count());
+    EqBits(prefix + ".sum", a.sum(), b.sum());
+    EqBits(prefix + ".mean", a.mean(), b.mean());
+    EqBits(prefix + ".variance", a.variance(), b.variance());
+    EqBits(prefix + ".min", a.min(), b.min());
+    EqBits(prefix + ".max", a.max(), b.max());
+  }
+
+ private:
+  DiffResult* result_;
+  const DiffOptions& opts_;
+};
+
+std::string Idx(const char* base, size_t i, const char* field) {
+  std::ostringstream os;
+  os << base << "[" << i << "]." << field;
+  return os.str();
+}
+
+void Compare(const DiffCase& c, const DiffOptions& opts, DiffResult* out) {
+  Comparer cmp(out, opts);
+  const RunMetrics& a = out->optimized.metrics;
+  const RunMetrics& b = out->reference.metrics;
+
+  // Final semantic metrics. Hot-path telemetry (events_processed,
+  // events_cancelled, event_compactions, events_compacted,
+  // peak_ready_depth, obs_*) is implementation-specific and excluded.
+  cmp.Counts("counts", a.counts, b.counts);
+  cmp.Eq("per_class_counts.size", a.per_class_counts.size(),
+         b.per_class_counts.size());
+  const size_t classes =
+      std::min(a.per_class_counts.size(), b.per_class_counts.size());
+  for (size_t i = 0; i < classes; ++i) {
+    cmp.Counts(Idx("per_class_counts", i, "counts"), a.per_class_counts[i],
+               b.per_class_counts[i]);
+  }
+  cmp.Stat("query_response_s", a.query_response_s, b.query_response_s);
+  cmp.Stat("query_freshness", a.query_freshness, b.query_freshness);
+  cmp.Stat("update_latency_s", a.update_latency_s, b.update_latency_s);
+  cmp.EqBits("duration_s", a.duration_s, b.duration_s);
+  cmp.EqBits("busy_s", a.busy_s, b.busy_s);
+  cmp.Eq("preemptions", a.preemptions, b.preemptions);
+  cmp.Eq("lock_restarts", a.lock_restarts, b.lock_restarts);
+  cmp.Eq("update_commits", a.update_commits, b.update_commits);
+  cmp.Eq("on_demand_updates", a.on_demand_updates, b.on_demand_updates);
+  cmp.Eq("updates_generated", a.updates_generated, b.updates_generated);
+  cmp.Eq("updates_dropped", a.updates_dropped, b.updates_dropped);
+  cmp.Eq("fault_edges", a.fault_edges, b.fault_edges);
+  cmp.Eq("fault_injected_queries", a.fault_injected_queries,
+         b.fault_injected_queries);
+  cmp.Eq("fault_injected_updates", a.fault_injected_updates,
+         b.fault_injected_updates);
+  cmp.Eq("fault_suppressed_updates", a.fault_suppressed_updates,
+         b.fault_suppressed_updates);
+  cmp.Eq("per_item_accesses.size", a.per_item_accesses.size(),
+         b.per_item_accesses.size());
+  for (size_t i = 0;
+       i < std::min(a.per_item_accesses.size(), b.per_item_accesses.size());
+       ++i) {
+    cmp.Eq(Idx("per_item_accesses", i, "n"), a.per_item_accesses[i],
+           b.per_item_accesses[i]);
+  }
+  for (size_t i = 0; i < std::min(a.per_item_applied_updates.size(),
+                                  b.per_item_applied_updates.size());
+       ++i) {
+    cmp.Eq(Idx("per_item_applied_updates", i, "n"),
+           a.per_item_applied_updates[i], b.per_item_applied_updates[i]);
+  }
+
+  // Per-query outcomes, in resolution order.
+  cmp.Eq("queries.size", out->optimized.queries.size(),
+         out->reference.queries.size());
+  const size_t nq =
+      std::min(out->optimized.queries.size(), out->reference.queries.size());
+  for (size_t i = 0; i < nq; ++i) {
+    const QueryRecord& qa = out->optimized.queries[i];
+    const QueryRecord& qb = out->reference.queries[i];
+    cmp.Eq(Idx("queries", i, "id"), qa.id, qb.id);
+    cmp.Eq(Idx("queries", i, "outcome"), static_cast<int>(qa.outcome),
+           static_cast<int>(qb.outcome));
+    cmp.EqBits(Idx("queries", i, "observed_freshness"),
+               qa.observed_freshness, qb.observed_freshness);
+    cmp.Eq(Idx("queries", i, "commit_time"), qa.commit_time, qb.commit_time);
+    cmp.Eq(Idx("queries", i, "restarts"), qa.restarts, qb.restarts);
+  }
+
+  // Window series, bit-for-bit, plus the naive per-window USM cross-check.
+  if (opts.compare_series) {
+    cmp.Eq("series.size", out->optimized.series.size(),
+           out->reference.series.size());
+    const size_t ns =
+        std::min(out->optimized.series.size(), out->reference.series.size());
+    for (size_t i = 0; i < ns; ++i) {
+      const WindowSample& sa = out->optimized.series[i];
+      const WindowSample& sb = out->reference.series[i];
+      cmp.EqBits(Idx("series", i, "t_s"), sa.t_s, sb.t_s);
+      cmp.Counts(Idx("series", i, "window"), sa.window, sb.window);
+      cmp.EqBits(Idx("series", i, "usm.s"), sa.usm.s, sb.usm.s);
+      cmp.EqBits(Idx("series", i, "usm.r"), sa.usm.r, sb.usm.r);
+      cmp.EqBits(Idx("series", i, "usm.fm"), sa.usm.fm, sb.usm.fm);
+      cmp.EqBits(Idx("series", i, "usm.fs"), sa.usm.fs, sb.usm.fs);
+      cmp.EqBits(Idx("series", i, "utilization"), sa.utilization,
+                 sb.utilization);
+      cmp.Eq(Idx("series", i, "ready_queries"), sa.ready_queries,
+             sb.ready_queries);
+      cmp.Eq(Idx("series", i, "ready_updates"), sa.ready_updates,
+             sb.ready_updates);
+      cmp.EqBits(Idx("series", i, "udrop_p50"), sa.udrop_p50, sb.udrop_p50);
+      cmp.EqBits(Idx("series", i, "udrop_p90"), sa.udrop_p90, sb.udrop_p90);
+      cmp.Eq(Idx("series", i, "udrop_max"), sa.udrop_max, sb.udrop_max);
+      cmp.EqBits(Idx("series", i, "admission_knob"), sa.admission_knob,
+                 sb.admission_knob);
+      cmp.Eq(Idx("series", i, "degraded_items"), sa.degraded_items,
+             sb.degraded_items);
+
+      // Cross-check the recorder's Eq. 5 decomposition against the naive
+      // one-at-a-time accumulation (tolerance: accumulation-order error).
+      const UsmBreakdown naive =
+          ReferenceUsmDecompose(sb.window, c.weights);
+      cmp.Near(Idx("series", i, "usm.s(naive)"), sb.usm.s, naive.s, kUsmEps);
+      cmp.Near(Idx("series", i, "usm.r(naive)"), sb.usm.r, naive.r, kUsmEps);
+      cmp.Near(Idx("series", i, "usm.fm(naive)"), sb.usm.fm, naive.fm,
+               kUsmEps);
+      cmp.Near(Idx("series", i, "usm.fs(naive)"), sb.usm.fs, naive.fs,
+               kUsmEps);
+    }
+  }
+
+  // Final-USM cross-check: the production counter formulas against the
+  // naive per-outcome enumeration over the reference side's query records.
+  std::vector<Outcome> outcomes;
+  outcomes.reserve(out->reference.queries.size());
+  for (const QueryRecord& q : out->reference.queries) {
+    outcomes.push_back(q.outcome);
+  }
+  const double scale =
+      1.0 + static_cast<double>(out->reference.queries.size());
+  cmp.Near("usm_total(naive)", UsmTotal(a.counts, c.weights),
+           ReferenceUsmTotalFromOutcomes(outcomes, c.weights),
+           kUsmEps * scale);
+  cmp.Near("usm_average(naive)", UsmAverage(a.counts, c.weights),
+           ReferenceUsmAverage(b.counts, c.weights), kUsmEps * scale);
+  cmp.Near("usm_average_multi(naive)",
+           UsmAverageMulti(a.per_class_counts, {c.weights}),
+           ReferenceUsmAverageMulti(b.per_class_counts, {c.weights}),
+           kUsmEps * scale);
+}
+
+bool Diverges(const DiffCase& c, const DiffOptions& opts) {
+  DiffOptions quiet = opts;
+  quiet.max_divergence_messages = 0;
+  StatusOr<DiffResult> r = RunDiff(c, quiet);
+  return r.ok() && !r->equivalent;
+}
+
+}  // namespace
+
+StatusOr<DiffResult> RunDiff(const DiffCase& c, const DiffOptions& opts) {
+  FaultSchedule schedule;
+  const FaultSchedule* schedule_ptr = nullptr;
+  if (!c.scenario.empty()) {
+    StatusOr<FaultSchedule> compiled =
+        FaultSchedule::Compile(c.scenario, c.workload, c.workload_seed);
+    if (!compiled.ok()) return compiled.status();
+    schedule = std::move(*compiled);
+    schedule_ptr = &schedule;
+  }
+
+  DiffResult result;
+
+  {
+    StatusOr<std::unique_ptr<Policy>> policy = MakePolicy(
+        c.policy, c.weights, PerturbedOptions(c.options, opts.perturb));
+    if (!policy.ok()) return policy.status();
+    RecordingPolicy recording(policy->get(), opts.perturb);
+    TimeSeriesRecorder series(c.weights);
+    EngineParams params = c.engine;
+    params.trace = nullptr;
+    params.counters = nullptr;
+    params.series = opts.compare_series ? &series : nullptr;
+    params.faults = schedule_ptr;
+    Engine engine(c.workload, &recording, params);
+    result.optimized.metrics = engine.Run();
+    result.optimized.queries = std::move(recording.records);
+    result.optimized.series = series.samples();
+  }
+
+  {
+    StatusOr<std::unique_ptr<Policy>> policy =
+        MakePolicy(c.policy, c.weights, c.options);
+    if (!policy.ok()) return policy.status();
+    RecordingPolicy recording(policy->get(), Perturbation::kNone);
+    TimeSeriesRecorder series(c.weights);
+    EngineParams params = c.engine;
+    params.trace = nullptr;
+    params.counters = nullptr;
+    params.series = opts.compare_series ? &series : nullptr;
+    params.faults = schedule_ptr;
+    ReferenceEngine engine(c.workload, &recording, params);
+    result.reference.metrics = engine.Run();
+    result.reference.queries = std::move(recording.records);
+    result.reference.series = series.samples();
+  }
+
+  Compare(c, opts, &result);
+  result.equivalent = result.divergence_count == 0;
+  return result;
+}
+
+DiffCase ShrinkCase(const DiffCase& c, const DiffOptions& opts) {
+  if (!Diverges(c, opts)) return c;
+  DiffCase best = c;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+
+    // Biggest single reduction first: drop the fault layer whole.
+    if (!best.scenario.faults.empty()) {
+      DiffCase cand = best;
+      cand.scenario.faults.clear();
+      if (Diverges(cand, opts)) {
+        best = std::move(cand);
+        progress = true;
+        continue;
+      }
+    }
+
+    // Halve the query-arrival list (keep either half).
+    for (const bool drop_front : {true, false}) {
+      const size_t half = best.workload.queries.size() / 2;
+      if (half == 0) break;
+      DiffCase cand = best;
+      auto& q = cand.workload.queries;
+      if (drop_front) {
+        q.erase(q.begin(), q.begin() + static_cast<ptrdiff_t>(half));
+      } else {
+        q.erase(q.end() - static_cast<ptrdiff_t>(half), q.end());
+      }
+      if (Diverges(cand, opts)) {
+        best = std::move(cand);
+        progress = true;
+        break;
+      }
+    }
+    if (progress) continue;
+
+    // Halve the fault list.
+    for (const bool drop_front : {true, false}) {
+      const size_t half = best.scenario.faults.size() / 2;
+      if (half == 0) break;
+      DiffCase cand = best;
+      auto& f = cand.scenario.faults;
+      if (drop_front) {
+        f.erase(f.begin(), f.begin() + static_cast<ptrdiff_t>(half));
+      } else {
+        f.erase(f.end() - static_cast<ptrdiff_t>(half), f.end());
+      }
+      if (Diverges(cand, opts)) {
+        best = std::move(cand);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+std::string DescribeCase(const DiffCase& c) {
+  std::ostringstream os;
+  os << "seed=" << c.gen_seed << " case=" << c.gen_index
+     << " policy=" << c.policy
+     << " index=" << (c.engine.use_admission_index ? 1 : 0)
+     << " compact=" << (c.engine.compact_events ? 1 : 0)
+     << " faults=" << (c.scenario.empty() ? 0 : 1)
+     << " queries=" << c.workload.queries.size()
+     << " fault_windows=" << c.scenario.faults.size();
+  return os.str();
+}
+
+}  // namespace unitdb

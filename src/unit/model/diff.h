@@ -1,0 +1,113 @@
+#ifndef UNIT_MODEL_DIFF_H_
+#define UNIT_MODEL_DIFF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "unit/common/status.h"
+#include "unit/core/usm.h"
+#include "unit/faults/scenario.h"
+#include "unit/obs/timeseries.h"
+#include "unit/sched/engine_context.h"
+#include "unit/sched/metrics.h"
+#include "unit/sim/server.h"
+#include "unit/txn/outcome.h"
+#include "unit/workload/spec.h"
+
+namespace unitdb {
+
+/// One differential-test input: everything needed to run the optimized
+/// engine and the reference model on identical inputs. The observability
+/// and fault pointers inside `engine` are ignored — the harness wires its
+/// own series recorders and compiles `scenario` itself.
+struct DiffCase {
+  Workload workload;
+  /// Fault scenario; empty() means no fault layer is attached at all.
+  FaultScenarioSpec scenario;
+  /// Run seed mixed into FaultSchedule::Compile (the replication seed).
+  uint64_t workload_seed = 42;
+
+  std::string policy = "unit";
+  UsmWeights weights;
+  EngineParams engine;
+  PolicyOptions options;
+
+  /// Provenance for replay lines (filled by gen.h; -1 = hand-built case).
+  uint64_t gen_seed = 0;
+  int64_t gen_index = -1;
+};
+
+/// Intentional defect injected into the *optimized* side only, for harness
+/// self-tests: a real divergence the differential comparison must catch.
+enum class Perturbation {
+  kNone = 0,
+  /// Off-by-one C_flex adjustment step: admission control's TAC/LAC
+  /// feedback tightens/loosens by 11% instead of 10%, so the admitted set
+  /// drifts after the first control signal.
+  kCFlexStep,
+  /// Admission off-by-one: the optimized side's policy wrapper rejects one
+  /// query the policy admitted (the 8th admitted query of the run). A
+  /// guaranteed, policy-independent divergence for any case with enough
+  /// queries — the robust self-test that shrinking has something to chew on.
+  kAdmitOffByOne,
+};
+
+/// Per-query observation recorded on both sides and compared field by field.
+struct QueryRecord {
+  TxnId id = kInvalidTxn;
+  Outcome outcome = Outcome::kPending;
+  double observed_freshness = 0.0;  ///< compared bit-for-bit
+  SimTime commit_time = 0;
+  int restarts = 0;
+};
+
+/// One side's full observable output.
+struct DiffRun {
+  RunMetrics metrics;
+  std::vector<QueryRecord> queries;     ///< in resolution order
+  std::vector<WindowSample> series;     ///< control-window telemetry
+};
+
+struct DiffOptions {
+  /// Also compare the per-window time series (bit-for-bit) and cross-check
+  /// each window's USM decomposition against the naive re-derivation.
+  bool compare_series = true;
+  /// Defect injected into the optimized side (self-test support).
+  Perturbation perturb = Perturbation::kNone;
+  /// Cap on recorded divergence messages (the count is not capped).
+  int max_divergence_messages = 8;
+};
+
+struct DiffResult {
+  bool equivalent = false;
+  int64_t divergence_count = 0;
+  /// Human-readable "field: optimized=... reference=..." lines, capped at
+  /// DiffOptions::max_divergence_messages.
+  std::vector<std::string> divergences;
+  DiffRun optimized;
+  DiffRun reference;
+};
+
+/// Runs the optimized engine and the naive reference model on `c` and
+/// compares semantic RunMetrics fields, per-query outcomes, and (optionally)
+/// window series bit-for-bit. Hot-path telemetry (events_*, compactions,
+/// peak depths, obs_* snapshots) is excluded — it legitimately differs
+/// between implementations. Fails (Status) only on setup errors: unknown
+/// policy or a fault scenario that does not compile against the workload.
+StatusOr<DiffResult> RunDiff(const DiffCase& c, const DiffOptions& opts = {});
+
+/// ddmin-lite shrink: repeatedly halves the query-arrival list and the
+/// fault list (and finally tries dropping the fault layer whole) while the
+/// case still diverges under `opts`. Returns the smallest still-failing
+/// case found; returns `c` unchanged if it does not diverge. Deterministic.
+DiffCase ShrinkCase(const DiffCase& c, const DiffOptions& opts = {});
+
+/// One-line replayable description: "seed=S case=I policy=P index=0|1
+/// compact=0|1 faults=0|1 queries=N" — paste the seed/case pair into
+/// tools/diff_fuzz replay= to reproduce.
+std::string DescribeCase(const DiffCase& c);
+
+}  // namespace unitdb
+
+#endif  // UNIT_MODEL_DIFF_H_

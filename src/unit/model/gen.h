@@ -1,0 +1,30 @@
+#ifndef UNIT_MODEL_GEN_H_
+#define UNIT_MODEL_GEN_H_
+
+#include <cstdint>
+
+#include "unit/model/diff.h"
+
+namespace unitdb {
+
+/// Derives one fully-specified differential-test case from (seed, index):
+/// a random workload (items, update sources, heavy-tailed query trace), a
+/// random fault scenario, random engine tunables (control period, estimate
+/// noise, occasionally FCFS dispatch), random USM weights, and random policy
+/// options. Deterministic: the same pair always yields the same case, on any
+/// platform, so every failure line "seed=S case=I" replays exactly.
+///
+/// The implementation-knob matrix rotates with `index` so a linear sweep
+/// covers {policy x use_admission_index x compact_events x faults on/off}:
+///
+///   policy              = {unit, imu, odu, qmf}[index % 4]
+///   use_admission_index = (index / 4) % 2 == 0
+///   compact_events      = (index / 8) % 2 == 0
+///   faults attached     = (index / 16) % 2 == 0
+///
+/// Everything else is drawn from Rng(SplitMix64(seed ^ SplitMix64(index))).
+DiffCase GenerateCase(uint64_t seed, int64_t index);
+
+}  // namespace unitdb
+
+#endif  // UNIT_MODEL_GEN_H_

@@ -1,0 +1,644 @@
+#include "unit/model/reference_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "unit/common/logging.h"
+#include "unit/faults/schedule.h"
+#include "unit/obs/counters.h"
+#include "unit/obs/timeseries.h"
+
+namespace unitdb {
+
+ReferenceEngine::ReferenceEngine(const Workload& workload, Policy* policy,
+                                 EngineParams params)
+    : workload_(workload),
+      policy_(policy),
+      params_(params),
+      db_(workload.num_items),
+      locks_(workload.num_items),
+      rng_(params.seed),
+      pending_updates_per_item_(workload.num_items, 0) {
+  assert(policy_ != nullptr);
+  // The reference engine has no trace emission sites; a sink would silently
+  // see nothing, so refuse it outright rather than half-support it.
+  params_.trace = nullptr;
+  db_.SetSourceHorizon(workload.duration);
+  Status s = db_.ApplySpecs(workload.updates);
+  if (!s.ok()) {
+    UNIT_LOG(Error) << "bad workload update specs: " << s.ToString();
+  }
+  metrics_.duration_s = SimToSeconds(workload.duration);
+  if (params_.faults != nullptr) {
+    item_outage_.assign(workload.num_items, 0);
+  }
+}
+
+RunMetrics ReferenceEngine::Run() {
+  assert(!ran_ && "ReferenceEngine::Run must be called at most once");
+  ran_ = true;
+  policy_->Attach(*this);
+  ScheduleInitialEvents();
+  while (!events_.empty()) {
+    const RefEvent e = PopNext();
+    assert(e.time >= now_);
+    now_ = e.time;
+    switch (e.type) {
+      case EventType::kQueryArrival:
+        HandleQueryArrival(e.payload);
+        break;
+      case EventType::kUpdateArrival:
+        HandleUpdateArrival(static_cast<ItemId>(e.payload));
+        break;
+      case EventType::kCompletion:
+        HandleCompletion(e.payload);
+        break;
+      case EventType::kQueryDeadline:
+        HandleQueryDeadline(e.payload);
+        break;
+      case EventType::kControlTick:
+        HandleControlTick();
+        break;
+      case EventType::kFaultEdge:
+        HandleFaultEdge(e.payload);
+        break;
+      case EventType::kFaultQueryArrival:
+        HandleFaultQueryArrival(e.payload);
+        break;
+      case EventType::kFaultUpdateArrival:
+        HandleFaultUpdateArrival(e.payload);
+        break;
+    }
+  }
+  assert(running_ == nullptr);
+  assert(ready_.empty());
+  if (params_.series != nullptr || params_.counters != nullptr) {
+    FinalizeObservability();
+  }
+  metrics_.per_item_accesses.resize(db_.num_items());
+  metrics_.per_item_applied_updates.resize(db_.num_items());
+  for (ItemId i = 0; i < db_.num_items(); ++i) {
+    metrics_.per_item_accesses[i] = db_.item(i).query_accesses;
+    metrics_.per_item_applied_updates[i] = db_.item(i).applied_updates;
+  }
+  return metrics_;
+}
+
+void ReferenceEngine::Push(SimTime time, EventType type, int64_t payload) {
+  RefEvent e;
+  e.time = time;
+  e.seq = next_seq_++;
+  e.type = type;
+  e.payload = payload;
+  events_.push_back(e);
+}
+
+ReferenceEngine::RefEvent ReferenceEngine::PopNext() {
+  assert(!events_.empty());
+  size_t best = 0;
+  for (size_t i = 1; i < events_.size(); ++i) {
+    const RefEvent& a = events_[i];
+    const RefEvent& b = events_[best];
+    if (a.time < b.time || (a.time == b.time && a.seq < b.seq)) best = i;
+  }
+  const RefEvent e = events_[best];
+  events_.erase(events_.begin() + static_cast<ptrdiff_t>(best));
+  return e;
+}
+
+void ReferenceEngine::CancelEvent(EventType type, TxnId id) {
+  auto it = std::find_if(events_.begin(), events_.end(),
+                         [type, id](const RefEvent& e) {
+                           return e.type == type && e.payload == id;
+                         });
+  if (it != events_.end()) events_.erase(it);
+}
+
+bool ReferenceEngine::Before(const Transaction& a,
+                             const Transaction& b) const {
+  if (params_.discipline == QueueDiscipline::kEdf) {
+    if (a.absolute_deadline() != b.absolute_deadline()) {
+      return a.absolute_deadline() < b.absolute_deadline();
+    }
+  }
+  return a.id() < b.id();
+}
+
+bool ReferenceEngine::HigherPriority(const Transaction& a,
+                                     const Transaction& b) const {
+  if (a.is_update() != b.is_update()) return a.is_update();
+  return Before(a, b);
+}
+
+Transaction* ReferenceEngine::ReadyTop() const {
+  Transaction* best = nullptr;
+  for (Transaction* t : ready_) {
+    if (best == nullptr || HigherPriority(*t, *best)) best = t;
+  }
+  return best;
+}
+
+void ReferenceEngine::ReadyInsert(Transaction* t) { ready_.push_back(t); }
+
+void ReferenceEngine::ReadyRemove(Transaction* t) {
+  auto it = std::find(ready_.begin(), ready_.end(), t);
+  assert(it != ready_.end());
+  ready_.erase(it);
+}
+
+SimDuration ReferenceEngine::QueuedUpdateWork() const {
+  SimDuration total = 0;
+  for (const Transaction* t : ready_) {
+    if (t->is_update()) total += t->remaining();
+  }
+  return total;
+}
+
+int ReferenceEngine::ReadyQueryCount() const {
+  int n = 0;
+  for (const Transaction* t : ready_) n += t->is_query() ? 1 : 0;
+  return n;
+}
+
+int ReferenceEngine::ReadyUpdateCount() const {
+  int n = 0;
+  for (const Transaction* t : ready_) n += t->is_update() ? 1 : 0;
+  return n;
+}
+
+void ReferenceEngine::ForEachReadyQueryRaw(ReadyQueryVisitor visit,
+                                           void* ctx) const {
+  std::vector<const Transaction*> queries;
+  for (const Transaction* t : ready_) {
+    if (t->is_query()) queries.push_back(t);
+  }
+  std::sort(queries.begin(), queries.end(),
+            [this](const Transaction* a, const Transaction* b) {
+              return Before(*a, *b);
+            });
+  for (const Transaction* t : queries) visit(ctx, *t);
+}
+
+Transaction* ReferenceEngine::NewQueryTxn(const QueryRequest& request) {
+  const TxnId id = static_cast<TxnId>(txns_.size());
+  SimDuration exec = request.exec;
+  double freshness_req = request.freshness_req;
+  if (params_.faults != nullptr) {
+    // Guarded exactly like the optimized engine so an inactive fault layer
+    // performs zero divergent operations.
+    if (fault_exec_scale_ != 1.0) {
+      exec = std::max<SimDuration>(
+          1, static_cast<SimDuration>(static_cast<double>(exec) *
+                                      fault_exec_scale_));
+    }
+    if (fault_freshness_shift_ != 0.0) {
+      freshness_req = std::min(
+          1.0, std::max(0.0, freshness_req + fault_freshness_shift_));
+    }
+  }
+  txns_.push_back(Transaction::MakeQuery(
+      id, request.arrival, exec, request.relative_deadline, freshness_req,
+      request.items, request.preference_class));
+  Transaction* t = &txns_.back();
+  if (params_.estimate_noise_sigma > 0.0) {
+    const double factor = rng_.LogNormal(0.0, params_.estimate_noise_sigma);
+    t->set_estimate(std::max<SimDuration>(
+        1, static_cast<SimDuration>(static_cast<double>(t->exec_time()) *
+                                    factor)));
+  }
+  return t;
+}
+
+Transaction* ReferenceEngine::NewUpdateTxn(ItemId item,
+                                           SimDuration relative_deadline,
+                                           bool on_demand) {
+  const TxnId id = static_cast<TxnId>(txns_.size());
+  SimDuration exec = db_.item(item).update_exec;
+  if (params_.faults != nullptr && fault_exec_scale_ != 1.0) {
+    exec = std::max<SimDuration>(
+        1, static_cast<SimDuration>(static_cast<double>(exec) *
+                                    fault_exec_scale_));
+  }
+  txns_.push_back(Transaction::MakeUpdate(
+      id, now_, exec, std::max<SimDuration>(1, relative_deadline), item,
+      on_demand));
+  ++pending_updates_per_item_[item];
+  ++metrics_.updates_generated;
+  return &txns_.back();
+}
+
+void ReferenceEngine::ScheduleInitialEvents() {
+  // Push order is the FIFO tie-break contract shared with the optimized
+  // engine: workload events first, then control ticks, then fault events.
+  for (size_t i = 0; i < workload_.queries.size(); ++i) {
+    Push(workload_.queries[i].arrival, EventType::kQueryArrival,
+         static_cast<int64_t>(i));
+  }
+  if (policy_->UsesPeriodicUpdates()) {
+    for (const auto& spec : workload_.updates) {
+      if (spec.ideal_period <= 0 || spec.ideal_period >= kNoUpdates) continue;
+      if (spec.phase < workload_.duration) {
+        Push(spec.phase, EventType::kUpdateArrival, spec.item);
+      }
+    }
+  }
+  if (params_.control_period > 0 &&
+      params_.control_period <= workload_.duration) {
+    Push(params_.control_period, EventType::kControlTick, 0);
+  }
+  if (params_.faults != nullptr) {
+    const FaultSchedule& faults = *params_.faults;
+    for (size_t i = 0; i < faults.edges().size(); ++i) {
+      Push(faults.edges()[i].time, EventType::kFaultEdge,
+           static_cast<int64_t>(i));
+    }
+    for (size_t i = 0; i < faults.injected_queries().size(); ++i) {
+      Push(faults.injected_queries()[i].arrival,
+           EventType::kFaultQueryArrival, static_cast<int64_t>(i));
+    }
+    for (size_t i = 0; i < faults.injected_updates().size(); ++i) {
+      Push(faults.injected_updates()[i].time, EventType::kFaultUpdateArrival,
+           static_cast<int64_t>(i));
+    }
+  }
+}
+
+void ReferenceEngine::HandleQueryArrival(int64_t query_index) {
+  AdmitArrivedQuery(workload_.queries[query_index]);
+}
+
+void ReferenceEngine::AdmitArrivedQuery(const QueryRequest& request) {
+  Transaction* t = NewQueryTxn(request);
+  ++metrics_.counts.submitted;
+  if (!policy_->AdmitQuery(*this, *t)) {
+    t->set_state(TxnState::kAborted);
+    ResolveQuery(t, Outcome::kRejected);
+    return;
+  }
+  t->set_state(TxnState::kReady);
+  ReadyInsert(t);
+  Push(t->absolute_deadline(), EventType::kQueryDeadline, t->id());
+  TryDispatch();
+}
+
+void ReferenceEngine::HandleUpdateArrival(ItemId item) {
+  if (now_ >= workload_.duration) return;
+  DataItemState& state = db_.mutable_item(item);
+  const SimTime next = now_ + state.ideal_period;
+  if (next < workload_.duration) {
+    Push(next, EventType::kUpdateArrival, item);
+  }
+  if (params_.faults != nullptr && item_outage_[item] > 0) {
+    ++metrics_.fault_suppressed_updates;
+    return;
+  }
+  policy_->OnUpdateSourceArrival(*this, item);
+  const bool due = state.last_pull < 0 ||
+                   (now_ - state.last_pull) + state.ideal_period / 2 >=
+                       state.current_period;
+  if (!due) {
+    ++metrics_.updates_dropped;
+    return;
+  }
+  state.last_pull = now_;
+  Transaction* t = NewUpdateTxn(item, state.current_period,
+                                /*on_demand=*/false);
+  t->set_state(TxnState::kReady);
+  ReadyInsert(t);
+  TryDispatch();
+}
+
+TxnId ReferenceEngine::IssueOnDemandUpdate(ItemId item) {
+  const DataItemState& state = db_.item(item);
+  Transaction* t =
+      NewUpdateTxn(item, std::max<SimDuration>(1, state.update_exec),
+                   /*on_demand=*/true);
+  t->set_state(TxnState::kReady);
+  ReadyInsert(t);
+  ++metrics_.on_demand_updates;
+  return t->id();
+}
+
+void ReferenceEngine::HandleCompletion(TxnId id) {
+  Transaction* t = &txns_[id];
+  // Stale completions are erased eagerly, so a popped one is always live.
+  if (t != running_ || t->state() != TxnState::kRunning) {
+    assert(false && "stale completion event survived eager cancellation");
+    return;
+  }
+  CompleteRunning(t);
+  TryDispatch();
+}
+
+void ReferenceEngine::HandleQueryDeadline(TxnId id) {
+  Transaction* t = &txns_[id];
+  if (t->Terminal()) return;
+  AbortQuery(t, Outcome::kDeadlineMiss);
+  TryDispatch();
+}
+
+void ReferenceEngine::HandleControlTick() {
+  policy_->OnControlTick(*this);
+  if (params_.series != nullptr) RecordWindowSample();
+  const SimTime next = now_ + params_.control_period;
+  if (next <= workload_.duration) {
+    Push(next, EventType::kControlTick, 0);
+  }
+}
+
+void ReferenceEngine::HandleFaultEdge(int64_t edge_index) {
+  const FaultEdge& edge = params_.faults->edges()[edge_index];
+  ++metrics_.fault_edges;
+  switch (edge.kind) {
+    case FaultKind::kUpdateOutage:
+      for (int32_t k = 0; k < edge.item_count; ++k) {
+        const ItemId item = params_.faults->items()[edge.item_begin + k];
+        item_outage_[item] += edge.start ? 1 : -1;
+      }
+      break;
+    case FaultKind::kServiceSlowdown:
+      fault_exec_scale_ = edge.start ? edge.magnitude : 1.0;
+      break;
+    case FaultKind::kFreshnessShift:
+      fault_freshness_shift_ = edge.start ? edge.magnitude : 0.0;
+      break;
+    case FaultKind::kUpdateBurst:
+    case FaultKind::kLoadStep:
+      break;
+  }
+}
+
+void ReferenceEngine::HandleFaultQueryArrival(int64_t injected_index) {
+  ++metrics_.fault_injected_queries;
+  AdmitArrivedQuery(params_.faults->injected_queries()[injected_index]);
+}
+
+void ReferenceEngine::HandleFaultUpdateArrival(int64_t injected_index) {
+  if (now_ >= workload_.duration) return;
+  const ItemId item = params_.faults->injected_updates()[injected_index].item;
+  if (item_outage_[item] > 0) {
+    ++metrics_.fault_suppressed_updates;
+    return;
+  }
+  DataItemState& state = db_.mutable_item(item);
+  policy_->OnUpdateSourceArrival(*this, item);
+  state.last_pull = now_;
+  Transaction* t = NewUpdateTxn(item, state.current_period,
+                                /*on_demand=*/false);
+  t->set_state(TxnState::kReady);
+  ReadyInsert(t);
+  ++metrics_.fault_injected_updates;
+  TryDispatch();
+}
+
+SimDuration ReferenceEngine::RunningRemaining() const {
+  if (running_ == nullptr) return 0;
+  return running_->remaining() - (now_ - run_start_);
+}
+
+void ReferenceEngine::TryDispatch() {
+  while (true) {
+    Transaction* top = ReadyTop();
+    if (running_ != nullptr) {
+      if (top == nullptr || !HigherPriority(*top, *running_)) {
+        return;
+      }
+      PreemptRunning();
+      continue;
+    }
+    if (top == nullptr) return;
+    ReadyRemove(top);
+    if (top->is_query() && !policy_->BeforeQueryDispatch(*this, *top)) {
+      top->set_state(TxnState::kReady);
+      ReadyInsert(top);
+      Transaction* new_top = ReadyTop();
+      if (new_top == top) {
+        UNIT_LOG(Error) << "policy postponed query " << top->id()
+                        << " without enqueueing higher-priority work";
+        ReadyRemove(top);
+        // Fall through and run it anyway to preserve progress.
+      } else {
+        continue;
+      }
+    }
+    if (!top->holds_locks() && !AcquireLocks(top)) {
+      continue;  // blocked; try the next candidate
+    }
+    StartRunning(top);
+    return;
+  }
+}
+
+void ReferenceEngine::StartRunning(Transaction* t) {
+  t->set_state(TxnState::kRunning);
+  t->BumpDispatchGeneration();
+  running_ = t;
+  run_start_ = now_;
+  Push(now_ + t->remaining(), EventType::kCompletion, t->id());
+}
+
+void ReferenceEngine::PreemptRunning() {
+  Transaction* t = running_;
+  const SimDuration ran = now_ - run_start_;
+  metrics_.busy_s += SimToSeconds(ran);
+  t->set_remaining(t->remaining() - ran);
+  CancelEvent(EventType::kCompletion, t->id());
+  t->set_state(TxnState::kReady);
+  running_ = nullptr;
+  ReadyInsert(t);
+  ++metrics_.preemptions;
+}
+
+bool ReferenceEngine::AcquireLocks(Transaction* t) {
+  if (t->is_query()) {
+    if (locks_.TryAcquireSharedAll(t->id(), t->items())) {
+      t->set_holds_locks(true);
+      return true;
+    }
+    BlockOnLocks(t);
+    return false;
+  }
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    LockManager::XAttempt result =
+        locks_.TryAcquireExclusive(t->id(), t->update_item());
+    if (result.granted) {
+      t->set_holds_locks(true);
+      return true;
+    }
+    if (result.blocked_by_exclusive) {
+      BlockOnLocks(t);
+      return false;
+    }
+    for (TxnId victim : result.shared_holders) {
+      RestartQuery(&txns_[victim]);
+    }
+  }
+  UNIT_LOG(Error) << "exclusive lock acquisition failed twice for txn "
+                  << t->id();
+  BlockOnLocks(t);
+  return false;
+}
+
+void ReferenceEngine::BlockOnLocks(Transaction* t) {
+  assert(!t->holds_locks());
+  t->set_state(TxnState::kBlocked);
+  blocked_.push_back(t);
+}
+
+void ReferenceEngine::UnblockAll() {
+  if (blocked_.empty()) return;
+  for (Transaction* t : blocked_) {
+    if (t->Terminal()) continue;  // deadline fired while blocked
+    t->set_state(TxnState::kReady);
+    ReadyInsert(t);
+  }
+  blocked_.clear();
+}
+
+void ReferenceEngine::RestartQuery(Transaction* t) {
+  assert(t->is_query());
+  assert(t->state() == TxnState::kReady &&
+         "2PL-HP victims sit in the ready queue");
+  ReadyRemove(t);
+  ReleaseLocksOf(t);
+  t->ResetWork();
+  t->IncrementRestarts();
+  t->BumpDispatchGeneration();
+  t->set_state(TxnState::kReady);
+  ReadyInsert(t);
+  ++metrics_.lock_restarts;
+}
+
+void ReferenceEngine::AbortQuery(Transaction* t, Outcome outcome) {
+  assert(t->is_query());
+  if (t == running_) {
+    const SimDuration ran = now_ - run_start_;
+    metrics_.busy_s += SimToSeconds(ran);
+    t->set_remaining(t->remaining() - ran);
+    CancelEvent(EventType::kCompletion, t->id());
+    running_ = nullptr;
+  } else if (t->state() == TxnState::kReady) {
+    ReadyRemove(t);
+  } else if (t->state() == TxnState::kBlocked) {
+    auto it = std::find(blocked_.begin(), blocked_.end(), t);
+    if (it != blocked_.end()) blocked_.erase(it);
+  }
+  ReleaseLocksOf(t);
+  t->set_state(TxnState::kAborted);
+  ResolveQuery(t, outcome);
+}
+
+void ReferenceEngine::ResolveQuery(Transaction* t, Outcome outcome) {
+  t->set_outcome(outcome);
+  const size_t cls = static_cast<size_t>(t->preference_class());
+  if (metrics_.per_class_counts.size() <= cls) {
+    metrics_.per_class_counts.resize(cls + 1);
+  }
+  OutcomeCounts& class_counts = metrics_.per_class_counts[cls];
+  ++class_counts.submitted;
+  switch (outcome) {
+    case Outcome::kSuccess:
+      ++metrics_.counts.success;
+      ++class_counts.success;
+      break;
+    case Outcome::kRejected:
+      ++metrics_.counts.rejected;
+      ++class_counts.rejected;
+      break;
+    case Outcome::kDeadlineMiss:
+      ++metrics_.counts.dmf;
+      ++class_counts.dmf;
+      break;
+    case Outcome::kDataStale:
+      ++metrics_.counts.dsf;
+      ++class_counts.dsf;
+      break;
+    case Outcome::kPending:
+      assert(false && "resolving with pending outcome");
+      break;
+  }
+  policy_->OnQueryResolved(*this, *t, outcome);
+}
+
+void ReferenceEngine::ReleaseLocksOf(Transaction* t) {
+  if (!t->holds_locks()) return;
+  locks_.ReleaseAll(t->id());
+  t->set_holds_locks(false);
+  UnblockAll();
+}
+
+void ReferenceEngine::CompleteRunning(Transaction* t) {
+  const SimDuration ran = now_ - run_start_;
+  metrics_.busy_s += SimToSeconds(ran);
+  t->set_remaining(0);
+  running_ = nullptr;
+  t->set_state(TxnState::kCommitted);
+  t->set_commit_time(now_);
+  if (t->is_update()) {
+    db_.ApplyUpdate(t->update_item(), t->arrival());
+    --pending_updates_per_item_[t->update_item()];
+    ++metrics_.update_commits;
+    metrics_.update_latency_s.Add(SimToSeconds(now_ - t->arrival()));
+    ReleaseLocksOf(t);
+    policy_->OnUpdateCommit(*this, *t);
+    return;
+  }
+  // Query commit: its deadline event is still pending; erase it eagerly
+  // (the optimized engine tombstones it instead).
+  CancelEvent(EventType::kQueryDeadline, t->id());
+  const double freshness = db_.QueryFreshness(t->items(), now_);
+  t->set_observed_freshness(freshness);
+  for (ItemId item : t->items()) db_.RecordAccess(item);
+  ReleaseLocksOf(t);
+  metrics_.query_response_s.Add(SimToSeconds(now_ - t->arrival()));
+  metrics_.query_freshness.Add(freshness);
+  const Outcome outcome = freshness >= t->freshness_req()
+                              ? Outcome::kSuccess
+                              : Outcome::kDataStale;
+  ResolveQuery(t, outcome);
+}
+
+void ReferenceEngine::RecordWindowSample() {
+  WindowSample s;
+  s.t_s = SimToSeconds(now_);
+  s.window = metrics_.counts - series_last_counts_;
+  series_last_counts_ = metrics_.counts;
+  const double busy = BusySeconds();
+  const double window_s = SimToSeconds(now_ - series_last_sample_);
+  s.utilization =
+      window_s > 0.0 ? (busy - series_last_busy_) / window_s : 0.0;
+  series_last_busy_ = busy;
+  series_last_sample_ = now_;
+  s.ready_queries = ReadyQueryCount();
+  s.ready_updates = ReadyUpdateCount();
+  udrop_scratch_.clear();
+  for (ItemId i = 0; i < db_.num_items(); ++i) {
+    udrop_scratch_.push_back(db_.Udrop(i, now_));
+  }
+  if (!udrop_scratch_.empty()) {
+    std::sort(udrop_scratch_.begin(), udrop_scratch_.end());
+    const size_t n = udrop_scratch_.size();
+    auto rank = [n](int p) {
+      return (static_cast<size_t>(p) * n + 99) / 100 - 1;
+    };
+    s.udrop_p50 = static_cast<double>(udrop_scratch_[rank(50)]);
+    s.udrop_p90 = static_cast<double>(udrop_scratch_[rank(90)]);
+    s.udrop_max = udrop_scratch_.back();
+  }
+  s.admission_knob = policy_->AdmissionKnob();
+  s.degraded_items = db_.DegradedCount();
+  params_.series->Record(s);
+}
+
+void ReferenceEngine::FinalizeObservability() {
+  if (params_.series != nullptr && now_ > series_last_sample_) {
+    RecordWindowSample();
+  }
+  if (params_.counters != nullptr) {
+    metrics_.obs_counters = params_.counters->CounterSnapshot();
+    metrics_.obs_gauges = params_.counters->GaugeSnapshot();
+  }
+}
+
+}  // namespace unitdb

@@ -1,0 +1,192 @@
+#ifndef UNIT_MODEL_REFERENCE_ENGINE_H_
+#define UNIT_MODEL_REFERENCE_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "unit/common/rng.h"
+#include "unit/common/types.h"
+#include "unit/core/admission.h"
+#include "unit/core/policy.h"
+#include "unit/db/database.h"
+#include "unit/db/lock_manager.h"
+#include "unit/sched/engine_context.h"
+#include "unit/sched/event_queue.h"
+#include "unit/sched/metrics.h"
+#include "unit/sched/ready_queue.h"
+#include "unit/txn/transaction.h"
+#include "unit/workload/spec.h"
+
+namespace unitdb {
+
+/// Deliberately naive, obviously-correct reference implementation of the
+/// engine semantics (the executable specification the differential harness
+/// in model/diff.h checks the optimized engine against). It replays the
+/// same workload + fault schedule and produces bit-identical semantic
+/// RunMetrics, per-query outcomes, and window series, but swaps every
+/// optimized structure for the simplest possible one:
+///
+///  - event queue: a flat vector, popped by a linear scan for the minimum
+///    (time, seq) element; events invalidated by preemption/abort/commit
+///    are eagerly erased instead of lazily tombstoned and compacted;
+///  - ready queue: a flat vector, dispatched by a linear scan with the
+///    same strict (class, deadline, id) priority order; queued-update work
+///    and queue depths are recomputed by full sums/counts on every call;
+///  - admission: the AdmissionIndex member is never initialized, so the
+///    shared AdmissionController always takes its naive O(N_rq)
+///    ready-queue-scan path (no Fenwick tree, no segment tree).
+///
+/// Determinism contract with the optimized engine: both push the same
+/// events in the same order (so FIFO tie-breaks at equal timestamps
+/// agree), both draw from the engine RNG at the same single site (estimate
+/// noise at query-transaction creation), and both accumulate busy seconds
+/// and window statistics with the same floating-point operation order.
+///
+/// Tracing (EngineParams::trace) is not supported and is ignored; series
+/// and counters hooks work as in the optimized engine. The implementation
+/// knobs use_admission_index / compact_events are ignored by construction.
+class ReferenceEngine final : public EngineContext {
+ public:
+  /// `workload` and `policy` must outlive the engine; neither is owned.
+  ReferenceEngine(const Workload& workload, Policy* policy,
+                  EngineParams params);
+
+  ReferenceEngine(const ReferenceEngine&) = delete;
+  ReferenceEngine& operator=(const ReferenceEngine&) = delete;
+
+  /// Runs the whole workload to completion and returns the collected
+  /// metrics. Call at most once.
+  RunMetrics Run();
+
+  // --- EngineContext ---
+
+  SimTime now() const override { return now_; }
+  const Workload& workload() const override { return workload_; }
+  Database& db() override { return db_; }
+  const Database& db() const override { return db_; }
+  Rng& rng() override { return rng_; }
+  const EngineParams& params() const override { return params_; }
+  const OutcomeCounts& counts() const override { return metrics_.counts; }
+  const std::vector<OutcomeCounts>& per_class_counts() const override {
+    return metrics_.per_class_counts;
+  }
+  double BusySeconds() const override {
+    double busy = metrics_.busy_s;
+    if (running_ != nullptr) busy += SimToSeconds(now_ - run_start_);
+    return busy;
+  }
+  SimDuration RunningRemaining() const override;
+  bool RunningIsUpdate() const override {
+    return running_ != nullptr && running_->is_update();
+  }
+  SimDuration QueuedUpdateWork() const override;
+  int ReadyQueryCount() const override;
+  int ReadyUpdateCount() const override;
+  /// Always disabled: routes the shared AdmissionController to its naive
+  /// ready-queue-scan path.
+  const AdmissionIndex& admission_index() const override {
+    return disabled_index_;
+  }
+  int64_t PendingUpdatesForItem(ItemId item) const override {
+    return pending_updates_per_item_[item];
+  }
+  TxnId IssueOnDemandUpdate(ItemId item) override;
+  void ReportRejectReason(const char* reason) override { (void)reason; }
+  void ForEachReadyQueryRaw(ReadyQueryVisitor visit,
+                            void* ctx) const override;
+
+  /// Exposed for tests: the live transaction table.
+  const Transaction& txn(TxnId id) const { return txns_[id]; }
+
+ private:
+  /// One scheduled event. Unlike the optimized queue there is no lazy
+  /// generation check: events that can no longer fire are erased eagerly.
+  struct RefEvent {
+    SimTime time = 0;
+    uint64_t seq = 0;  ///< FIFO tie-break at equal timestamps
+    EventType type = EventType::kQueryArrival;
+    int64_t payload = 0;
+  };
+
+  void Push(SimTime time, EventType type, int64_t payload);
+  /// Pops the minimum (time, seq) event by a full linear scan.
+  RefEvent PopNext();
+  /// Eagerly erases the pending event of `type` for transaction `id`.
+  void CancelEvent(EventType type, TxnId id);
+
+  /// Strict (deadline, id) / (id) order within one priority class.
+  bool Before(const Transaction& a, const Transaction& b) const;
+  /// Dual-priority order: updates always outrank queries.
+  bool HigherPriority(const Transaction& a, const Transaction& b) const;
+  Transaction* ReadyTop() const;
+  void ReadyInsert(Transaction* t);
+  void ReadyRemove(Transaction* t);
+
+  Transaction* NewQueryTxn(const QueryRequest& request);
+  Transaction* NewUpdateTxn(ItemId item, SimDuration relative_deadline,
+                            bool on_demand);
+
+  void ScheduleInitialEvents();
+  void HandleQueryArrival(int64_t query_index);
+  void HandleUpdateArrival(ItemId item);
+  void HandleCompletion(TxnId id);
+  void HandleQueryDeadline(TxnId id);
+  void HandleControlTick();
+  void HandleFaultEdge(int64_t edge_index);
+  void HandleFaultQueryArrival(int64_t injected_index);
+  void HandleFaultUpdateArrival(int64_t injected_index);
+  void AdmitArrivedQuery(const QueryRequest& request);
+
+  void TryDispatch();
+  void StartRunning(Transaction* t);
+  void PreemptRunning();
+  void CompleteRunning(Transaction* t);
+  bool AcquireLocks(Transaction* t);
+  void BlockOnLocks(Transaction* t);
+  void UnblockAll();
+  void RestartQuery(Transaction* t);
+  void AbortQuery(Transaction* t, Outcome outcome);
+  void ResolveQuery(Transaction* t, Outcome outcome);
+  void ReleaseLocksOf(Transaction* t);
+
+  void RecordWindowSample();
+  void FinalizeObservability();
+
+  const Workload& workload_;
+  Policy* policy_;
+  EngineParams params_;
+
+  Database db_;
+  LockManager locks_;
+  Rng rng_;
+  AdmissionIndex disabled_index_;  ///< never Init'ed; enabled() == false
+
+  std::vector<RefEvent> events_;
+  uint64_t next_seq_ = 0;
+  std::vector<Transaction*> ready_;
+
+  std::deque<Transaction> txns_;  ///< id == index; stable addresses
+  std::vector<Transaction*> blocked_;
+  std::vector<int64_t> pending_updates_per_item_;
+
+  Transaction* running_ = nullptr;
+  SimTime run_start_ = 0;
+  SimTime now_ = 0;
+  bool ran_ = false;
+
+  std::vector<int32_t> item_outage_;
+  double fault_exec_scale_ = 1.0;
+  double fault_freshness_shift_ = 0.0;
+
+  OutcomeCounts series_last_counts_;
+  double series_last_busy_ = 0.0;
+  SimTime series_last_sample_ = 0;
+  std::vector<int64_t> udrop_scratch_;
+
+  RunMetrics metrics_;
+};
+
+}  // namespace unitdb
+
+#endif  // UNIT_MODEL_REFERENCE_ENGINE_H_

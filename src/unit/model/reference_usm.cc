@@ -1,0 +1,74 @@
+#include "unit/model/reference_usm.h"
+
+namespace unitdb {
+
+double ReferenceUsmValue(Outcome outcome, const UsmWeights& w) {
+  switch (outcome) {
+    case Outcome::kSuccess:
+      return w.gain;
+    case Outcome::kRejected:
+      return -w.c_r;
+    case Outcome::kDeadlineMiss:
+      return -w.c_fm;
+    case Outcome::kDataStale:
+      return -w.c_fs;
+    case Outcome::kPending:
+      break;
+  }
+  return 0.0;
+}
+
+double ReferenceUsmTotalFromOutcomes(const std::vector<Outcome>& outcomes,
+                                     const UsmWeights& w) {
+  double total = 0.0;
+  for (Outcome o : outcomes) total += ReferenceUsmValue(o, w);
+  return total;
+}
+
+double ReferenceUsmTotal(const OutcomeCounts& c, const UsmWeights& w) {
+  double total = 0.0;
+  for (int64_t i = 0; i < c.success; ++i) total += w.gain;
+  for (int64_t i = 0; i < c.rejected; ++i) total -= w.c_r;
+  for (int64_t i = 0; i < c.dmf; ++i) total -= w.c_fm;
+  for (int64_t i = 0; i < c.dsf; ++i) total -= w.c_fs;
+  return total;
+}
+
+double ReferenceUsmAverage(const OutcomeCounts& c, const UsmWeights& w) {
+  if (c.submitted <= 0) return 0.0;
+  return ReferenceUsmTotal(c, w) / static_cast<double>(c.submitted);
+}
+
+UsmBreakdown ReferenceUsmDecompose(const OutcomeCounts& c,
+                                   const UsmWeights& w) {
+  UsmBreakdown b;
+  if (c.submitted <= 0) return b;
+  const double n = static_cast<double>(c.submitted);
+  double s = 0.0, r = 0.0, fm = 0.0, fs = 0.0;
+  for (int64_t i = 0; i < c.success; ++i) s += w.gain;
+  for (int64_t i = 0; i < c.rejected; ++i) r += w.c_r;
+  for (int64_t i = 0; i < c.dmf; ++i) fm += w.c_fm;
+  for (int64_t i = 0; i < c.dsf; ++i) fs += w.c_fs;
+  b.s = s / n;
+  b.r = r / n;
+  b.fm = fm / n;
+  b.fs = fs / n;
+  return b;
+}
+
+double ReferenceUsmAverageMulti(
+    const std::vector<OutcomeCounts>& per_class_counts,
+    const std::vector<UsmWeights>& class_weights) {
+  double total = 0.0;
+  int64_t submitted = 0;
+  for (size_t cls = 0; cls < per_class_counts.size(); ++cls) {
+    const UsmWeights& w =
+        WeightsForClass(class_weights, static_cast<int>(cls));
+    total += ReferenceUsmTotal(per_class_counts[cls], w);
+    submitted += per_class_counts[cls].submitted;
+  }
+  if (submitted <= 0) return 0.0;
+  return total / static_cast<double>(submitted);
+}
+
+}  // namespace unitdb

@@ -1,0 +1,48 @@
+#ifndef UNIT_MODEL_REFERENCE_USM_H_
+#define UNIT_MODEL_REFERENCE_USM_H_
+
+#include <vector>
+
+#include "unit/core/usm.h"
+#include "unit/txn/outcome.h"
+
+namespace unitdb {
+
+/// Straight-line re-derivations of the paper's USM accounting (Eq. 4/5),
+/// computed the most obvious way possible: enumerate outcomes one at a time
+/// and accumulate each one's gain or penalty. The production formulas in
+/// core/usm.cc multiply counters instead; the differential harness checks
+/// the two agree (within floating-point accumulation error) on every run
+/// and every window sample, which pins both the formulas and the outcome
+/// counters themselves.
+
+/// USM contribution of a single resolved query: +G_s on success, -C_r /
+/// -C_fm / -C_fs on rejection / deadline miss / stale data. kPending is a
+/// programming error and contributes 0.
+double ReferenceUsmValue(Outcome outcome, const UsmWeights& weights);
+
+/// Eq. 4 by enumeration over per-query outcomes.
+double ReferenceUsmTotalFromOutcomes(const std::vector<Outcome>& outcomes,
+                                     const UsmWeights& weights);
+
+/// Eq. 4 by one-at-a-time accumulation over the counters.
+double ReferenceUsmTotal(const OutcomeCounts& counts,
+                         const UsmWeights& weights);
+
+/// Eq. 5: average per submitted query; 0 with no queries.
+double ReferenceUsmAverage(const OutcomeCounts& counts,
+                           const UsmWeights& weights);
+
+/// Eq. 5 decomposition (USM = S - R - Fm - Fs), accumulated term by term.
+UsmBreakdown ReferenceUsmDecompose(const OutcomeCounts& counts,
+                                   const UsmWeights& weights);
+
+/// Multi-class average USM by per-class enumeration (the fallback rule for
+/// missing class weights matches WeightsForClass).
+double ReferenceUsmAverageMulti(
+    const std::vector<OutcomeCounts>& per_class_counts,
+    const std::vector<UsmWeights>& class_weights);
+
+}  // namespace unitdb
+
+#endif  // UNIT_MODEL_REFERENCE_USM_H_

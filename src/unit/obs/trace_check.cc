@@ -59,7 +59,7 @@ class Checker {
           break;
         case TraceEventType::kUpdateApply:
           ++result_.update_applies;
-          if (e.lag < 0) Violation(e, "update-apply with negative lag");
+          if (e.lag < 0) Violation(5, e, "update-apply with negative lag");
           break;
         case TraceEventType::kPeriodChange:
           OnPeriodChange(e);
@@ -82,41 +82,44 @@ class Checker {
     // outcome — firm deadlines guarantee every admitted query resolves.
     for (const auto& [txn, phase] : txns_) {
       if (phase == TxnPhase::kAdmitted) {
-        Record("txn " + std::to_string(txn) +
-               " admitted but has no terminal outcome");
+        Record(2, "txn " + std::to_string(txn) +
+                      " admitted but has no terminal outcome");
       }
     }
     // Invariant 6 epilogue: every fault window closes before the trace ends
     // (the schedule compiler clamps stop edges to the run duration).
     for (const auto& [fault, kind] : active_faults_) {
-      Record("fault " + std::to_string(fault) + " (" + kind +
-             ") started but never stopped");
+      Record(6, "fault " + std::to_string(fault) + " (" + kind +
+                    ") started but never stopped");
     }
     return result_;
   }
 
  private:
-  void Record(std::string what) {
+  void Record(int invariant, std::string what) {
     ++result_.violation_count;
+    ++result_.invariant_violations[invariant];
     if (result_.violation_count <= TraceCheckResult::kMaxRecordedViolations) {
-      result_.violations.push_back(std::move(what));
+      result_.violations.push_back("[invariant " + std::to_string(invariant) +
+                                   "] " + std::move(what));
     }
   }
 
-  void Violation(const TraceEvent& e, const std::string& what) {
-    Record("t=" + std::to_string(e.time) + " " +
-           TraceEventTypeName(e.type) + ": " + what);
+  void Violation(int invariant, const TraceEvent& e,
+                 const std::string& what) {
+    Record(invariant, "t=" + std::to_string(e.time) + " " +
+                          TraceEventTypeName(e.type) + ": " + what);
   }
 
   void CheckTime(const TraceEvent& e) {
-    if (e.time < last_time_) Violation(e, "timestamp went backwards");
+    if (e.time < last_time_) Violation(1, e, "timestamp went backwards");
     last_time_ = e.time;
   }
 
   TxnPhase* Find(const TraceEvent& e, const char* what) {
     auto it = txns_.find(e.txn);
     if (it == txns_.end()) {
-      Violation(e, std::string(what) + " for unknown txn " +
+      Violation(2, e, std::string(what) + " for unknown txn " +
                        std::to_string(e.txn));
       return nullptr;
     }
@@ -125,7 +128,7 @@ class Checker {
 
   void OnArrival(const TraceEvent& e) {
     if (!txns_.emplace(e.txn, TxnPhase::kArrived).second) {
-      Violation(e, "duplicate arrival for txn " + std::to_string(e.txn));
+      Violation(2, e, "duplicate arrival for txn " + std::to_string(e.txn));
     }
   }
 
@@ -133,7 +136,7 @@ class Checker {
     TxnPhase* phase = Find(e, "admit");
     if (phase == nullptr) return;
     if (*phase != TxnPhase::kArrived) {
-      Violation(e, "admit out of order for txn " + std::to_string(e.txn));
+      Violation(2, e, "admit out of order for txn " + std::to_string(e.txn));
     }
     *phase = TxnPhase::kAdmitted;
   }
@@ -142,7 +145,7 @@ class Checker {
     TxnPhase* phase = Find(e, "reject");
     if (phase == nullptr) return;
     if (*phase != TxnPhase::kArrived) {
-      Violation(e, "reject of a non-pending txn " + std::to_string(e.txn));
+      Violation(2, e, "reject of a non-pending txn " + std::to_string(e.txn));
     }
     *phase = TxnPhase::kDone;
   }
@@ -150,7 +153,7 @@ class Checker {
   void RequireAdmitted(const TraceEvent& e, const char* what) {
     TxnPhase* phase = Find(e, what);
     if (phase != nullptr && *phase != TxnPhase::kAdmitted) {
-      Violation(e, std::string(what) + " of a txn that is not running");
+      Violation(2, e, std::string(what) + " of a txn that is not running");
     }
   }
 
@@ -164,24 +167,24 @@ class Checker {
     if (is_success) ++result_.success;
     if (is_stale) ++result_.stale;
     if (!is_success && !is_stale) {
-      Violation(e, std::string("unknown commit outcome \"") + e.reason + "\"");
+      Violation(3, e, std::string("unknown commit outcome \"") + e.reason + "\"");
       return;
     }
     // Invariant 3: Eq. 1 freshness accounting. The committed freshness must
     // equal 1/(1 + Udrop) for the staleness-dominant item, and the outcome
     // must follow from the freshness requirement.
     if (e.udrop < 0) {
-      Violation(e, "commit without Udrop accounting");
+      Violation(3, e, "commit without Udrop accounting");
       return;
     }
     const double expected = 1.0 / (1.0 + static_cast<double>(e.udrop));
     if (std::fabs(e.freshness - expected) > kFreshnessEps) {
-      Violation(e, "freshness " + std::to_string(e.freshness) +
+      Violation(3, e, "freshness " + std::to_string(e.freshness) +
                        " != 1/(1+Udrop) = " + std::to_string(expected));
     }
     const bool should_succeed = e.freshness >= e.freshness_req;
     if (is_success != should_succeed) {
-      Violation(e, "outcome " + std::string(e.reason) +
+      Violation(3, e, "outcome " + std::string(e.reason) +
                        " contradicts freshness " + std::to_string(e.freshness) +
                        " vs required " + std::to_string(e.freshness_req));
     }
@@ -196,14 +199,14 @@ class Checker {
   void OnPeriodChange(const TraceEvent& e) {
     if (std::strcmp(e.reason, "degrade") == 0) {
       if (e.period_to <= e.period_from) {
-        Violation(e, "degrade did not stretch the period");
+        Violation(5, e, "degrade did not stretch the period");
       }
     } else if (std::strcmp(e.reason, "upgrade") == 0) {
       if (e.period_to >= e.period_from) {
-        Violation(e, "upgrade did not shrink the period");
+        Violation(5, e, "upgrade did not shrink the period");
       }
     } else {
-      Violation(e, std::string("unknown period-change reason \"") + e.reason +
+      Violation(5, e, std::string("unknown period-change reason \"") + e.reason +
                        "\"");
     }
   }
@@ -225,11 +228,11 @@ class Checker {
                std::strcmp(s, "none") == 0) {
       rule_ok = e.r <= 0.0 && e.fm <= 0.0 && e.fs <= 0.0;
     } else {
-      Violation(e, std::string("unknown LBC signal \"") + s + "\"");
+      Violation(4, e, std::string("unknown LBC signal \"") + s + "\"");
       return;
     }
     if (!rule_ok) {
-      Violation(e, std::string("signal ") + s + " violates dominant-penalty" +
+      Violation(4, e, std::string("signal ") + s + " violates dominant-penalty" +
                        " rule (r=" + std::to_string(e.r) +
                        " fm=" + std::to_string(e.fm) +
                        " fs=" + std::to_string(e.fs) + ")");
@@ -242,14 +245,14 @@ class Checker {
     if (!std::isnan(e.knob_before) && !std::isnan(e.knob)) {
       if (std::strcmp(s, "loosen-ac") == 0) {
         if (e.knob > e.knob_before) {
-          Violation(e, "loosen-ac tightened the knob");
+          Violation(4, e, "loosen-ac tightened the knob");
         }
       } else if (std::strcmp(s, "degrade+tighten") == 0) {
         if (e.knob < e.knob_before) {
-          Violation(e, "degrade+tighten loosened the knob");
+          Violation(4, e, "degrade+tighten loosened the knob");
         }
       } else if (e.knob != e.knob_before) {
-        Violation(e, std::string("signal ") + s + " moved the admission knob");
+        Violation(4, e, std::string("signal ") + s + " moved the admission knob");
       }
     }
     CheckFaultResponse(e);
@@ -274,7 +277,7 @@ class Checker {
     if (std::strcmp(e.reason, expected) == 0) {
       ++result_.fault_window_relief_signals;
     } else {
-      Violation(e, std::string("LBC response \"") + e.reason +
+      Violation(6, e, std::string("LBC response \"") + e.reason +
                        "\" during a fault window pressuring the dominant "
                        "penalty; expected \"" + expected +
                        "\" (r=" + std::to_string(e.r) +
@@ -306,23 +309,23 @@ class Checker {
   void OnFaultStart(const TraceEvent& e) {
     FaultKind kind;
     if (!FaultKindFromName(e.reason, &kind)) {
-      Violation(e, std::string("unknown fault kind \"") + e.reason + "\"");
+      Violation(6, e, std::string("unknown fault kind \"") + e.reason + "\"");
       return;
     }
     if (!active_faults_.emplace(e.txn, e.reason).second) {
-      Violation(e, "duplicate start for fault " + std::to_string(e.txn));
+      Violation(6, e, "duplicate start for fault " + std::to_string(e.txn));
       return;
     }
     const bool item_scoped = kind == FaultKind::kUpdateOutage ||
                              kind == FaultKind::kUpdateBurst;
     if (item_scoped && e.resolved <= 0) {
-      Violation(e, "item-scoped fault with no affected items");
+      Violation(6, e, "item-scoped fault with no affected items");
     }
     if (!item_scoped && e.resolved != 0) {
-      Violation(e, "global fault carries an item span");
+      Violation(6, e, "global fault carries an item span");
     }
     if (kind != FaultKind::kUpdateOutage && e.magnitude == 0.0) {
-      Violation(e, "zero magnitude for kind \"" + std::string(e.reason) +
+      Violation(6, e, "zero magnitude for kind \"" + std::string(e.reason) +
                        "\"");
     }
     AdjustPressure(kind, +1);
@@ -331,11 +334,11 @@ class Checker {
   void OnFaultStop(const TraceEvent& e) {
     auto it = active_faults_.find(e.txn);
     if (it == active_faults_.end()) {
-      Violation(e, "stop without start for fault " + std::to_string(e.txn));
+      Violation(6, e, "stop without start for fault " + std::to_string(e.txn));
       return;
     }
     if (it->second != e.reason) {
-      Violation(e, "fault " + std::to_string(e.txn) + " started as \"" +
+      Violation(6, e, "fault " + std::to_string(e.txn) + " started as \"" +
                        it->second + "\" but stopped as \"" + e.reason + "\"");
     }
     FaultKind kind;
@@ -361,6 +364,10 @@ TraceCheckResult CheckTrace(const std::vector<TraceEvent>& events) {
   return Checker().Run(events);
 }
 
+int TraceCheckExitCode(const TraceCheckResult& result) {
+  return result.FirstViolatedInvariant();
+}
+
 std::string TraceCheckSummary(const TraceCheckResult& r) {
   std::string out = std::to_string(r.events) + " events (" +
                     std::to_string(r.arrivals) + " arrivals, " +
@@ -377,6 +384,14 @@ std::string TraceCheckSummary(const TraceCheckResult& r) {
     return out;
   }
   out += std::to_string(r.violation_count) + " violation(s)";
+  out += " [per invariant:";
+  for (int i = 1; i <= 6; ++i) {
+    if (r.invariant_violations[i] > 0) {
+      out += " " + std::to_string(i) + "x" +
+             std::to_string(r.invariant_violations[i]);
+    }
+  }
+  out += "]";
   const size_t show = r.violations.size() < 5 ? r.violations.size() : 5;
   for (size_t i = 0; i < show; ++i) {
     out += "\n  - " + r.violations[i];

@@ -39,7 +39,20 @@ struct TraceCheckResult {
   int64_t violation_count = 0;
   std::vector<std::string> violations;
 
+  /// Violations per numbered invariant (index 1..6 of the list below;
+  /// index 0 unused). Sums to violation_count.
+  int64_t invariant_violations[7] = {0, 0, 0, 0, 0, 0, 0};
+
   bool ok() const { return violation_count == 0; }
+
+  /// Lowest-numbered violated invariant (1..6), or 0 when ok() — the
+  /// per-invariant exit code tools/trace_check reports.
+  int FirstViolatedInvariant() const {
+    for (int i = 1; i <= 6; ++i) {
+      if (invariant_violations[i] > 0) return i;
+    }
+    return 0;
+  }
 };
 
 /// Replays `events` (chronological, as read from one run's trace) and checks
@@ -70,6 +83,12 @@ TraceCheckResult CheckTrace(const std::vector<TraceEvent>& events);
 /// One-paragraph summary ("N events, M violations" + the first few) used by
 /// tools/trace_check's report output.
 std::string TraceCheckSummary(const TraceCheckResult& result);
+
+/// Process exit code for a checked trace: 0 when every invariant holds,
+/// otherwise the number (1..6) of the lowest violated invariant. Shared by
+/// tools/trace_check so scripts can tell a lifecycle leak (2) from an Eq. 1
+/// accounting bug (3) without parsing the report.
+int TraceCheckExitCode(const TraceCheckResult& result);
 
 }  // namespace unitdb
 

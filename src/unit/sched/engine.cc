@@ -65,6 +65,11 @@ RunMetrics Engine::Run() {
     const Event e = events_.Pop();
     ++metrics_.events_processed;
     assert(e.time >= now_);
+    // Drop dead (lazily cancelled) events before they advance the clock:
+    // their handlers would no-op anyway, and the end-of-run time — which
+    // the trailing window sample observes — must not depend on whether a
+    // stale completion/deadline tombstone was compacted away earlier.
+    if (EventIsDead(e)) continue;
     now_ = e.time;
     switch (e.type) {
       case EventType::kQueryArrival:

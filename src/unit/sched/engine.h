@@ -10,6 +10,7 @@
 #include "unit/core/policy.h"
 #include "unit/db/database.h"
 #include "unit/db/lock_manager.h"
+#include "unit/sched/engine_context.h"
 #include "unit/sched/event_queue.h"
 #include "unit/sched/metrics.h"
 #include "unit/sched/ready_queue.h"
@@ -25,60 +26,15 @@ class TimeSeriesRecorder;
 class TraceSink;
 enum class TraceEventType : uint8_t;
 
-/// Engine tunables.
-struct EngineParams {
-  /// Policy control-tick period (the paper triggers its Load Balancing
-  /// Controller periodically; 1 simulated second by default).
-  SimDuration control_period = SecondsToSim(1.0);
-  /// Multiplicative lognormal noise (sigma of the underlying normal) applied
-  /// to the execution-time estimates admission control sees; 0 = exact.
-  double estimate_noise_sigma = 0.0;
-  /// Engine-internal RNG seed (estimate noise; policies fork their own).
-  uint64_t seed = 1;
-  /// Cap on ODU-style refresh rounds per query dispatch, preventing a query
-  /// from chasing a fast source forever.
-  int max_refresh_rounds = 3;
-  /// Intra-class dispatch order (EDF per the paper; FCFS for the
-  /// scheduling ablation).
-  QueueDiscipline discipline = QueueDiscipline::kEdf;
-  /// Maintains the incremental admission index (core/admission.h) so
-  /// admission control can answer in O(log N_rq). Only takes effect under
-  /// EDF dispatch — the index's deadline ranks assume EDF order.
-  bool use_admission_index = true;
-  /// Periodically compacts tombstoned (lazily cancelled) events out of the
-  /// event heap. Pop order of live events is unaffected either way.
-  bool compact_events = true;
-
-  // --- observability hooks (src/unit/obs/; all non-owning, may be null) ---
-  // Tracing is strictly read-only with respect to engine and policy state:
-  // a run produces bit-identical RunMetrics (modulo the obs_* snapshot
-  // fields) whether these are set or not. When null, every emission site
-  // reduces to one predictable untaken branch.
-
-  /// Typed event stream (arrivals, admits/rejects, preempts, commits,
-  /// deadline misses, update lifecycle, LBC signals).
-  TraceSink* trace = nullptr;
-  /// Per-control-window telemetry (USM decomposition, queue depths, Udrop
-  /// percentiles, admission knob), sampled at every control tick plus once
-  /// at end of run.
-  TimeSeriesRecorder* series = nullptr;
-  /// Named counter/gauge registry; its snapshot is merged into
-  /// RunMetrics::obs_counters / obs_gauges at end of run.
-  CounterRegistry* counters = nullptr;
-
-  /// Compiled fault schedule (src/unit/faults/; non-owning, may be null).
-  /// Everything a schedule injects is materialized before the run, so the
-  /// hot path pays one predictable branch per site and zero allocations,
-  /// and an empty (or null) schedule is a strict behavioral no-op — the
-  /// run's RunMetrics are bit-identical either way.
-  const FaultSchedule* faults = nullptr;
-};
-
 /// Single-CPU discrete-event web-database server: dual-priority preemptive
 /// EDF dispatch, 2PL-HP concurrency control, firm query deadlines, lag-based
 /// freshness, and policy hooks for admission control and update frequency
 /// modulation. Deterministic for a fixed (workload, policy, params) triple.
-class Engine {
+///
+/// This is the optimized EngineContext implementation (admission index,
+/// intrusive ready-queue heaps, lazy event cancellation); the semantically
+/// identical naive implementation lives in model/reference_engine.h.
+class Engine final : public EngineContext {
  public:
   /// `workload` and `policy` must outlive the engine; neither is owned.
   Engine(const Workload& workload, Policy* policy, EngineParams params);
@@ -92,63 +48,67 @@ class Engine {
 
   // --- introspection for policies (valid during hooks) ---
 
-  SimTime now() const { return now_; }
-  const Workload& workload() const { return workload_; }
-  Database& db() { return db_; }
-  const Database& db() const { return db_; }
-  Rng& rng() { return rng_; }
-  const EngineParams& params() const { return params_; }
+  SimTime now() const override { return now_; }
+  const Workload& workload() const override { return workload_; }
+  Database& db() override { return db_; }
+  const Database& db() const override { return db_; }
+  Rng& rng() override { return rng_; }
+  const EngineParams& params() const override { return params_; }
 
   /// Cumulative outcome counters (policies diff snapshots for windows).
-  const OutcomeCounts& counts() const { return metrics_.counts; }
+  const OutcomeCounts& counts() const override { return metrics_.counts; }
 
   /// Cumulative per-preference-class outcome counters (empty until the
   /// first query resolves; index = preference_class).
-  const std::vector<OutcomeCounts>& per_class_counts() const {
+  const std::vector<OutcomeCounts>& per_class_counts() const override {
     return metrics_.per_class_counts;
   }
 
   /// CPU busy time so far, seconds, including the in-progress slice of the
   /// currently running transaction (feedback controllers diff snapshots to
   /// measure windowed utilization).
-  double BusySeconds() const {
+  double BusySeconds() const override {
     double busy = metrics_.busy_s;
     if (running_ != nullptr) busy += SimToSeconds(now_ - run_start_);
     return busy;
   }
 
   /// Remaining service demand of the transaction on the CPU (0 if idle).
-  SimDuration RunningRemaining() const;
+  SimDuration RunningRemaining() const override;
   /// Whether the CPU is currently executing an update.
-  bool RunningIsUpdate() const {
+  bool RunningIsUpdate() const override {
     return running_ != nullptr && running_->is_update();
   }
   /// Total remaining demand of queued (not running) update transactions.
-  SimDuration QueuedUpdateWork() const { return ready_.TotalUpdateWork(); }
+  SimDuration QueuedUpdateWork() const override {
+    return ready_.TotalUpdateWork();
+  }
   /// Number of queued queries.
-  int ReadyQueryCount() const { return ready_.query_count(); }
+  int ReadyQueryCount() const override { return ready_.query_count(); }
   /// Number of queued updates.
-  int ReadyUpdateCount() const { return ready_.update_count(); }
+  int ReadyUpdateCount() const override { return ready_.update_count(); }
   /// Visits queued queries in EDF order (admission control's O(N_rq) scan).
-  template <typename Fn>
-  void ForEachReadyQuery(Fn&& fn) const {
-    ready_.ForEachQuery(fn);
+  void ForEachReadyQueryRaw(ReadyQueryVisitor visit,
+                            void* ctx) const override {
+    ready_.ForEachQuery([visit, ctx](const Transaction& q) { visit(ctx, q); });
   }
 
   /// Incremental admission index; enabled when EngineParams asks for it and
   /// dispatch is EDF (empty/disabled otherwise).
-  const AdmissionIndex& admission_index() const { return admission_index_; }
+  const AdmissionIndex& admission_index() const override {
+    return admission_index_;
+  }
 
   /// Update transactions for `item` currently in the system (queued,
   /// blocked, or running) — lets ODU avoid issuing duplicate refreshes.
-  int64_t PendingUpdatesForItem(ItemId item) const {
+  int64_t PendingUpdatesForItem(ItemId item) const override {
     return pending_updates_per_item_[item];
   }
 
   /// Creates an on-demand update transaction for `item` right now, with an
   /// urgent internal deadline so it outranks queued periodic updates.
   /// Returns its transaction id.
-  TxnId IssueOnDemandUpdate(ItemId item);
+  TxnId IssueOnDemandUpdate(ItemId item) override;
 
   /// Exposed for tests: the live transaction table.
   const Transaction& txn(TxnId id) const { return txns_[id]; }
@@ -157,7 +117,7 @@ class Engine {
   /// / "usm"; must point at static storage). Consumed by the reject trace
   /// event of the next ResolveQuery; policies without a reason stay silent
   /// and the event carries "policy". No-op when tracing is off.
-  void ReportRejectReason(const char* reason) {
+  void ReportRejectReason(const char* reason) override {
     if (params_.trace != nullptr) pending_reject_reason_ = reason;
   }
 

@@ -1,0 +1,159 @@
+#ifndef UNIT_SCHED_ENGINE_CONTEXT_H_
+#define UNIT_SCHED_ENGINE_CONTEXT_H_
+
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "unit/common/types.h"
+#include "unit/sched/ready_queue.h"
+#include "unit/txn/outcome.h"
+#include "unit/txn/transaction.h"
+
+namespace unitdb {
+
+class AdmissionIndex;
+class CounterRegistry;
+class Database;
+class FaultSchedule;
+class Rng;
+class TimeSeriesRecorder;
+class TraceSink;
+struct Workload;
+
+/// Engine tunables. Shared by the optimized engine (sched/engine.h) and the
+/// naive reference engine (model/reference_engine.h); the reference engine
+/// ignores the pure implementation knobs (use_admission_index,
+/// compact_events) since it has neither an index nor tombstones.
+struct EngineParams {
+  /// Policy control-tick period (the paper triggers its Load Balancing
+  /// Controller periodically; 1 simulated second by default).
+  SimDuration control_period = SecondsToSim(1.0);
+  /// Multiplicative lognormal noise (sigma of the underlying normal) applied
+  /// to the execution-time estimates admission control sees; 0 = exact.
+  double estimate_noise_sigma = 0.0;
+  /// Engine-internal RNG seed (estimate noise; policies fork their own).
+  uint64_t seed = 1;
+  /// Cap on ODU-style refresh rounds per query dispatch, preventing a query
+  /// from chasing a fast source forever.
+  int max_refresh_rounds = 3;
+  /// Intra-class dispatch order (EDF per the paper; FCFS for the
+  /// scheduling ablation).
+  QueueDiscipline discipline = QueueDiscipline::kEdf;
+  /// Maintains the incremental admission index (core/admission.h) so
+  /// admission control can answer in O(log N_rq). Only takes effect under
+  /// EDF dispatch — the index's deadline ranks assume EDF order.
+  bool use_admission_index = true;
+  /// Periodically compacts tombstoned (lazily cancelled) events out of the
+  /// event heap. Pop order of live events is unaffected either way.
+  bool compact_events = true;
+
+  // --- observability hooks (src/unit/obs/; all non-owning, may be null) ---
+  // Tracing is strictly read-only with respect to engine and policy state:
+  // a run produces bit-identical RunMetrics (modulo the obs_* snapshot
+  // fields) whether these are set or not. When null, every emission site
+  // reduces to one predictable untaken branch.
+
+  /// Typed event stream (arrivals, admits/rejects, preempts, commits,
+  /// deadline misses, update lifecycle, LBC signals).
+  TraceSink* trace = nullptr;
+  /// Per-control-window telemetry (USM decomposition, queue depths, Udrop
+  /// percentiles, admission knob), sampled at every control tick plus once
+  /// at end of run.
+  TimeSeriesRecorder* series = nullptr;
+  /// Named counter/gauge registry; its snapshot is merged into
+  /// RunMetrics::obs_counters / obs_gauges at end of run.
+  CounterRegistry* counters = nullptr;
+
+  /// Compiled fault schedule (src/unit/faults/; non-owning, may be null).
+  /// Everything a schedule injects is materialized before the run, so the
+  /// hot path pays one predictable branch per site and zero allocations,
+  /// and an empty (or null) schedule is a strict behavioral no-op — the
+  /// run's RunMetrics are bit-identical either way.
+  const FaultSchedule* faults = nullptr;
+};
+
+/// The engine surface a transaction-management policy (and the admission
+/// controller) programs against: the simulation clock, the database, queue
+/// introspection, on-demand updates, and run counters. Two implementations
+/// exist — the optimized production engine (sched/engine.h: admission index,
+/// intrusive heaps, lazy event cancellation) and the deliberately naive
+/// reference engine (model/reference_engine.h: straight-line linear scans).
+/// Policies written against this interface run unchanged on both, which is
+/// what makes differential testing of the optimized engine possible.
+class EngineContext {
+ public:
+  virtual ~EngineContext() = default;
+
+  /// Current simulated time.
+  virtual SimTime now() const = 0;
+  virtual const Workload& workload() const = 0;
+  virtual Database& db() = 0;
+  virtual const Database& db() const = 0;
+  virtual Rng& rng() = 0;
+  virtual const EngineParams& params() const = 0;
+
+  /// Cumulative outcome counters (policies diff snapshots for windows).
+  virtual const OutcomeCounts& counts() const = 0;
+
+  /// Cumulative per-preference-class outcome counters (empty until the
+  /// first query resolves; index = preference_class).
+  virtual const std::vector<OutcomeCounts>& per_class_counts() const = 0;
+
+  /// CPU busy time so far, seconds, including the in-progress slice of the
+  /// currently running transaction (feedback controllers diff snapshots to
+  /// measure windowed utilization).
+  virtual double BusySeconds() const = 0;
+
+  /// Remaining service demand of the transaction on the CPU (0 if idle).
+  virtual SimDuration RunningRemaining() const = 0;
+  /// Whether the CPU is currently executing an update.
+  virtual bool RunningIsUpdate() const = 0;
+  /// Total remaining demand of queued (not running) update transactions.
+  virtual SimDuration QueuedUpdateWork() const = 0;
+  /// Number of queued queries.
+  virtual int ReadyQueryCount() const = 0;
+  /// Number of queued updates.
+  virtual int ReadyUpdateCount() const = 0;
+
+  /// Incremental admission index; enabled when EngineParams asks for it and
+  /// dispatch is EDF. Always disabled on the reference engine, which routes
+  /// admission through the naive ready-queue scan.
+  virtual const AdmissionIndex& admission_index() const = 0;
+
+  /// Update transactions for `item` currently in the system (queued,
+  /// blocked, or running) — lets ODU avoid issuing duplicate refreshes.
+  virtual int64_t PendingUpdatesForItem(ItemId item) const = 0;
+
+  /// Creates an on-demand update transaction for `item` right now, with an
+  /// urgent internal deadline so it outranks queued periodic updates.
+  /// Returns its transaction id.
+  virtual TxnId IssueOnDemandUpdate(ItemId item) = 0;
+
+  /// Records why the policy is about to reject the arriving query ("deadline"
+  /// / "usm"; must point at static storage). Consumed by the reject trace
+  /// event of the next ResolveQuery; policies without a reason stay silent
+  /// and the event carries "policy". No-op when tracing is off.
+  virtual void ReportRejectReason(const char* reason) = 0;
+
+  /// Type-erased ready-queue visit; implementations call `visit(ctx, q)`
+  /// for every queued query in EDF order. Prefer the ForEachReadyQuery
+  /// template below, which wraps an arbitrary callable.
+  using ReadyQueryVisitor = void (*)(void* ctx, const Transaction& query);
+  virtual void ForEachReadyQueryRaw(ReadyQueryVisitor visit,
+                                    void* ctx) const = 0;
+
+  /// Visits queued queries in EDF order (admission control's O(N_rq) scan).
+  template <typename Fn>
+  void ForEachReadyQuery(Fn&& fn) const {
+    using F = std::remove_reference_t<Fn>;
+    ForEachReadyQueryRaw(
+        [](void* ctx, const Transaction& q) { (*static_cast<F*>(ctx))(q); },
+        const_cast<void*>(static_cast<const void*>(std::addressof(fn))));
+  }
+};
+
+}  // namespace unitdb
+
+#endif  // UNIT_SCHED_ENGINE_CONTEXT_H_

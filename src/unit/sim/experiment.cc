@@ -90,6 +90,11 @@ StatusOr<ExperimentResult> RunFaultedExperiment(
   return result;
 }
 
+StatusOr<DiffResult> RunDifferential(const DiffCase& diff_case,
+                                     const DiffOptions& options) {
+  return RunDiff(diff_case, options);
+}
+
 StatusOr<std::vector<ExperimentResult>> RunPolicies(
     const Workload& workload, const std::vector<std::string>& policies,
     const UsmWeights& weights, const EngineParams& engine,

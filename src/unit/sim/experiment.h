@@ -9,6 +9,7 @@
 #include "unit/core/usm.h"
 #include "unit/faults/schedule.h"
 #include "unit/faults/settling.h"
+#include "unit/model/diff.h"
 #include "unit/obs/timeseries.h"
 #include "unit/sched/engine.h"
 #include "unit/sched/metrics.h"
@@ -87,6 +88,14 @@ StatusOr<std::vector<ExperimentResult>> RunFaultedReplicated(
     double scale = 1.0, uint64_t base_seed = 42,
     const EngineParams& engine = {}, const PolicyOptions& options = {},
     double settle_epsilon = 0.25);
+
+/// Differential run: executes the optimized engine and the naive reference
+/// model (src/unit/model/) on the same case and compares semantic metrics,
+/// per-query outcomes, and window series bit-for-bit. Convenience re-export
+/// of model/diff.h's RunDiff for experiment drivers; see tools/diff_fuzz.cc
+/// for the fuzzing CLI built on top.
+StatusOr<DiffResult> RunDifferential(const DiffCase& diff_case,
+                                     const DiffOptions& options = {});
 
 /// Runs several policies over one workload (same weights, same engine).
 StatusOr<std::vector<ExperimentResult>> RunPolicies(

@@ -112,6 +112,47 @@ TEST(PercentilesTest, NearestRank) {
   EXPECT_DOUBLE_EQ(p.Median(), 50.0);
 }
 
+TEST(PercentilesTest, EmptyIsZeroAtEveryP) {
+  // No samples: every percentile, including the p = 0 / p = 100 bounds,
+  // answers 0 rather than reading past an empty buffer.
+  Percentiles p;
+  EXPECT_EQ(p.Percentile(0.0), 0.0);
+  EXPECT_EQ(p.Percentile(100.0), 0.0);
+  EXPECT_EQ(p.Median(), 0.0);
+}
+
+TEST(PercentilesTest, SingleSampleIsEveryPercentile) {
+  Percentiles p;
+  p.Add(7.5);
+  EXPECT_DOUBLE_EQ(p.Percentile(0.0), 7.5);
+  EXPECT_DOUBLE_EQ(p.Percentile(1.0), 7.5);
+  EXPECT_DOUBLE_EQ(p.Percentile(50.0), 7.5);
+  EXPECT_DOUBLE_EQ(p.Percentile(99.0), 7.5);
+  EXPECT_DOUBLE_EQ(p.Percentile(100.0), 7.5);
+}
+
+TEST(PercentilesTest, BoundsClampOutOfRangeP) {
+  Percentiles p;
+  p.Add(1.0);
+  p.Add(2.0);
+  p.Add(3.0);
+  // p below 0 clamps to the minimum sample; p above 100 to the maximum.
+  EXPECT_DOUBLE_EQ(p.Percentile(-5.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.Percentile(100.0), 3.0);
+  EXPECT_DOUBLE_EQ(p.Percentile(250.0), 3.0);
+}
+
+TEST(PercentilesTest, TwoSampleRankBoundaries) {
+  // Nearest-rank with n = 2: ceil(p/100 * 2) flips from rank 1 to rank 2
+  // strictly above p = 50.
+  Percentiles p;
+  p.Add(10.0);
+  p.Add(20.0);
+  EXPECT_DOUBLE_EQ(p.Percentile(50.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.Percentile(50.1), 20.0);
+}
+
 TEST(PercentilesTest, AddAfterQuery) {
   Percentiles p;
   p.Add(10.0);

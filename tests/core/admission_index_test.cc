@@ -52,7 +52,7 @@ ProbeStats RunProbed(const Workload& w, double c_flex,
 
   ProbeStats stats;
   FakePolicy policy;
-  policy.admit = [&](Engine& engine, const Transaction& q) {
+  policy.admit = [&](EngineContext& engine, const Transaction& q) {
     const bool a = indexed.Admit(engine, q);
     const bool b = naive.Admit(engine, q);
     EXPECT_EQ(a, b) << "decision split for query txn " << q.id() << " at t="

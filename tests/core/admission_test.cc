@@ -48,7 +48,7 @@ bool DecideForCandidate(const Workload& w, AdmissionController& controller) {
   FakePolicy policy;
   std::optional<bool> decision;
   int seen = 0;
-  policy.admit = [&](Engine& engine, const Transaction& q) {
+  policy.admit = [&](EngineContext& engine, const Transaction& q) {
     if (++seen < 3) return true;
     decision = controller.Admit(engine, q);
     return *decision;

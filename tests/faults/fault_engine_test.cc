@@ -187,7 +187,7 @@ TEST(FaultEngineTest, FreshnessShiftAppliesOnlyInsideWindow) {
 
   std::map<SimTime, double> req_at_arrival;
   FakePolicy policy;
-  policy.admit = [&](Engine& engine, const Transaction& q) {
+  policy.admit = [&](EngineContext& engine, const Transaction& q) {
     req_at_arrival[engine.now()] = q.freshness_req();
     return true;
   };
@@ -216,7 +216,7 @@ TEST(FaultEngineTest, FreshnessShiftClampsToOne) {
   ASSERT_TRUE(shift.ok());
   double max_req = 0.0;
   FakePolicy policy;
-  policy.admit = [&](Engine&, const Transaction& q) {
+  policy.admit = [&](EngineContext&, const Transaction& q) {
     max_req = std::max(max_req, q.freshness_req());
     return true;
   };

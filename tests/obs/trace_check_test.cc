@@ -278,5 +278,104 @@ TEST(TraceCheckTest, SummaryMentionsViolations) {
   EXPECT_NE(summary.find("violation"), std::string::npos) << summary;
 }
 
+// --- Per-invariant tagging and exit codes -------------------------------
+// tools/trace_check exits with the number of the lowest violated invariant;
+// these tests pin the violation -> invariant mapping end to end.
+
+TEST(TraceCheckExitCodeTest, CleanTraceIsZero) {
+  const TraceCheckResult r = CheckTrace(ValidTrace());
+  EXPECT_EQ(TraceCheckExitCode(r), 0);
+  EXPECT_EQ(r.FirstViolatedInvariant(), 0);
+  for (int i = 1; i <= 6; ++i) EXPECT_EQ(r.invariant_violations[i], 0);
+}
+
+TEST(TraceCheckExitCodeTest, TimestampRegressionIsInvariant1) {
+  auto t = ValidTrace();
+  t.back().time = 0;
+  const TraceCheckResult r = CheckTrace(t);
+  EXPECT_GT(r.invariant_violations[1], 0);
+  EXPECT_EQ(TraceCheckExitCode(r), 1);
+}
+
+TEST(TraceCheckExitCodeTest, LifecycleLeakIsInvariant2) {
+  const TraceCheckResult r =
+      CheckTrace({Ev(1, TraceEventType::kAdmit, 77)});
+  EXPECT_GT(r.invariant_violations[2], 0);
+  EXPECT_EQ(TraceCheckExitCode(r), 2);
+}
+
+TEST(TraceCheckExitCodeTest, AdmittedWithoutTerminalIsInvariant2) {
+  const TraceCheckResult r =
+      CheckTrace({Arrival(1, 0), Ev(1, TraceEventType::kAdmit, 0)});
+  EXPECT_GT(r.invariant_violations[2], 0);
+  EXPECT_EQ(TraceCheckExitCode(r), 2);
+}
+
+TEST(TraceCheckExitCodeTest, FreshnessAccountingIsInvariant3) {
+  // freshness 1/(1+4) = 0.2 < req 0.5, yet labeled success.
+  const TraceCheckResult r =
+      CheckTrace({Arrival(1, 0), Ev(1, TraceEventType::kAdmit, 0),
+                  Commit(10, 0, 4, 0.5, "success")});
+  EXPECT_GT(r.invariant_violations[3], 0);
+  EXPECT_EQ(TraceCheckExitCode(r), 3);
+}
+
+TEST(TraceCheckExitCodeTest, LbcRuleIsInvariant4) {
+  const TraceCheckResult r =
+      CheckTrace({Lbc(1, "none", 0.5, 0.2, 0.1, 1.1, 1.1)});
+  EXPECT_GT(r.invariant_violations[4], 0);
+  EXPECT_EQ(TraceCheckExitCode(r), 4);
+}
+
+TEST(TraceCheckExitCodeTest, UpdateSanityIsInvariant5) {
+  TraceEvent apply = Ev(1, TraceEventType::kUpdateApply, 100);
+  apply.item = 1;
+  apply.lag = -3;
+  apply.set_reason("periodic");
+  const TraceCheckResult r = CheckTrace({apply});
+  EXPECT_GT(r.invariant_violations[5], 0);
+  EXPECT_EQ(TraceCheckExitCode(r), 5);
+}
+
+TEST(TraceCheckExitCodeTest, FaultPairingIsInvariant6) {
+  TraceEvent stop = Ev(1, TraceEventType::kFaultStop, 5);
+  stop.set_reason("update-outage");
+  const TraceCheckResult r = CheckTrace({stop});
+  EXPECT_GT(r.invariant_violations[6], 0);
+  EXPECT_EQ(TraceCheckExitCode(r), 6);
+}
+
+TEST(TraceCheckExitCodeTest, LowestViolatedInvariantWins) {
+  // One invariant-5 violation followed by an invariant-2 violation: the
+  // exit code reports 2, the lower invariant number.
+  TraceEvent apply = Ev(1, TraceEventType::kUpdateApply, 100);
+  apply.item = 1;
+  apply.lag = -3;
+  apply.set_reason("periodic");
+  const TraceCheckResult r =
+      CheckTrace({apply, Ev(2, TraceEventType::kAdmit, 77)});
+  EXPECT_GT(r.invariant_violations[5], 0);
+  EXPECT_GT(r.invariant_violations[2], 0);
+  EXPECT_EQ(TraceCheckExitCode(r), 2);
+}
+
+TEST(TraceCheckExitCodeTest, PerInvariantCountsSumToTotal) {
+  auto t = ValidTrace();
+  t.back().time = 0;                                // invariant 1
+  t.push_back(Ev(2000, TraceEventType::kAdmit, 77));  // invariant 2 (+ 1)
+  const TraceCheckResult r = CheckTrace(t);
+  int64_t sum = 0;
+  for (int i = 1; i <= 6; ++i) sum += r.invariant_violations[i];
+  EXPECT_EQ(sum, r.violation_count);
+}
+
+TEST(TraceCheckExitCodeTest, MessagesCarryTheInvariantTag) {
+  const TraceCheckResult r =
+      CheckTrace({Ev(1, TraceEventType::kAdmit, 77)});
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_NE(r.violations[0].find("[invariant 2]"), std::string::npos)
+      << r.violations[0];
+}
+
 }  // namespace
 }  // namespace unitdb

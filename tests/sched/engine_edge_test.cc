@@ -176,7 +176,7 @@ TEST(EngineEdgeTest, OnDemandUpdateForItemWithoutSourceStillRuns) {
   w.updates = {Source(0, 8.0, 40.0, 6.0)};
   w.queries.push_back(Query(0, 1.0, 50.0, 5.0, {0}));
   FakePolicy policy;
-  policy.before_dispatch = [](Engine& e, Transaction& q) {
+  policy.before_dispatch = [](EngineContext& e, Transaction& q) {
     if (q.refresh_rounds() > 0) return true;
     q.IncrementRefreshRounds();
     e.IssueOnDemandUpdate(0);
@@ -212,7 +212,7 @@ TEST(EngineEdgeTest, PolicyPostponingWithoutWorkIsCaughtNotLooping) {
   Workload w = Empty(1, 10.0);
   w.queries.push_back(Query(0, 1.0, 50.0, 5.0, {0}));
   FakePolicy policy;
-  policy.before_dispatch = [](Engine&, Transaction&) { return false; };
+  policy.before_dispatch = [](EngineContext&, Transaction&) { return false; };
   Engine engine(w, &policy, {});
   RunMetrics m = engine.Run();
   EXPECT_EQ(m.counts.resolved(), 1);

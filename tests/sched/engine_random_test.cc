@@ -75,10 +75,10 @@ TEST_P(EngineRandomTest, InvariantsHoldOnArbitraryWorkloads) {
   FakePolicy policy;
   // Random admission decisions and occasional on-demand refreshes make the
   // run exercise every outcome path.
-  policy.admit = [&decision_rng](Engine&, const Transaction&) {
+  policy.admit = [&decision_rng](EngineContext&, const Transaction&) {
     return !decision_rng.Bernoulli(0.15);
   };
-  policy.before_dispatch = [&decision_rng](Engine& e, Transaction& q) {
+  policy.before_dispatch = [&decision_rng](EngineContext& e, Transaction& q) {
     if (q.refresh_rounds() >= e.params().max_refresh_rounds) return true;
     if (!decision_rng.Bernoulli(0.1)) return true;
     bool issued = false;
@@ -164,7 +164,7 @@ TEST_P(EngineRandomTest, InvariantsHoldUnderRandomFaults) {
 
   Rng decision_rng(GetParam() * 7 + 1);
   FakePolicy policy;
-  policy.admit = [&decision_rng](Engine&, const Transaction&) {
+  policy.admit = [&decision_rng](EngineContext&, const Transaction&) {
     return !decision_rng.Bernoulli(0.15);
   };
 

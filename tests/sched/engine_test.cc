@@ -81,7 +81,7 @@ TEST(EngineTest, QueryMissingDeadlineIsAbortedAsDmf) {
 TEST(EngineTest, RejectedQueryNeverRuns) {
   Workload w = BuildWorkload(1, 10.0, {{1.0, 50.0, 5.0, {0}}});
   FakePolicy policy;
-  policy.admit = [](Engine&, const Transaction&) { return false; };
+  policy.admit = [](EngineContext&, const Transaction&) { return false; };
   Engine engine(w, &policy, {});
   RunMetrics m = engine.Run();
   EXPECT_EQ(m.counts.rejected, 1);
@@ -123,7 +123,7 @@ TEST(EngineTest, StretchedPeriodDropsArrivals) {
   Workload w = BuildWorkload(1, 10.0, {}, {Source(0, 1.0, 10.0)});
   FakePolicy policy;
   bool stretched = false;
-  policy.on_source_arrival = [&](Engine& e, ItemId item) {
+  policy.on_source_arrival = [&](EngineContext& e, ItemId item) {
     if (!stretched) {
       // Apply one update, then stretch the period 4x.
       e.db().SetCurrentPeriod(item, SecondsToSim(4.0));
@@ -199,7 +199,7 @@ TEST(EngineTest, OnDemandUpdateRefreshesItem) {
                              {Source(0, 1.0, 10.0)});
   FakePolicy policy;
   policy.periodic_updates = false;
-  policy.before_dispatch = [](Engine& e, Transaction& q) {
+  policy.before_dispatch = [](EngineContext& e, Transaction& q) {
     bool issued = false;
     for (ItemId item : q.items()) {
       if (e.db().Freshness(item, e.now()) < q.freshness_req() &&
@@ -237,7 +237,7 @@ TEST(EngineTest, CountsAreConserved) {
                              {Source(0, 0.5, 20.0), Source(3, 0.2, 30.0)});
   FakePolicy policy;
   int rejections = 0;
-  policy.admit = [&](Engine&, const Transaction& q) {
+  policy.admit = [&](EngineContext&, const Transaction& q) {
     return (q.id() % 5) != 0 || (++rejections, false);
   };
   Engine engine(w, &policy, {});
@@ -291,7 +291,7 @@ TEST(EngineTest, FreshnessEvaluatedAtCommitOverWholeReadSet) {
   Workload w = BuildWorkload(2, 10.0, {{2.5, 50.0, 5.0, {0, 1}}},
                              {Source(0, 1.0, 10.0), Source(1, 1.0, 10.0)});
   FakePolicy policy;
-  policy.on_source_arrival = [](Engine& e, ItemId item) {
+  policy.on_source_arrival = [](EngineContext& e, ItemId item) {
     if (item == 1) e.db().SetCurrentPeriod(1, SecondsToSim(1000.0));
   };
   Engine engine(w, &policy, {});
@@ -303,7 +303,7 @@ TEST(EngineTest, EstimateNoiseAltersEstimatesOnly) {
   Workload w = BuildWorkload(1, 10.0, {{1.0, 50.0, 5.0, {0}}});
   FakePolicy policy;
   SimDuration seen_estimate = 0;
-  policy.admit = [&](Engine&, const Transaction& q) {
+  policy.admit = [&](EngineContext&, const Transaction& q) {
     seen_estimate = q.estimate();
     return true;
   };

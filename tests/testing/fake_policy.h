@@ -19,44 +19,44 @@ class FakePolicy : public Policy {
 
   bool UsesPeriodicUpdates() const override { return periodic_updates; }
 
-  bool AdmitQuery(Engine& engine, const Transaction& query) override {
+  bool AdmitQuery(EngineContext& engine, const Transaction& query) override {
     if (admit) return admit(engine, query);
     return true;
   }
 
-  bool BeforeQueryDispatch(Engine& engine, Transaction& query) override {
+  bool BeforeQueryDispatch(EngineContext& engine, Transaction& query) override {
     if (before_dispatch) return before_dispatch(engine, query);
     return true;
   }
 
-  void OnQueryResolved(Engine& engine, const Transaction& query,
+  void OnQueryResolved(EngineContext& engine, const Transaction& query,
                        Outcome outcome) override {
     resolved.push_back({query.id(), outcome});
     if (on_resolved) on_resolved(engine, query, outcome);
   }
 
-  void OnUpdateCommit(Engine& engine, const Transaction& update) override {
+  void OnUpdateCommit(EngineContext& engine, const Transaction& update) override {
     ++update_commits;
     if (on_update_commit) on_update_commit(engine, update);
   }
 
-  void OnUpdateSourceArrival(Engine& engine, ItemId item) override {
+  void OnUpdateSourceArrival(EngineContext& engine, ItemId item) override {
     ++source_arrivals;
     if (on_source_arrival) on_source_arrival(engine, item);
   }
 
-  void OnControlTick(Engine& engine) override {
+  void OnControlTick(EngineContext& engine) override {
     ++control_ticks;
     if (on_tick) on_tick(engine);
   }
 
   // Scriptable hooks.
-  std::function<bool(Engine&, const Transaction&)> admit;
-  std::function<bool(Engine&, Transaction&)> before_dispatch;
-  std::function<void(Engine&, const Transaction&, Outcome)> on_resolved;
-  std::function<void(Engine&, const Transaction&)> on_update_commit;
-  std::function<void(Engine&, ItemId)> on_source_arrival;
-  std::function<void(Engine&)> on_tick;
+  std::function<bool(EngineContext&, const Transaction&)> admit;
+  std::function<bool(EngineContext&, Transaction&)> before_dispatch;
+  std::function<void(EngineContext&, const Transaction&, Outcome)> on_resolved;
+  std::function<void(EngineContext&, const Transaction&)> on_update_commit;
+  std::function<void(EngineContext&, ItemId)> on_source_arrival;
+  std::function<void(EngineContext&)> on_tick;
   bool periodic_updates = true;
 
   // Recorded observations.

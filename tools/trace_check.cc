@@ -4,10 +4,21 @@
 // accounting (freshness = 1/(1 + Udrop), success iff freshness meets the
 // requirement), the Fig. 2 dominant-penalty rule behind every LBC signal,
 // and update/period-change sanity. CI pipes freshly generated traces
-// through this binary; exit status 1 flags any violation (or parse error,
-// which usually means writer/checker schema drift).
+// through this binary.
 //
 // Usage: trace_check FILE [FILE...]
+//
+// Exit codes (distinct per violated invariant; see obs/trace_check.h):
+//   0    every invariant holds in every file
+//   1-6  number of the lowest violated invariant across all files
+//          1 timestamps non-decreasing
+//          2 per-query lifecycle
+//          3 Eq. 1 freshness accounting
+//          4 LBC dominant-penalty rule / knob movement
+//          5 update & period-change sanity
+//          6 fault-window pairing & response direction
+//   7    trace file unreadable or parse error (writer/checker schema drift)
+//   64   usage error
 
 #include <cstdio>
 
@@ -17,21 +28,26 @@
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr, "usage: %s FILE [FILE...]\n", argv[0]);
-    return 2;
+    return 64;
   }
-  bool all_ok = true;
+  int worst_invariant = 0;  // lowest violated invariant number, 0 = none
+  bool read_error = false;
   for (int i = 1; i < argc; ++i) {
     auto events = unitdb::ReadTraceFile(argv[i]);
     if (!events.ok()) {
       std::fprintf(stderr, "%s: %s\n", argv[i],
                    events.status().ToString().c_str());
-      all_ok = false;
+      read_error = true;
       continue;
     }
     const unitdb::TraceCheckResult result = unitdb::CheckTrace(*events);
     std::printf("%s: %s\n", argv[i],
                 unitdb::TraceCheckSummary(result).c_str());
-    if (!result.ok()) all_ok = false;
+    const int code = unitdb::TraceCheckExitCode(result);
+    if (code > 0 && (worst_invariant == 0 || code < worst_invariant)) {
+      worst_invariant = code;
+    }
   }
-  return all_ok ? 0 : 1;
+  if (worst_invariant > 0) return worst_invariant;
+  return read_error ? 7 : 0;
 }
