@@ -35,6 +35,9 @@ struct CellResult {
   int64_t events_cancelled = 0;
   int64_t events_compacted = 0;
   int peak_ready_depth = 0;
+  int64_t txn_live_peak = 0;
+  int64_t txn_slots_created = 0;
+  int64_t readset_spill = 0;
   double usm = 0.0;
 };
 
@@ -75,6 +78,9 @@ StatusOr<CellResult> RunCell(const Workload& w, const std::string& cell,
     out.events_cancelled = r->metrics.events_cancelled;
     out.events_compacted = r->metrics.events_compacted;
     out.peak_ready_depth = r->metrics.peak_ready_depth;
+    out.txn_live_peak = r->metrics.txn_live_peak;
+    out.txn_slots_created = r->metrics.txn_slots_created;
+    out.readset_spill = r->metrics.readset_spill;
     out.usm = r->usm;
   }
   out.wall_s = best;
@@ -101,6 +107,9 @@ void WriteJson(const std::vector<CellResult>& results, double scale,
       << ", \"events_cancelled\": " << r.events_cancelled
       << ", \"events_compacted\": " << r.events_compacted
       << ", \"peak_ready_depth\": " << r.peak_ready_depth
+      << ", \"txn_live_peak\": " << r.txn_live_peak
+      << ", \"txn_slots_created\": " << r.txn_slots_created
+      << ", \"readset_spill\": " << r.readset_spill
       << ", \"usm\": " << r.usm << "}"
       << (i + 1 < results.size() ? "," : "") << "\n";
   }
@@ -141,7 +150,7 @@ int Main(int argc, char** argv) {
   std::cout << "=== Engine throughput (perf tracking) ===\n";
   TextTable table;
   table.SetHeader({"cell", "policy", "wall_s", "events/s", "peak_rq",
-                   "cancelled", "compacted"});
+                   "cancelled", "compacted", "live_peak"});
   std::vector<CellResult> results;
   const auto grid_t0 = std::chrono::steady_clock::now();
   for (const CellSpec& cell : cells) {
@@ -161,7 +170,8 @@ int Main(int argc, char** argv) {
                     Fmt(r->events_per_sec, 0),
                     std::to_string(r->peak_ready_depth),
                     std::to_string(r->events_cancelled),
-                    std::to_string(r->events_compacted)});
+                    std::to_string(r->events_compacted),
+                    std::to_string(r->txn_live_peak)});
     }
   }
   const auto grid_t1 = std::chrono::steady_clock::now();

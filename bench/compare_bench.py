@@ -1,19 +1,26 @@
 #!/usr/bin/env python3
-"""Perf-regression gate over bench_engine_throughput JSON output.
+"""Perf-regression gate over bench JSON output.
 
-Compares the events/sec of every (cell, policy) in a fresh BENCH_engine.json
-against the checked-in baseline (bench/baseline/BENCH_engine.json) and exits
-non-zero if any cell regressed by more than --max-regression (default 25%).
+Compares a fresh bench JSON (bench_engine_throughput's BENCH_engine.json or
+bench_scale_horizon's BENCH_scale.json) against the checked-in baseline under
+bench/baseline/ and exits non-zero if any cell regressed:
 
-The generous default threshold is deliberate: the baseline is recorded on
+  * events/sec dropped by more than --max-regression (default 25%), or
+  * the transaction-slab footprint (txn_live_peak) grew by more than
+    --max-slab-growth (default 25%) — a memory-flatness regression; cells
+    whose baseline lacks the field are skipped.
+
+The generous default thresholds are deliberate: the baseline is recorded on
 one machine and CI runs on another, so the gate is meant to catch algorithmic
-regressions (an accidental O(n^2) admission scan, a lost fast path), not
-single-digit scheduling noise. Regenerate the baseline after intentional perf
-changes with:
+regressions (an accidental O(n^2) admission scan, a lost fast path, a slab
+leak), not single-digit scheduling noise. Regenerate baselines after
+intentional perf changes with:
 
     bench_engine_throughput scale=0.1 reps=2 out=bench/baseline/BENCH_engine.json
+    bench_scale_horizon base_s=60 rate=5 reps=2 out=bench/baseline/BENCH_scale.json
 
 Usage: compare_bench.py BASELINE CURRENT [--max-regression 0.25]
+                                         [--max-slab-growth 0.25]
 """
 
 import argparse
@@ -24,7 +31,12 @@ import sys
 def load_cells(path):
     with open(path) as f:
         doc = json.load(f)
-    return {(c["cell"], c["policy"]): c for c in doc["cells"]}
+    # bench_engine_throughput cells carry their policy; bench_scale_horizon
+    # runs one policy for the whole sweep and records it at the top level.
+    default_policy = doc.get("policy", "")
+    return {
+        (c["cell"], c.get("policy", default_policy)): c for c in doc["cells"]
+    }
 
 
 def main():
@@ -36,6 +48,12 @@ def main():
         type=float,
         default=0.25,
         help="maximum tolerated fractional events/sec drop per cell",
+    )
+    parser.add_argument(
+        "--max-slab-growth",
+        type=float,
+        default=0.25,
+        help="maximum tolerated fractional txn_live_peak growth per cell",
     )
     args = parser.parse_args()
 
@@ -49,7 +67,10 @@ def main():
 
     failures = []
     width = max(len(f"{cell}/{policy}") for cell, policy in baseline)
-    print(f"{'cell':<{width}}  {'baseline':>12}  {'current':>12}  {'delta':>8}")
+    print(
+        f"{'cell':<{width}}  {'baseline':>12}  {'current':>12}  {'delta':>8}"
+        f"  {'slab':>12}"
+    )
     for (cell, policy), base in sorted(baseline.items()):
         cur = current[(cell, policy)]
         base_eps = base["events_per_sec"]
@@ -57,23 +78,35 @@ def main():
         delta = (cur_eps - base_eps) / base_eps if base_eps > 0 else 0.0
         marker = ""
         if delta < -args.max_regression:
-            failures.append((cell, policy, delta))
+            failures.append((cell, policy, "events/sec", delta))
             marker = "  << REGRESSION"
+
+        slab_col = ""
+        base_peak = base.get("txn_live_peak")
+        cur_peak = cur.get("txn_live_peak")
+        if base_peak is not None and cur_peak is not None and base_peak > 0:
+            growth = (cur_peak - base_peak) / base_peak
+            slab_col = f"{base_peak}->{cur_peak}"
+            if growth > args.max_slab_growth:
+                failures.append((cell, policy, "txn_live_peak", growth))
+                marker = "  << SLAB GROWTH"
+
         name = f"{cell}/{policy}"
         print(
             f"{name:<{width}}  {base_eps:>12.0f}  {cur_eps:>12.0f}"
-            f"  {delta:>+7.1%}{marker}"
+            f"  {delta:>+7.1%}  {slab_col:>12}{marker}"
         )
 
     if failures:
-        print(
-            f"\nFAIL: {len(failures)} cell(s) regressed more than "
-            f"{args.max_regression:.0%} in events/sec:"
-        )
-        for cell, policy, delta in failures:
-            print(f"  {cell}/{policy}: {delta:+.1%}")
+        print(f"\nFAIL: {len(failures)} regression(s):")
+        for cell, policy, what, delta in failures:
+            print(f"  {cell}/{policy}: {what} {delta:+.1%}")
         return 1
-    print(f"\nOK: no cell regressed more than {args.max_regression:.0%}")
+    print(
+        f"\nOK: no cell regressed more than {args.max_regression:.0%} in "
+        f"events/sec or grew txn_live_peak more than "
+        f"{args.max_slab_growth:.0%}"
+    )
     return 0
 
 

@@ -1,0 +1,54 @@
+#ifndef UNIT_COMMON_ITEM_SPAN_H_
+#define UNIT_COMMON_ITEM_SPAN_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "unit/common/types.h"
+
+namespace unitdb {
+
+/// Non-owning view of a read set (contiguous ItemIds). The database and lock
+/// manager take this instead of `const std::vector<ItemId>&` so transactions
+/// can keep their read sets in an inline small-buffer (txn/read_set.h)
+/// without a heap vector materializing on every freshness probe or lock
+/// acquisition. Implicitly constructible from vectors and initializer lists;
+/// the viewed storage must outlive the span (call-expression lifetime is
+/// enough for every engine use).
+class ItemSpan {
+ public:
+  constexpr ItemSpan() = default;
+  constexpr ItemSpan(const ItemId* data, size_t size)
+      : data_(data), size_(size) {}
+  ItemSpan(const std::vector<ItemId>& v)  // NOLINT(runtime/explicit)
+      : data_(v.data()), size_(v.size()) {}
+  // A span of a braced list is only valid for the full-expression it appears
+  // in — exactly like C++26 std::span's initializer_list constructor, and
+  // all this class supports (see the class comment). GCC's lifetime warning
+  // assumes storage beyond that, so it is suppressed here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winit-list-lifetime"
+#endif
+  constexpr ItemSpan(std::initializer_list<ItemId> il)  // NOLINT
+      : data_(il.begin()), size_(il.size()) {}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+  constexpr const ItemId* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr const ItemId* begin() const { return data_; }
+  constexpr const ItemId* end() const { return data_ + size_; }
+  constexpr ItemId operator[](size_t i) const { return data_[i]; }
+
+ private:
+  const ItemId* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace unitdb
+
+#endif  // UNIT_COMMON_ITEM_SPAN_H_

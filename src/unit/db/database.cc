@@ -68,8 +68,7 @@ double Database::Freshness(ItemId id, SimTime t) const {
   return 1.0 / (1.0 + static_cast<double>(Udrop(id, t)));
 }
 
-double Database::QueryFreshness(const std::vector<ItemId>& items,
-                                SimTime t) const {
+double Database::QueryFreshness(ItemSpan items, SimTime t) const {
   double f = 1.0;
   for (ItemId id : items) f = std::min(f, Freshness(id, t));
   return f;

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "unit/common/item_span.h"
 #include "unit/common/status.h"
 #include "unit/common/types.h"
 #include "unit/db/data_item.h"
@@ -55,7 +56,7 @@ class Database {
   double Freshness(ItemId id, SimTime t) const;
 
   /// Paper Eq. 1: freshness of a query's read set = min over items.
-  double QueryFreshness(const std::vector<ItemId>& items, SimTime t) const;
+  double QueryFreshness(ItemSpan items, SimTime t) const;
 
   /// Installs the newest generation available at `value_time` (the moment
   /// the update transaction pulled its value). Also bumps applied_updates.

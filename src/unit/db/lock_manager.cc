@@ -10,8 +10,7 @@ LockManager::LockManager(int num_items) {
   locks_.resize(num_items);
 }
 
-bool LockManager::TryAcquireSharedAll(TxnId txn,
-                                      const std::vector<ItemId>& items) {
+bool LockManager::TryAcquireSharedAll(TxnId txn, ItemSpan items) {
   assert(held_.find(txn) == held_.end() && "txn already holds locks");
   for (ItemId id : items) {
     const ItemLocks& l = locks_[id];

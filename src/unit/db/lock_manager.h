@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "unit/common/item_span.h"
 #include "unit/common/types.h"
 
 namespace unitdb {
@@ -35,7 +36,7 @@ class LockManager {
   /// Atomically acquires S locks on all `items` for `txn`. Fails (acquiring
   /// nothing) if any item is X-locked by another transaction. Duplicate item
   /// ids in `items` are allowed and collapse to one lock.
-  bool TryAcquireSharedAll(TxnId txn, const std::vector<ItemId>& items);
+  bool TryAcquireSharedAll(TxnId txn, ItemSpan items);
 
   /// Attempts the X lock on `item`. Grants only if no other transaction
   /// holds any lock on it; otherwise reports who is in the way.

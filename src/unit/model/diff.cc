@@ -10,6 +10,7 @@
 #include "unit/model/reference_engine.h"
 #include "unit/model/reference_usm.h"
 #include "unit/sched/engine.h"
+#include "unit/workload/query_source.h"
 
 namespace unitdb {
 namespace {
@@ -314,6 +315,19 @@ StatusOr<DiffResult> RunDiff(const DiffCase& c, const DiffOptions& opts) {
 
   DiffResult result;
 
+  // When streaming, the optimized side consumes the identical trace through
+  // a VectorQuerySource cursor (arrivals pushed lazily, slab slots recycled)
+  // while the reference still sees the materialized list. The wrap happens
+  // after fault compilation above, so load-step templates were drawn from
+  // the same materialized queries for both sides.
+  Workload streamed;
+  const Workload* optimized_workload = &c.workload;
+  if (c.stream_queries) {
+    streamed = c.workload;
+    ConvertToStreamingWorkload(&streamed);
+    optimized_workload = &streamed;
+  }
+
   {
     StatusOr<std::unique_ptr<Policy>> policy = MakePolicy(
         c.policy, c.weights, PerturbedOptions(c.options, opts.perturb));
@@ -325,7 +339,7 @@ StatusOr<DiffResult> RunDiff(const DiffCase& c, const DiffOptions& opts) {
     params.counters = nullptr;
     params.series = opts.compare_series ? &series : nullptr;
     params.faults = schedule_ptr;
-    Engine engine(c.workload, &recording, params);
+    Engine engine(*optimized_workload, &recording, params);
     result.optimized.metrics = engine.Run();
     result.optimized.queries = std::move(recording.records);
     result.optimized.series = series.samples();
@@ -418,6 +432,7 @@ std::string DescribeCase(const DiffCase& c) {
      << " index=" << (c.engine.use_admission_index ? 1 : 0)
      << " compact=" << (c.engine.compact_events ? 1 : 0)
      << " faults=" << (c.scenario.empty() ? 0 : 1)
+     << " stream=" << (c.stream_queries ? 1 : 0)
      << " queries=" << c.workload.queries.size()
      << " fault_windows=" << c.scenario.faults.size();
   return os.str();

@@ -33,6 +33,13 @@ struct DiffCase {
   EngineParams engine;
   PolicyOptions options;
 
+  /// Run the *optimized* side with the query trace wrapped in a streaming
+  /// QuerySource (the reference side always materializes), so the engine's
+  /// lazy-arrival + slab-recycling paths are cross-checked against the
+  /// naive upfront schedule. Fault scenarios are compiled against the
+  /// materialized trace first, so load-step templates are identical.
+  bool stream_queries = false;
+
   /// Provenance for replay lines (filled by gen.h; -1 = hand-built case).
   uint64_t gen_seed = 0;
   int64_t gen_index = -1;

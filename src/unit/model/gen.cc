@@ -54,6 +54,9 @@ DiffCase GenerateCase(uint64_t seed, int64_t index) {
   c.engine.use_admission_index = (index / 4) % 2 == 0;
   c.engine.compact_events = (index / 8) % 2 == 0;
   const bool want_faults = (index / 16) % 2 == 0;
+  // Pure rotation (no RNG draw): workloads stay identical to pre-streaming
+  // corpora, so a replayed seed/case pair reproduces the same trace.
+  c.stream_queries = (index / 32) % 2 == 0;
 
   // ---- Workload. ----
   Workload& w = c.workload;

@@ -8,6 +8,7 @@
 #include "unit/faults/schedule.h"
 #include "unit/obs/counters.h"
 #include "unit/obs/timeseries.h"
+#include "unit/workload/query_source.h"
 
 namespace unitdb {
 
@@ -30,6 +31,13 @@ ReferenceEngine::ReferenceEngine(const Workload& workload, Policy* policy,
     UNIT_LOG(Error) << "bad workload update specs: " << s.ToString();
   }
   metrics_.duration_s = SimToSeconds(workload.duration);
+  if (workload.query_source != nullptr) {
+    materialized_queries_.reserve(
+        static_cast<size_t>(workload.query_source->count()));
+    QueryRequest q;
+    auto cursor = workload.query_source->NewCursor();
+    while (cursor->Next(&q)) materialized_queries_.push_back(q);
+  }
   if (params_.faults != nullptr) {
     item_outage_.assign(workload.num_items, 0);
   }
@@ -231,8 +239,9 @@ Transaction* ReferenceEngine::NewUpdateTxn(ItemId item,
 void ReferenceEngine::ScheduleInitialEvents() {
   // Push order is the FIFO tie-break contract shared with the optimized
   // engine: workload events first, then control ticks, then fault events.
-  for (size_t i = 0; i < workload_.queries.size(); ++i) {
-    Push(workload_.queries[i].arrival, EventType::kQueryArrival,
+  const std::vector<QueryRequest>& queries = Queries();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Push(queries[i].arrival, EventType::kQueryArrival,
          static_cast<int64_t>(i));
   }
   if (policy_->UsesPeriodicUpdates()) {
@@ -265,7 +274,7 @@ void ReferenceEngine::ScheduleInitialEvents() {
 }
 
 void ReferenceEngine::HandleQueryArrival(int64_t query_index) {
-  AdmitArrivedQuery(workload_.queries[query_index]);
+  AdmitArrivedQuery(Queries()[query_index]);
 }
 
 void ReferenceEngine::AdmitArrivedQuery(const QueryRequest& request) {

@@ -100,6 +100,15 @@ class ReferenceEngine final : public EngineContext {
   const Transaction& txn(TxnId id) const { return txns_[id]; }
 
  private:
+  /// The query trace as a vector. A streamed workload is materialized up
+  /// front in the constructor — deliberately: the reference stays the naive
+  /// O(total transactions) implementation so the differential harness
+  /// cross-checks the optimized engine's streaming + slab-recycling paths
+  /// against the simplest possible representation.
+  const std::vector<QueryRequest>& Queries() const {
+    return workload_.query_source != nullptr ? materialized_queries_
+                                             : workload_.queries;
+  }
   /// One scheduled event. Unlike the optimized queue there is no lazy
   /// generation check: events that can no longer fire are erased eagerly.
   struct RefEvent {
@@ -156,6 +165,7 @@ class ReferenceEngine final : public EngineContext {
   const Workload& workload_;
   Policy* policy_;
   EngineParams params_;
+  std::vector<QueryRequest> materialized_queries_;  ///< see Queries()
 
   Database db_;
   LockManager locks_;

@@ -38,7 +38,10 @@ Engine::Engine(const Workload& workload, Policy* policy, EngineParams params)
     UNIT_LOG(Error) << "bad workload update specs: " << s.ToString();
   }
   metrics_.duration_s = SimToSeconds(workload.duration);
-  if (params_.use_admission_index &&
+  // The admission index precomputes ranks from the materialized query list;
+  // a streamed workload has none, so fall back to the naive admission scan
+  // (bit-identical decisions, just O(N_rq) per arrival).
+  if (params_.use_admission_index && workload.query_source == nullptr &&
       params_.discipline == QueueDiscipline::kEdf) {
     admission_index_.Init(workload, params_.faults != nullptr
                                         ? &params_.faults->injected_queries()
@@ -100,6 +103,9 @@ RunMetrics Engine::Run() {
   }
   assert(running_ == nullptr);
   assert(ready_.empty());
+  metrics_.txn_live_peak = txns_.high_water();
+  metrics_.txn_slots_created = txns_.slots_created();
+  metrics_.txn_released = txns_.released();
   if (params_.series != nullptr || params_.trace != nullptr ||
       params_.counters != nullptr) {
     FinalizeObservability();
@@ -116,7 +122,7 @@ RunMetrics Engine::Run() {
 }
 
 Transaction* Engine::NewQueryTxn(const QueryRequest& request, int32_t rank) {
-  const TxnId id = static_cast<TxnId>(txns_.size());
+  const TxnId id = next_txn_id_++;
   SimDuration exec = request.exec;
   double freshness_req = request.freshness_req;
   if (params_.faults != nullptr) {
@@ -133,10 +139,15 @@ Transaction* Engine::NewQueryTxn(const QueryRequest& request, int32_t rank) {
           1.0, std::max(0.0, freshness_req + fault_freshness_shift_));
     }
   }
-  txns_.push_back(Transaction::MakeQuery(
+  Transaction* t = txns_.Create(Transaction::MakeQuery(
       id, request.arrival, exec, request.relative_deadline, freshness_req,
       request.items, request.preference_class));
-  Transaction* t = &txns_.back();
+  live_queries_.emplace(id, t);
+  if (t->items().inlined()) {
+    ++metrics_.readset_inline;
+  } else {
+    ++metrics_.readset_spill;
+  }
   if (rank >= 0) t->set_admission_rank(rank);
   if (params_.estimate_noise_sigma > 0.0) {
     const double factor =
@@ -150,25 +161,44 @@ Transaction* Engine::NewQueryTxn(const QueryRequest& request, int32_t rank) {
 
 Transaction* Engine::NewUpdateTxn(ItemId item, SimDuration relative_deadline,
                                   bool on_demand) {
-  const TxnId id = static_cast<TxnId>(txns_.size());
+  const TxnId id = next_txn_id_++;
   SimDuration exec = db_.item(item).update_exec;
   if (params_.faults != nullptr && fault_exec_scale_ != 1.0) {
     exec = std::max<SimDuration>(
         1, static_cast<SimDuration>(static_cast<double>(exec) *
                                     fault_exec_scale_));
   }
-  txns_.push_back(Transaction::MakeUpdate(
+  Transaction* t = txns_.Create(Transaction::MakeUpdate(
       id, now_, exec, std::max<SimDuration>(1, relative_deadline), item,
       on_demand));
+  ++metrics_.readset_inline;  // single-item read set always fits inline
   ++pending_updates_per_item_[item];
   ++metrics_.updates_generated;
-  return &txns_.back();
+  return t;
 }
 
 void Engine::ScheduleInitialEvents() {
-  for (size_t i = 0; i < workload_.queries.size(); ++i) {
-    events_.Push(workload_.queries[i].arrival, EventType::kQueryArrival,
-                 static_cast<int64_t>(i));
+  if (workload_.query_source != nullptr) {
+    // Streaming path: the materialized schedule would push all n arrivals
+    // first, giving them FIFO tie-break sequences 0..n-1. Reserve exactly
+    // those, push only the first arrival, and let each arrival handler stage
+    // the next one under its reserved sequence — the pop order (and thus the
+    // whole simulation) is bit-identical while only one pending arrival
+    // event and one staged QueryRequest exist at a time.
+    events_.ReserveSequences(
+        static_cast<uint64_t>(workload_.query_source->count()));
+    query_cursor_ = workload_.query_source->NewCursor();
+    if (query_cursor_->Next(&staged_query_)) {
+      events_.PushWithSeq(staged_query_.arrival, 0, EventType::kQueryArrival,
+                          0);
+    } else {
+      query_cursor_.reset();
+    }
+  } else {
+    for (size_t i = 0; i < workload_.queries.size(); ++i) {
+      events_.Push(workload_.queries[i].arrival, EventType::kQueryArrival,
+                   static_cast<int64_t>(i));
+    }
   }
   if (policy_->UsesPeriodicUpdates()) {
     for (const auto& spec : workload_.updates) {
@@ -204,6 +234,20 @@ void Engine::ScheduleInitialEvents() {
 }
 
 void Engine::HandleQueryArrival(int64_t query_index) {
+  if (query_cursor_ != nullptr) {
+    assert(staged_query_.id == static_cast<TxnId>(query_index));
+    AdmitArrivedQuery(staged_query_, /*rank=*/-1);
+    // Stage arrival query_index + 1 under its reserved sequence. Arrivals
+    // are non-decreasing in time, so the event is never in the past.
+    if (query_cursor_->Next(&staged_query_)) {
+      events_.PushWithSeq(staged_query_.arrival,
+                          static_cast<uint64_t>(query_index) + 1,
+                          EventType::kQueryArrival, query_index + 1);
+    } else {
+      query_cursor_.reset();
+    }
+    return;
+  }
   const QueryRequest& request = workload_.queries[query_index];
   const int32_t rank =
       admission_index_.enabled()
@@ -224,7 +268,8 @@ void Engine::AdmitArrivedQuery(const QueryRequest& request, int32_t rank) {
   if (tracing()) TraceSimpleEvent(TraceEventType::kAdmit, t->id());
   t->set_state(TxnState::kReady);
   ReadyInsert(t);
-  events_.Push(t->absolute_deadline(), EventType::kQueryDeadline, t->id());
+  events_.Push(t->absolute_deadline(), EventType::kQueryDeadline,
+               t->slab_handle());
   TryDispatch();
 }
 
@@ -277,19 +322,19 @@ TxnId Engine::IssueOnDemandUpdate(ItemId item) {
   return t->id();
 }
 
-void Engine::HandleCompletion(TxnId id, uint64_t generation) {
-  Transaction* t = &txns_[id];
-  if (t != running_ || t->state() != TxnState::kRunning ||
+void Engine::HandleCompletion(int64_t handle, uint64_t generation) {
+  Transaction* t = txns_.Get(handle);
+  if (t == nullptr || t != running_ || t->state() != TxnState::kRunning ||
       t->dispatch_generation() != generation) {
-    return;  // stale completion (preempted or aborted since scheduling)
+    return;  // stale completion (preempted, aborted, or slot recycled)
   }
   CompleteRunning(t);
   TryDispatch();
 }
 
-void Engine::HandleQueryDeadline(TxnId id) {
-  Transaction* t = &txns_[id];
-  if (t->Terminal()) return;
+void Engine::HandleQueryDeadline(int64_t handle) {
+  Transaction* t = txns_.Get(handle);
+  if (t == nullptr || t->Terminal()) return;  // resolved; slot maybe recycled
   AbortQuery(t, Outcome::kDeadlineMiss);
   TryDispatch();
 }
@@ -409,8 +454,8 @@ void Engine::StartRunning(Transaction* t) {
   t->BumpDispatchGeneration();
   running_ = t;
   run_start_ = now_;
-  events_.Push(now_ + t->remaining(), EventType::kCompletion, t->id(),
-               t->dispatch_generation());
+  events_.Push(now_ + t->remaining(), EventType::kCompletion,
+               t->slab_handle(), t->dispatch_generation());
 }
 
 void Engine::PreemptRunning() {
@@ -457,7 +502,9 @@ bool Engine::AcquireLocks(Transaction* t) {
     // Shared holders are queries (strictly lower priority class): abort and
     // restart them, then retry — the retry must succeed.
     for (TxnId victim : result.shared_holders) {
-      RestartQuery(&txns_[victim]);
+      auto it = live_queries_.find(victim);
+      assert(it != live_queries_.end() && "lock holder must be live");
+      RestartQuery(it->second);
     }
   }
   UNIT_LOG(Error) << "exclusive lock acquisition failed twice for txn "
@@ -548,6 +595,11 @@ void Engine::ResolveQuery(Transaction* t, Outcome outcome) {
       break;
   }
   policy_->OnQueryResolved(*this, *t, outcome);
+  // Terminal: recycle the slot (and the read set's storage). Outstanding
+  // deadline/completion events carry the now-stale slab handle and resolve
+  // to nullptr.
+  live_queries_.erase(t->id());
+  txns_.Release(t);
 }
 
 void Engine::ReleaseLocksOf(Transaction* t) {
@@ -573,6 +625,7 @@ void Engine::CompleteRunning(Transaction* t) {
     if (tracing()) TraceUpdateApply(*t);
     ReleaseLocksOf(t);
     policy_->OnUpdateCommit(*this, *t);
+    txns_.Release(t);  // updates are terminal at commit
     return;
   }
   // Query commit: evaluate read-set freshness at commit time (Eq. 1).
@@ -601,6 +654,20 @@ UNIT_COLD void Engine::FinalizeObservability() {
   }
   if (params_.trace != nullptr) params_.trace->Flush();
   if (params_.counters != nullptr) {
+    // Slab/read-set telemetry joins the registry snapshot, but only when a
+    // sink or recorder is attached: a run with tracing off must leave the
+    // registry empty (the trace-off overhead test keys off that), and the
+    // plain RunMetrics fields carry the same numbers unconditionally.
+    if (params_.trace != nullptr || params_.series != nullptr) {
+      CounterRegistry& reg = *params_.counters;
+      reg.Counter("engine.txn_slots_created") = metrics_.txn_slots_created;
+      reg.Counter("engine.txn_released") = metrics_.txn_released;
+      reg.Counter("engine.readset_inline") = metrics_.readset_inline;
+      reg.Counter("engine.readset_spill") = metrics_.readset_spill;
+      reg.Gauge("engine.txn_live_peak") =
+          static_cast<double>(metrics_.txn_live_peak);
+      reg.Gauge("engine.txn_live") = static_cast<double>(txns_.live());
+    }
     metrics_.obs_counters = params_.counters->CounterSnapshot();
     metrics_.obs_gauges = params_.counters->GaugeSnapshot();
   }
@@ -742,12 +809,15 @@ void Engine::ReadyRemove(Transaction* t) {
 bool Engine::EventIsDead(const Event& e) const {
   switch (e.type) {
     case EventType::kCompletion: {
-      const Transaction& t = txns_[e.payload];
-      return &t != running_ || t.state() != TxnState::kRunning ||
-             t.dispatch_generation() != e.generation;
+      const Transaction* t = txns_.Get(e.payload);
+      return t == nullptr || t != running_ ||
+             t->state() != TxnState::kRunning ||
+             t->dispatch_generation() != e.generation;
     }
-    case EventType::kQueryDeadline:
-      return txns_[e.payload].Terminal();
+    case EventType::kQueryDeadline: {
+      const Transaction* t = txns_.Get(e.payload);
+      return t == nullptr || t->Terminal();
+    }
     default:
       return false;
   }

@@ -1,7 +1,8 @@
 #ifndef UNIT_SCHED_ENGINE_H_
 #define UNIT_SCHED_ENGINE_H_
 
-#include <deque>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "unit/common/rng.h"
@@ -15,6 +16,8 @@
 #include "unit/sched/metrics.h"
 #include "unit/sched/ready_queue.h"
 #include "unit/txn/transaction.h"
+#include "unit/txn/txn_slab.h"
+#include "unit/workload/query_source.h"
 #include "unit/workload/spec.h"
 
 namespace unitdb {
@@ -110,9 +113,6 @@ class Engine final : public EngineContext {
   /// Returns its transaction id.
   TxnId IssueOnDemandUpdate(ItemId item) override;
 
-  /// Exposed for tests: the live transaction table.
-  const Transaction& txn(TxnId id) const { return txns_[id]; }
-
   /// Records why the policy is about to reject the arriving query ("deadline"
   /// / "usm"; must point at static storage). Consumed by the reject trace
   /// event of the next ResolveQuery; policies without a reason stay silent
@@ -163,8 +163,11 @@ class Engine final : public EngineContext {
   void ScheduleInitialEvents();
   void HandleQueryArrival(int64_t query_index);
   void HandleUpdateArrival(ItemId item);
-  void HandleCompletion(TxnId id, uint64_t generation);
-  void HandleQueryDeadline(TxnId id);
+  /// `handle` is the transaction's packed slab handle (TxnSlot), not its id:
+  /// a stale handle (slot released, possibly reused) resolves to nullptr and
+  /// the event is dead — the same staleness test EventIsDead applies.
+  void HandleCompletion(int64_t handle, uint64_t generation);
+  void HandleQueryDeadline(int64_t handle);
   void HandleControlTick();
   /// Flips a fault's effect on (start edge) or off (stop edge).
   void HandleFaultEdge(int64_t edge_index);
@@ -205,9 +208,23 @@ class Engine final : public EngineContext {
   AdmissionIndex admission_index_;
   Rng rng_;
 
-  std::deque<Transaction> txns_;  ///< id == index; stable addresses
+  /// Slot-recycled transaction arena: resolved transactions return their
+  /// slot, so memory is O(peak live transactions), not O(total). Ids stay
+  /// monotonic and unique (next_txn_id_), decoupled from slot indices.
+  TxnSlab txns_;
+  TxnId next_txn_id_ = 0;
+  /// Live *query* transactions by id. 2PL-HP hands back victim TxnIds from
+  /// the lock manager (shared holders are always queries) and the engine
+  /// needs pointers; updates are never looked up by id.
+  std::unordered_map<TxnId, Transaction*> live_queries_;
   std::vector<Transaction*> blocked_;
   std::vector<int64_t> pending_updates_per_item_;
+
+  /// Streaming workload state (set iff workload_.query_source != nullptr):
+  /// cursor over the source with the next query staged — its arrival event
+  /// already sits in the heap under its reserved FIFO sequence.
+  std::unique_ptr<QueryCursor> query_cursor_;
+  QueryRequest staged_query_;
 
   Transaction* running_ = nullptr;
   SimTime run_start_ = 0;

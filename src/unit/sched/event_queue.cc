@@ -8,4 +8,17 @@ void EventQueue::Push(SimTime time, EventType type, int64_t payload,
   std::push_heap(events_.begin(), events_.end(), Later{});
 }
 
+void EventQueue::PushWithSeq(SimTime time, uint64_t seq, EventType type,
+                             int64_t payload, uint64_t generation) {
+  events_.push_back(Event{time, seq, type, payload, generation});
+  std::push_heap(events_.begin(), events_.end(), Later{});
+}
+
+Event EventQueue::Pop() {
+  std::pop_heap(events_.begin(), events_.end(), Later{});
+  Event e = events_.back();
+  events_.pop_back();
+  return e;
+}
+
 }  // namespace unitdb

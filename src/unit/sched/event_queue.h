@@ -45,17 +45,27 @@ class EventQueue {
   void Push(SimTime time, EventType type, int64_t payload,
             uint64_t generation = 0);
 
+  /// Push with an explicitly chosen FIFO tie-break sequence instead of the
+  /// auto counter. Used by the streaming workload path: arrival i is pushed
+  /// lazily (while handling arrival i-1) but must keep the sequence it would
+  /// have had if all arrivals were pushed up front — pair with
+  /// ReserveSequences so the auto counter never collides.
+  void PushWithSeq(SimTime time, uint64_t seq, EventType type, int64_t payload,
+                   uint64_t generation = 0);
+
+  /// Pre-advances the auto sequence counter by `n`, reserving sequences
+  /// [current, current + n) for PushWithSeq. Call before any Push.
+  void ReserveSequences(uint64_t n) { next_seq_ += n; }
+
   bool empty() const { return events_.empty(); }
   size_t size() const { return events_.size(); }
 
   const Event& Top() const { return events_.front(); }
 
-  Event Pop() {
-    std::pop_heap(events_.begin(), events_.end(), Later{});
-    Event e = events_.back();
-    events_.pop_back();
-    return e;
-  }
+  /// Out of line like Push, and for the same reason: pop_heap's sift-down
+  /// is the other several-hundred-byte heap body, and the engine's Run loop
+  /// calls it once per event right next to every inlined handler.
+  Event Pop();
 
   // --- lazy cancellation ---
 

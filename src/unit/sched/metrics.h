@@ -42,6 +42,16 @@ struct RunMetrics {
   int64_t events_compacted = 0;   ///< dead events physically removed
   int peak_ready_depth = 0;       ///< largest ready-queue size observed
 
+  // --- transaction-slab / read-set telemetry (memory-flat hot path; the
+  // slab recycles slots, so slots_created is the arena's whole footprint
+  // and live_peak bounds it regardless of how many transactions a run
+  // processes in total) ---
+  int64_t txn_live_peak = 0;      ///< max simultaneously live transactions
+  int64_t txn_slots_created = 0;  ///< distinct slab slots ever allocated
+  int64_t txn_released = 0;       ///< slots recycled over the run
+  int64_t readset_inline = 0;     ///< read sets held in the inline buffer
+  int64_t readset_spill = 0;      ///< read sets spilled to a heap block
+
   // --- fault-injection telemetry (src/unit/faults/; all 0 when no fault
   // schedule is attached or the schedule is empty) ---
   int64_t fault_edges = 0;               ///< fault start/stop edges processed

@@ -1,0 +1,90 @@
+#ifndef UNIT_TXN_READ_SET_H_
+#define UNIT_TXN_READ_SET_H_
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "unit/common/item_span.h"
+#include "unit/common/types.h"
+
+namespace unitdb {
+
+/// A transaction's read set with small-buffer storage: up to kInlineCapacity
+/// items live inside the object (matching QueryTraceParams::
+/// max_items_per_query = 8, so standard workloads never touch the heap);
+/// larger sets spill to one heap block. This removes the dominant per-query
+/// allocation the old `std::vector<ItemId> items_` paid in NewQueryTxn and
+/// keeps the whole read set on the transaction's cache line during lock
+/// acquisition and freshness probes.
+class ReadSet {
+ public:
+  static constexpr int kInlineCapacity = 8;
+
+  ReadSet() = default;
+  explicit ReadSet(ItemSpan items) { Assign(items); }
+
+  ReadSet(const ReadSet& other) { Assign(other.span()); }
+  ReadSet& operator=(const ReadSet& other) {
+    if (this != &other) Assign(other.span());
+    return *this;
+  }
+  ReadSet(ReadSet&& other) noexcept { MoveFrom(std::move(other)); }
+  ReadSet& operator=(ReadSet&& other) noexcept {
+    if (this != &other) MoveFrom(std::move(other));
+    return *this;
+  }
+
+  void Assign(ItemSpan items) {
+    spill_.reset();
+    size_ = static_cast<int32_t>(items.size());
+    ItemId* dst = inline_;
+    if (size_ > kInlineCapacity) {
+      spill_.reset(new ItemId[size_]);
+      dst = spill_.get();
+    }
+    for (int32_t i = 0; i < size_; ++i) dst[i] = items[i];
+  }
+
+  int32_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool inlined() const { return spill_ == nullptr; }
+
+  const ItemId* data() const { return spill_ ? spill_.get() : inline_; }
+  const ItemId* begin() const { return data(); }
+  const ItemId* end() const { return data() + size_; }
+  ItemId operator[](int32_t i) const {
+    assert(i >= 0 && i < size_);
+    return data()[i];
+  }
+
+  ItemSpan span() const { return ItemSpan(data(), static_cast<size_t>(size_)); }
+  operator ItemSpan() const { return span(); }  // NOLINT(runtime/explicit)
+
+ private:
+  void MoveFrom(ReadSet&& other) {
+    spill_ = std::move(other.spill_);
+    size_ = other.size_;
+    if (spill_ == nullptr) {
+      for (int32_t i = 0; i < size_; ++i) inline_[i] = other.inline_[i];
+    }
+    other.size_ = 0;
+  }
+
+  ItemId inline_[kInlineCapacity] = {};
+  std::unique_ptr<ItemId[]> spill_;  ///< used only when size_ > capacity
+  int32_t size_ = 0;
+};
+
+inline bool operator==(const ReadSet& a, const std::vector<ItemId>& b) {
+  if (static_cast<size_t>(a.size()) != b.size()) return false;
+  for (int32_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace unitdb
+
+#endif  // UNIT_TXN_READ_SET_H_

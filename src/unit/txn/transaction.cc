@@ -7,8 +7,7 @@ namespace unitdb {
 
 Transaction Transaction::MakeQuery(TxnId id, SimTime arrival, SimDuration exec,
                                    SimDuration relative_deadline,
-                                   double freshness_req,
-                                   std::vector<ItemId> items,
+                                   double freshness_req, ItemSpan items,
                                    int preference_class) {
   assert(id >= 0);
   assert(exec > 0);
@@ -22,7 +21,7 @@ Transaction Transaction::MakeQuery(TxnId id, SimTime arrival, SimDuration exec,
   t.exec_ = exec;
   t.relative_deadline_ = relative_deadline;
   t.freshness_req_ = freshness_req;
-  t.items_ = std::move(items);
+  t.items_.Assign(items);
   t.preference_class_ = preference_class < 0 ? 0 : preference_class;
   t.estimate_ = exec;
   t.remaining_ = exec;
@@ -43,7 +42,7 @@ Transaction Transaction::MakeUpdate(TxnId id, SimTime arrival,
   t.arrival_ = arrival;
   t.exec_ = exec;
   t.relative_deadline_ = relative_deadline;
-  t.items_ = {item};
+  t.items_.Assign({item});
   t.on_demand_ = on_demand;
   t.estimate_ = exec;
   t.remaining_ = exec;

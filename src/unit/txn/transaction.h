@@ -2,10 +2,11 @@
 #define UNIT_TXN_TRANSACTION_H_
 
 #include <cstdint>
-#include <vector>
 
+#include "unit/common/item_span.h"
 #include "unit/common/types.h"
 #include "unit/txn/outcome.h"
+#include "unit/txn/read_set.h"
 
 namespace unitdb {
 
@@ -33,8 +34,7 @@ class Transaction {
   /// Builds a user query transaction.
   static Transaction MakeQuery(TxnId id, SimTime arrival, SimDuration exec,
                                SimDuration relative_deadline,
-                               double freshness_req,
-                               std::vector<ItemId> items,
+                               double freshness_req, ItemSpan items,
                                int preference_class = 0);
 
   /// Builds an update transaction for `item`. `relative_deadline` is used
@@ -53,7 +53,7 @@ class Transaction {
   SimDuration relative_deadline() const { return relative_deadline_; }
   SimTime absolute_deadline() const { return arrival_ + relative_deadline_; }
   double freshness_req() const { return freshness_req_; }
-  const std::vector<ItemId>& items() const { return items_; }
+  const ReadSet& items() const { return items_; }
   /// The single written item of an update.
   ItemId update_item() const { return items_[0]; }
   bool on_demand() const { return on_demand_; }
@@ -116,7 +116,16 @@ class Transaction {
   double observed_freshness() const { return observed_freshness_; }
   void set_observed_freshness(double f) { observed_freshness_ = f; }
 
+  /// Packed {slot index, generation} handle of this transaction in its
+  /// owning TxnSlab (txn/txn_slab.h); 0 when the transaction does not live
+  /// in a slab (reference engine, tests). Stamped by the slab on allocation
+  /// and carried by completion/deadline events so a recycled slot turns
+  /// stale events into no-ops.
+  int64_t slab_handle() const { return slab_handle_; }
+  void set_slab_handle(int64_t h) { slab_handle_ = h; }
+
  private:
+  friend class TxnSlab;  // constructs empty slot objects, re-stamps handles
   Transaction() = default;
 
   TxnId id_ = kInvalidTxn;
@@ -125,7 +134,7 @@ class Transaction {
   SimDuration exec_ = 0;
   SimDuration relative_deadline_ = 0;
   double freshness_req_ = 0.0;
-  std::vector<ItemId> items_;
+  ReadSet items_;
   bool on_demand_ = false;
   int preference_class_ = 0;
   SimDuration estimate_ = 0;
@@ -141,6 +150,7 @@ class Transaction {
   double observed_freshness_ = -1.0;
   int32_t ready_pos_ = -1;
   int32_t admission_rank_ = -1;
+  int64_t slab_handle_ = 0;
 };
 
 }  // namespace unitdb

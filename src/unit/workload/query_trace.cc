@@ -7,9 +7,7 @@
 
 namespace unitdb {
 
-namespace {
-
-Status Validate(const QueryTraceParams& p) {
+Status ValidateQueryTraceParams(const QueryTraceParams& p) {
   if (p.num_items <= 0) return Status::InvalidArgument("num_items <= 0");
   if (p.duration <= 0) return Status::InvalidArgument("duration <= 0");
   if (p.base_rate_hz <= 0.0) return Status::InvalidArgument("base rate <= 0");
@@ -46,10 +44,8 @@ Status Validate(const QueryTraceParams& p) {
   return Status::Ok();
 }
 
-}  // namespace
-
 StatusOr<Workload> GenerateQueryTrace(const QueryTraceParams& p) {
-  Status s = Validate(p);
+  Status s = ValidateQueryTraceParams(p);
   if (!s.ok()) return s;
 
   Rng rng(p.seed);

@@ -65,6 +65,10 @@ struct QueryTraceParams {
   uint64_t seed = 42;
 };
 
+/// Parameter validation shared by GenerateQueryTrace and its streaming twin
+/// (workload/query_source.h), so both fail on exactly the same inputs.
+Status ValidateQueryTraceParams(const QueryTraceParams& params);
+
 /// Generates the query side of a workload (updates attached separately by
 /// GenerateUpdateTrace). Fails on nonsensical parameters.
 StatusOr<Workload> GenerateQueryTrace(const QueryTraceParams& params);

@@ -72,7 +72,7 @@ Status GenerateUpdateTrace(const UpdateTraceParams& p, Workload& w) {
   if (p.distribution == UpdateDistribution::kUniform) {
     weights.assign(n, 1.0 / n);
   } else {
-    if (w.queries.empty()) {
+    if (w.QueryCount() == 0) {
       return Status::FailedPrecondition(
           "correlated update trace requires the query trace first");
     }

@@ -1,0 +1,138 @@
+#include "unit/txn/txn_slab.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "unit/common/rng.h"
+#include "unit/txn/transaction.h"
+
+namespace unitdb {
+namespace {
+
+Transaction Query(TxnId id) {
+  return Transaction::MakeQuery(id, /*arrival=*/id, /*exec=*/10,
+                                /*relative_deadline=*/100,
+                                /*freshness_req=*/0.9, {ItemId{0}});
+}
+
+TEST(TxnSlabTest, CreateStampsAResolvableHandle) {
+  TxnSlab slab;
+  Transaction* t = slab.Create(Query(1));
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->id(), 1);
+  EXPECT_EQ(slab.Get(t->slab_handle()), t);
+  EXPECT_EQ(slab.live(), 1);
+  EXPECT_EQ(slab.high_water(), 1);
+  EXPECT_EQ(slab.slots_created(), 1);
+}
+
+TEST(TxnSlabTest, ReleaseInvalidatesTheHandle) {
+  TxnSlab slab;
+  Transaction* t = slab.Create(Query(1));
+  const int64_t handle = t->slab_handle();
+  slab.Release(t);
+  EXPECT_EQ(slab.Get(handle), nullptr);
+  EXPECT_EQ(slab.live(), 0);
+  EXPECT_EQ(slab.released(), 1);
+}
+
+TEST(TxnSlabTest, ReusedSlotRejectsTheStaleGeneration) {
+  TxnSlab slab;
+  Transaction* a = slab.Create(Query(1));
+  const int64_t stale = a->slab_handle();
+  slab.Release(a);
+  Transaction* b = slab.Create(Query(2));
+  // Same slot, new generation: the old handle must not resolve to b.
+  EXPECT_EQ(slab.slots_created(), 1);
+  EXPECT_NE(b->slab_handle(), stale);
+  EXPECT_EQ(slab.Get(stale), nullptr);
+  EXPECT_EQ(slab.Get(b->slab_handle()), b);
+  EXPECT_EQ(b->id(), 2);
+}
+
+TEST(TxnSlabTest, PackUnpackRoundTripsIndexAndGeneration) {
+  const TxnSlot slot{/*index=*/123456u, /*generation=*/0xDEADBEEFu};
+  const TxnSlot back = TxnSlot::Unpack(slot.Pack());
+  EXPECT_EQ(back.index, slot.index);
+  EXPECT_EQ(back.generation, slot.generation);
+}
+
+TEST(TxnSlabTest, PointersStayStableAcrossChunkGrowth) {
+  TxnSlab slab;
+  std::vector<Transaction*> ptrs;
+  // Cross several 256-slot chunk boundaries without releasing anything.
+  for (TxnId id = 0; id < 1000; ++id) ptrs.push_back(slab.Create(Query(id)));
+  for (TxnId id = 0; id < 1000; ++id) {
+    EXPECT_EQ(ptrs[id]->id(), id);
+    EXPECT_EQ(slab.Get(ptrs[id]->slab_handle()), ptrs[id]);
+  }
+  EXPECT_EQ(slab.high_water(), 1000);
+}
+
+// The memory-flat property: footprint tracks peak live population, not the
+// total number of transactions pushed through the slab. Growing the workload
+// 10x must not grow slots_created at all when the live bound is unchanged.
+TEST(TxnSlabTest, HighWaterStaysBoundedUnderTenfoldChurn) {
+  constexpr int kMaxLive = 32;
+  for (const int total : {2000, 20000}) {
+    TxnSlab slab;
+    Rng rng(99);
+    std::vector<Transaction*> live;
+    for (TxnId id = 0; id < total; ++id) {
+      live.push_back(slab.Create(Query(id)));
+      if (static_cast<int>(live.size()) == kMaxLive) {
+        const size_t pick =
+            static_cast<size_t>(rng.UniformInt(0, kMaxLive - 1));
+        slab.Release(live[pick]);
+        live[pick] = live.back();
+        live.pop_back();
+      }
+    }
+    EXPECT_LE(slab.high_water(), kMaxLive);
+    EXPECT_EQ(slab.slots_created(), slab.high_water());
+    EXPECT_EQ(slab.released() + slab.live(), total);
+  }
+}
+
+// Randomized churn: interleave creates and releases, tracking every handle
+// ever minted. Live handles must resolve to the right transaction; every
+// retired handle must resolve to nullptr even after its slot is reused.
+TEST(TxnSlabTest, RandomChurnNeverResolvesAStaleHandle) {
+  TxnSlab slab;
+  Rng rng(7);
+  std::unordered_map<int64_t, TxnId> live;     // handle -> expected id
+  std::vector<int64_t> stale_handles;
+  TxnId next_id = 0;
+  for (int step = 0; step < 50000; ++step) {
+    if (live.empty() || rng.Bernoulli(0.55)) {
+      Transaction* t = slab.Create(Query(next_id));
+      live[t->slab_handle()] = next_id;
+      ++next_id;
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      Transaction* t = slab.Get(it->first);
+      ASSERT_NE(t, nullptr);
+      ASSERT_EQ(t->id(), it->second);
+      slab.Release(t);
+      stale_handles.push_back(it->first);
+      live.erase(it);
+    }
+  }
+  for (const auto& [handle, id] : live) {
+    Transaction* t = slab.Get(handle);
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->id(), id);
+  }
+  for (const int64_t handle : stale_handles) {
+    EXPECT_EQ(slab.Get(handle), nullptr);
+  }
+  EXPECT_EQ(slab.live(), static_cast<int64_t>(live.size()));
+  EXPECT_EQ(slab.high_water(), slab.slots_created());
+}
+
+}  // namespace
+}  // namespace unitdb

@@ -6,13 +6,16 @@
 // On divergence the case is shrunk (ddmin-lite) and a replayable
 // "seed=S case=I ..." line is printed.
 //
-// Usage: diff_fuzz [cases=N] [seed=S] [case=I] [series=0|1]
+// Usage: diff_fuzz [cases=N] [seed=S] [case=I] [series=0|1] [stream=0|1]
 //                  [perturb=none|cflex|admit] [expect_divergence=0|1]
 //
 //   cases=N              number of generated cases to run (default 100)
 //   seed=S               base fuzz seed (default 1)
 //   case=I               replay exactly one generated case index
 //   series=0             skip the window-series comparison
+//   stream=0|1           force the optimized side's streaming-workload path
+//                        off/on for every case (default: gen.h's rotation,
+//                        which streams every other 32-case block)
 //   perturb=...          inject a known defect into the optimized side
 //                        (harness self-test)
 //   expect_divergence=1  invert success: exit 0 only if a divergence was
@@ -44,7 +47,8 @@ bool ParseU64(const char* s, uint64_t* out) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [cases=N] [seed=S] [case=I] [series=0|1]\n"
-               "          [perturb=none|cflex|admit] [expect_divergence=0|1]\n",
+               "          [stream=0|1] [perturb=none|cflex|admit]\n"
+               "          [expect_divergence=0|1]\n",
                argv0);
   return 2;
 }
@@ -55,6 +59,7 @@ int main(int argc, char** argv) {
   uint64_t cases = 100;
   uint64_t seed = 1;
   int64_t only_case = -1;
+  int stream_override = -1;  // -1: keep the generator's rotation
   unitdb::DiffOptions opts;
   bool expect_divergence = false;
 
@@ -73,6 +78,8 @@ int main(int argc, char** argv) {
       only_case = static_cast<int64_t>(num);
     } else if (key == "series" && ParseU64(val, &num)) {
       opts.compare_series = num != 0;
+    } else if (key == "stream" && ParseU64(val, &num)) {
+      stream_override = num != 0 ? 1 : 0;
     } else if (key == "expect_divergence" && ParseU64(val, &num)) {
       expect_divergence = num != 0;
     } else if (key == "perturb") {
@@ -96,7 +103,8 @@ int main(int argc, char** argv) {
 
   int64_t divergent = 0;
   for (int64_t i = begin; i < end; ++i) {
-    const unitdb::DiffCase c = unitdb::GenerateCase(seed, i);
+    unitdb::DiffCase c = unitdb::GenerateCase(seed, i);
+    if (stream_override >= 0) c.stream_queries = stream_override == 1;
     const auto result = unitdb::RunDiff(c, opts);
     if (!result.ok()) {
       std::fprintf(stderr, "SETUP-ERROR %s: %s\n",
