@@ -8,10 +8,14 @@
 // for any jobs count.
 //
 // Usage: bench_fig4_naive_usm [scale=1.0] [seed=42] [seeds=1] [jobs=0]
-//                             [grid=1] [trace_dir=DIR] [trace_cell=NAME]
+//                             [shard=1] [grid=1] [trace_dir=DIR]
+//                             [trace_cell=NAME]
 //   seeds > 1 appends a multi-seed table (mean +/- stddev over independent
 //   workload replications) for error bars.
 //   jobs=0: one worker per hardware thread.
+//   shard=N runs every grid cell through the sharded multi-engine runner
+//   (shard/sharded.h) with N shards; shard=1 keeps the monolithic engine.
+//   Traced re-runs (trace_dir) stay monolithic either way.
 //   trace_dir=DIR additionally re-runs cells single-shot with observability
 //   attached, writing DIR/<trace>-<policy>.jsonl (event trace, the input
 //   format of tools/trace_check) and DIR/<trace>-<policy>-series.csv (the
@@ -92,8 +96,9 @@ int Main(int argc, char** argv) {
     std::cerr << config.status().ToString() << "\n";
     return 1;
   }
-  if (Status s = config->ExpectKeys({"scale", "seed", "seeds", "jobs", "grid",
-                                     "trace_dir", "trace_cell"});
+  if (Status s = config->ExpectKeys({"scale", "seed", "seeds", "jobs",
+                                     "shard", "grid", "trace_dir",
+                                     "trace_cell"});
       !s.ok()) {
     std::cerr << s.ToString() << "\n";
     return 1;
@@ -119,6 +124,11 @@ int Main(int argc, char** argv) {
   spec.policies = policies;
   spec.scale = scale;
   spec.base_seed = seed;
+  spec.shards = static_cast<int>(config->GetInt("shard", 1));
+  if (spec.shards > 1) {
+    std::cout << "(sharded runner: shard=" << spec.shards
+              << ", parent-level Eq. 5 accounting)\n";
+  }
 
   if (run_grid) {
     const auto grid_t0 = std::chrono::steady_clock::now();

@@ -11,8 +11,12 @@
 // jobs count.
 //
 // Usage: bench_fig6_ratio_decomposition [scale=1.0] [seed=42] [jobs=0]
-//                                       [trace_dir=DIR]
+//                                       [shard=1] [trace_dir=DIR]
 //        (jobs=0: one worker per hardware thread)
+//   shard=N runs every grid cell through the sharded multi-engine runner
+//   (shard/sharded.h) with N shards; the decomposition is then over joined
+//   parent outcomes (Eq. 5 at the CrossShardJoin barrier). Traced re-runs
+//   (trace_dir) stay monolithic either way.
 //   trace_dir=DIR additionally re-runs every cell single-shot with
 //   observability attached, writing DIR/med-unif-<label>.jsonl (event
 //   trace, the input format of tools/trace_check) and
@@ -70,8 +74,8 @@ int Main(int argc, char** argv) {
     std::cerr << config.status().ToString() << "\n";
     return 1;
   }
-  if (Status s =
-          config->ExpectKeys({"scale", "seed", "jobs", "trace_dir"});
+  if (Status s = config->ExpectKeys(
+          {"scale", "seed", "jobs", "shard", "trace_dir"});
       !s.ok()) {
     std::cerr << s.ToString() << "\n";
     return 1;
@@ -87,8 +91,13 @@ int Main(int argc, char** argv) {
   spec.distributions = {UpdateDistribution::kUniform};
   spec.scale = scale;
   spec.base_seed = seed;
+  spec.shards = static_cast<int>(config->GetInt("shard", 1));
 
   std::cout << "=== Figure 6: outcome-ratio decomposition (med-unif) ===\n";
+  if (spec.shards > 1) {
+    std::cout << "(sharded runner: shard=" << spec.shards
+              << ", parent-level Eq. 5 accounting)\n";
+  }
 
   std::cout << "\n--- Fig 6(a): IMU / ODU / QMF (weight-insensitive) ---\n";
   GridSpec spec_a = spec;

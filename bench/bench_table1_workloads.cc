@@ -7,8 +7,13 @@
 // pool; rows are collected in grid order, so the table is identical for any
 // jobs count.
 //
-// Usage: bench_table1_workloads [scale=1.0] [seed=42] [jobs=0]
+// Usage: bench_table1_workloads [scale=1.0] [seed=42] [jobs=0] [shard=0]
 //        (jobs=0: one worker per hardware thread)
+//   shard=N (N >= 1) appends an engine-run section: each trace executed
+//   under the unit policy on the sharded multi-engine runner
+//   (shard/sharded.h) with N shards, reporting parent-level outcomes and
+//   USM. shard=0 (default) keeps the generation-only table byte-identical
+//   to earlier revisions.
 
 #include <chrono>
 #include <future>
@@ -30,13 +35,15 @@ int Main(int argc, char** argv) {
     std::cerr << config.status().ToString() << "\n";
     return 1;
   }
-  if (Status s = config->ExpectKeys({"scale", "seed", "jobs"}); !s.ok()) {
+  if (Status s = config->ExpectKeys({"scale", "seed", "jobs", "shard"});
+      !s.ok()) {
     std::cerr << s.ToString() << "\n";
     return 1;
   }
   const double scale = config->GetDouble("scale", 1.0);
   const uint64_t seed = config->GetInt("seed", 42);
   const int jobs = ResolveJobs(static_cast<int>(config->GetInt("jobs", 0)));
+  const int shard = static_cast<int>(config->GetInt("shard", 0));
 
   std::cout << "=== Table 1: update traces ===\n"
             << "(paper: 6144 / 30000 / 61440 updates = 15% / 75% / 150% CPU;\n"
@@ -63,6 +70,7 @@ int Main(int argc, char** argv) {
     }
   }
   size_t cell = 0;
+  std::vector<Workload> generated;
   for (int d = 0; d < 3; ++d) {
     for (int v = 0; v < 3; ++v) {
       auto w = cells[cell++].get();
@@ -80,6 +88,7 @@ int Main(int argc, char** argv) {
                     FmtPercent(w->QueryUtilization()),
                     Fmt(SpearmanCorrelation(u, a), 3),
                     std::to_string(w->updates.size())});
+      generated.push_back(*std::move(w));
     }
     table.AddSeparator();
   }
@@ -89,6 +98,29 @@ int Main(int argc, char** argv) {
   table.Print(std::cout);
   std::cout << "grid wall-clock: " << Fmt(wall_s, 3) << " s (jobs=" << jobs
             << ")\n";
+
+  // Optional engine-run section: each trace through the sharded runner,
+  // parent-level (post-CrossShardJoin) accounting with the naive weighting.
+  if (shard >= 1) {
+    std::cout << "\n--- engine runs (unit policy, shard=" << shard
+              << ", jobs=" << jobs << ") ---\n";
+    TextTable runs;
+    runs.SetHeader({"trace", "submitted", "success", "rejected", "dmf", "dsf",
+                    "usm"});
+    for (const Workload& w : generated) {
+      auto r = RunShardedExperiment(w, "unit", UsmWeights{}, shard, jobs);
+      if (!r.ok()) {
+        std::cerr << r.status().ToString() << "\n";
+        return 1;
+      }
+      const OutcomeCounts& c = r->metrics.counts;
+      runs.AddRow({r->trace, std::to_string(c.submitted),
+                   std::to_string(c.success), std::to_string(c.rejected),
+                   std::to_string(c.dmf), std::to_string(c.dsf),
+                   Fmt(r->usm, 3)});
+    }
+    runs.Print(std::cout);
+  }
   return 0;
 }
 

@@ -78,7 +78,10 @@ def main():
         delta = (cur_eps - base_eps) / base_eps if base_eps > 0 else 0.0
         marker = ""
         if delta < -args.max_regression:
-            failures.append((cell, policy, "events/sec", delta))
+            failures.append(
+                (cell, policy, "events_per_sec", base_eps, cur_eps, delta,
+                 -args.max_regression)
+            )
             marker = "  << REGRESSION"
 
         slab_col = ""
@@ -88,7 +91,10 @@ def main():
             growth = (cur_peak - base_peak) / base_peak
             slab_col = f"{base_peak}->{cur_peak}"
             if growth > args.max_slab_growth:
-                failures.append((cell, policy, "txn_live_peak", growth))
+                failures.append(
+                    (cell, policy, "txn_live_peak", base_peak, cur_peak,
+                     growth, args.max_slab_growth)
+                )
                 marker = "  << SLAB GROWTH"
 
         name = f"{cell}/{policy}"
@@ -98,9 +104,16 @@ def main():
         )
 
     if failures:
+        # One self-contained line per failure: the offending (cell, policy,
+        # metric) triple plus both values and the threshold it tripped, so
+        # a red CI log pinpoints the regression without opening the JSONs.
         print(f"\nFAIL: {len(failures)} regression(s):")
-        for cell, policy, what, delta in failures:
-            print(f"  {cell}/{policy}: {what} {delta:+.1%}")
+        for cell, policy, metric, base_v, cur_v, delta, limit in failures:
+            print(
+                f"  cell={cell} policy={policy} metric={metric} "
+                f"baseline={base_v:g} current={cur_v:g} delta={delta:+.1%} "
+                f"(limit {limit:+.1%})"
+            )
         return 1
     print(
         f"\nOK: no cell regressed more than {args.max_regression:.0%} in "

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 #include <sstream>
+#include <unordered_map>
 #include <utility>
 
 #include "unit/core/policy.h"
@@ -10,6 +11,7 @@
 #include "unit/model/reference_engine.h"
 #include "unit/model/reference_usm.h"
 #include "unit/sched/engine.h"
+#include "unit/shard/sharded.h"
 #include "unit/workload/query_source.h"
 
 namespace unitdb {
@@ -51,6 +53,7 @@ class RecordingPolicy final : public Policy {
     r.observed_freshness = query.observed_freshness();
     r.commit_time = query.commit_time();
     r.restarts = query.restarts();
+    r.trace_id = query.trace_id();
     records.push_back(r);
     inner_->OnQueryResolved(engine, query, outcome);
   }
@@ -300,9 +303,145 @@ bool Diverges(const DiffCase& c, const DiffOptions& opts) {
   return r.ok() && !r->equivalent;
 }
 
+/// Converts one side of a sharded run into the DiffRun shape the shared
+/// Compare understands. Record `id` carries the parent trace position
+/// (kInvalidTxn for fault-injected parents), so both sides join on parents.
+DiffRun ShardedToDiffRun(ShardedResult&& r) {
+  DiffRun run;
+  run.metrics = std::move(r.metrics);
+  run.queries.reserve(r.queries.size());
+  for (const ShardQueryRecord& q : r.queries) {
+    QueryRecord rec;
+    rec.id = q.trace_id;
+    rec.trace_id = q.trace_id;
+    rec.outcome = q.outcome;
+    rec.observed_freshness = q.observed_freshness;
+    rec.commit_time = q.commit_time;
+    rec.restarts = q.restarts;
+    run.queries.push_back(rec);
+  }
+  run.series = std::move(r.merged_series);
+  return run;
+}
+
+/// The sharded differential run (DiffCase::shards >= 1). shards == 1 pins
+/// the sharded runner bit-for-bit against the monolithic naive reference
+/// model; shards > 1 pins the optimized sharded stack against a
+/// reference-engine sharded stack and validates the cross-shard parent
+/// (Eq. 5) accounting.
+StatusOr<DiffResult> RunShardedDiff(const DiffCase& c,
+                                    const DiffOptions& opts) {
+  FaultSchedule schedule;  // monolithic reference side (shards == 1) only
+  const FaultSchedule* schedule_ptr = nullptr;
+  if (c.shards == 1 && !c.scenario.empty()) {
+    StatusOr<FaultSchedule> compiled =
+        FaultSchedule::Compile(c.scenario, c.workload, c.workload_seed);
+    if (!compiled.ok()) return compiled.status();
+    schedule = std::move(*compiled);
+    schedule_ptr = &schedule;
+  }
+
+  DiffResult result;
+
+  Workload streamed;
+  const Workload* optimized_workload = &c.workload;
+  if (c.stream_queries) {
+    streamed = c.workload;
+    ConvertToStreamingWorkload(&streamed);
+    optimized_workload = &streamed;
+  }
+
+  ShardedParams sp;
+  sp.shards = c.shards;
+  sp.jobs = c.shard_jobs;
+  sp.engine = c.engine;
+  sp.options = PerturbedOptions(c.options, opts.perturb);
+  sp.record_series = opts.compare_series;
+  sp.scenario = c.scenario.empty() ? nullptr : &c.scenario;
+  sp.fault_seed = c.workload_seed;
+  sp.perturb_admit_off_by_one = opts.perturb == Perturbation::kAdmitOffByOne;
+
+  auto optimized = RunSharded(*optimized_workload, c.policy, c.weights, sp);
+  if (!optimized.ok()) return optimized.status();
+  // Conservation checks on the optimized side before it is consumed: every
+  // sub-query a shard saw is either a split of a parent or fault-injected,
+  // and the merged submitted count is exactly the joined parent count.
+  int64_t shard_submitted = 0;
+  int64_t shard_injected = 0;
+  for (const RunMetrics& m : optimized->per_shard) {
+    shard_submitted += m.counts.submitted;
+    shard_injected += m.fault_injected_queries;
+  }
+  const int64_t expected_subs = optimized->subqueries + shard_injected;
+  const int64_t parent_count =
+      static_cast<int64_t>(optimized->queries.size());
+  const int64_t merged_submitted = optimized->metrics.counts.submitted;
+  result.optimized = ShardedToDiffRun(std::move(*optimized));
+
+  if (c.shards == 1) {
+    StatusOr<std::unique_ptr<Policy>> policy =
+        MakePolicy(c.policy, c.weights, c.options);
+    if (!policy.ok()) return policy.status();
+    RecordingPolicy recording(policy->get(), Perturbation::kNone);
+    TimeSeriesRecorder series(c.weights);
+    EngineParams params = c.engine;
+    params.trace = nullptr;
+    params.counters = nullptr;
+    params.series = opts.compare_series ? &series : nullptr;
+    params.faults = schedule_ptr;
+    ReferenceEngine engine(c.workload, &recording, params);
+    result.reference.metrics = engine.Run();
+    result.reference.queries = std::move(recording.records);
+    result.reference.series = series.samples();
+
+    // Remap the monolithic records' ids to parent trace positions (the
+    // identity the sharded side carries): request id -> position in the
+    // materialized trace; fault-injected queries stay kInvalidTxn.
+    std::unordered_map<TxnId, TxnId> position;
+    {
+      std::vector<QueryRequest> materialized;
+      const std::vector<QueryRequest>* qs = &c.workload.queries;
+      if (c.workload.query_source != nullptr) {
+        auto cursor = c.workload.query_source->NewCursor();
+        QueryRequest q;
+        while (cursor->Next(&q)) materialized.push_back(q);
+        qs = &materialized;
+      }
+      for (size_t p = 0; p < qs->size(); ++p) {
+        position.emplace((*qs)[p].id, static_cast<TxnId>(p));
+      }
+    }
+    for (QueryRecord& r : result.reference.queries) {
+      if (r.trace_id == kInvalidTxn) {
+        r.id = kInvalidTxn;
+      } else {
+        auto it = position.find(r.trace_id);
+        r.id = it == position.end() ? kInvalidTxn : it->second;
+      }
+    }
+  } else {
+    ShardedParams rp = sp;
+    rp.jobs = 1;
+    rp.reference_engines = true;
+    rp.options = c.options;  // perturbations hit the optimized side only
+    rp.perturb_admit_off_by_one = false;
+    auto reference = RunSharded(c.workload, c.policy, c.weights, rp);
+    if (!reference.ok()) return reference.status();
+    result.reference = ShardedToDiffRun(std::move(*reference));
+  }
+
+  Compare(c, opts, &result);
+  Comparer cmp(&result, opts);
+  cmp.Eq("shard.sub_conservation", shard_submitted, expected_subs);
+  cmp.Eq("shard.parent_count", merged_submitted, parent_count);
+  result.equivalent = result.divergence_count == 0;
+  return result;
+}
+
 }  // namespace
 
 StatusOr<DiffResult> RunDiff(const DiffCase& c, const DiffOptions& opts) {
+  if (c.shards >= 1) return RunShardedDiff(c, opts);
   FaultSchedule schedule;
   const FaultSchedule* schedule_ptr = nullptr;
   if (!c.scenario.empty()) {
@@ -433,6 +572,7 @@ std::string DescribeCase(const DiffCase& c) {
      << " compact=" << (c.engine.compact_events ? 1 : 0)
      << " faults=" << (c.scenario.empty() ? 0 : 1)
      << " stream=" << (c.stream_queries ? 1 : 0)
+     << " shards=" << c.shards << " sjobs=" << c.shard_jobs
      << " queries=" << c.workload.queries.size()
      << " fault_windows=" << c.scenario.faults.size();
   return os.str();

@@ -40,6 +40,19 @@ struct DiffCase {
   /// materialized trace first, so load-step templates are identical.
   bool stream_queries = false;
 
+  /// Sharded-execution dimension (shard/sharded.h). 0 = the ordinary
+  /// monolithic diff (optimized engine vs reference model). 1 = the sharded
+  /// runner at shards=1 on the optimized side vs the monolithic reference
+  /// model — pinning "sharding at N=1 is the identity", bit-for-bit. > 1 =
+  /// the optimized sharded stack vs a reference-engine sharded stack
+  /// (jobs=1), bit-for-bit at the merged parent level, plus the cross-shard
+  /// USM accounting cross-checks (naive per-outcome enumeration over parent
+  /// records, sub-query conservation).
+  int shards = 0;
+  /// Worker threads for the optimized sharded side (shards >= 1 only); the
+  /// comparison must hold for any value.
+  int shard_jobs = 1;
+
   /// Provenance for replay lines (filled by gen.h; -1 = hand-built case).
   uint64_t gen_seed = 0;
   int64_t gen_index = -1;
@@ -67,6 +80,11 @@ struct QueryRecord {
   double observed_freshness = 0.0;  ///< compared bit-for-bit
   SimTime commit_time = 0;
   int restarts = 0;
+  /// QueryRequest::id the transaction was built from (kInvalidTxn for
+  /// fault-injected queries). Sharded diffs remap both sides' `id` to the
+  /// parent trace position through this, so sub-query joins are compared
+  /// parent-by-parent.
+  TxnId trace_id = kInvalidTxn;
 };
 
 /// One side's full observable output.

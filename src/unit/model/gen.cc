@@ -57,6 +57,10 @@ DiffCase GenerateCase(uint64_t seed, int64_t index) {
   // Pure rotation (no RNG draw): workloads stay identical to pre-streaming
   // corpora, so a replayed seed/case pair reproduces the same trace.
   c.stream_queries = (index / 32) % 2 == 0;
+  // Sharded dimension, also a pure rotation: 0 (monolithic diff), 1
+  // (sharded-vs-monolithic identity), 2, 3; jobs alternates per 128-block.
+  c.shards = static_cast<int>((index / 64) % 4);
+  c.shard_jobs = (index / 128) % 2 == 0 ? 1 : 2;
 
   // ---- Workload. ----
   Workload& w = c.workload;

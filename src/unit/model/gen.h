@@ -21,8 +21,13 @@ namespace unitdb {
 ///   use_admission_index = (index / 4) % 2 == 0
 ///   compact_events      = (index / 8) % 2 == 0
 ///   faults attached     = (index / 16) % 2 == 0
+///   stream_queries      = (index / 32) % 2 == 0
+///   shards              = (index / 64) % 4   (0 = monolithic diff)
+///   shard_jobs          = (index / 128) % 2 == 0 ? 1 : 2
 ///
 /// Everything else is drawn from Rng(SplitMix64(seed ^ SplitMix64(index))).
+/// The knob rotations are index arithmetic only (no RNG draw), so adding a
+/// dimension never changes the workloads of existing (seed, case) pairs.
 DiffCase GenerateCase(uint64_t seed, int64_t index);
 
 }  // namespace unitdb

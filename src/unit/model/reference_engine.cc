@@ -209,6 +209,7 @@ Transaction* ReferenceEngine::NewQueryTxn(const QueryRequest& request) {
       id, request.arrival, exec, request.relative_deadline, freshness_req,
       request.items, request.preference_class));
   Transaction* t = &txns_.back();
+  t->set_trace_id(request.id);
   if (params_.estimate_noise_sigma > 0.0) {
     const double factor = rng_.LogNormal(0.0, params_.estimate_noise_sigma);
     t->set_estimate(std::max<SimDuration>(

@@ -106,6 +106,9 @@ size_t FormatJsonl(const TraceEvent& e, char* buf, size_t cap) {
   a.Raw("{");
   a.Int("t", e.time);
   a.Str("ev", TraceEventTypeName(e.type));
+  // Emitted only for shard-tagged events so pre-sharding goldens (and the
+  // monolithic trace_check corpus) stay byte-identical.
+  if (e.shard >= 0) a.Int("shard", e.shard);
   switch (e.type) {
     case TraceEventType::kQueryArrival:
       a.Int("txn", e.txn);

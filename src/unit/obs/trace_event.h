@@ -73,6 +73,11 @@ struct TraceEvent {
   // kind's scalar (factor / delta / rate_hz; 0 for outages).
   double magnitude = 0.0;
 
+  /// Shard that emitted the event (shard/sharded.h tagging sink); -1 in a
+  /// monolithic run, and the field is omitted from the serialized form so
+  /// non-sharded goldens are unchanged.
+  int32_t shard = -1;
+
   void set_reason(const char* s) {
     // Truncation to the fixed buffer is deliberate; memcpy with an explicit
     // clamped length (rather than strncpy) keeps -Wstringop-truncation quiet.

@@ -142,6 +142,7 @@ Transaction* Engine::NewQueryTxn(const QueryRequest& request, int32_t rank) {
   Transaction* t = txns_.Create(Transaction::MakeQuery(
       id, request.arrival, exec, request.relative_deadline, freshness_req,
       request.items, request.preference_class));
+  t->set_trace_id(request.id);
   live_queries_.emplace(id, t);
   if (t->items().inlined()) {
     ++metrics_.readset_inline;

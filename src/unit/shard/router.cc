@@ -1,0 +1,29 @@
+#include "unit/shard/router.h"
+
+#include <cstddef>
+
+namespace unitdb {
+
+ShardRouter::ShardRouter(int num_shards)
+    : num_shards_(num_shards < 1 ? 1 : num_shards) {}
+
+void ShardRouter::Split(const std::vector<ItemId>& items,
+                        std::vector<std::vector<ItemId>>* groups,
+                        std::vector<int>* touched) const {
+  groups->resize(static_cast<size_t>(num_shards_));
+  for (auto& g : *groups) g.clear();
+  touched->clear();
+  for (ItemId item : items) {
+    const int s = ShardOf(item);
+    auto& g = (*groups)[static_cast<size_t>(s)];
+    if (g.empty()) touched->push_back(s);
+    g.push_back(item);
+  }
+}
+
+uint64_t ShardSeed(uint64_t base, int shard, int num_shards) {
+  if (num_shards <= 1) return base;
+  return SplitMix64(base ^ SplitMix64(static_cast<uint64_t>(shard) + 1));
+}
+
+}  // namespace unitdb

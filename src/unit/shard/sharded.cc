@@ -1,0 +1,735 @@
+#include "unit/shard/sharded.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <limits>
+#include <memory>
+#include <tuple>
+#include <utility>
+
+#include "unit/common/thread_pool.h"
+#include "unit/db/data_item.h"
+#include "unit/faults/schedule.h"
+#include "unit/model/reference_engine.h"
+#include "unit/obs/trace_event.h"
+#include "unit/obs/trace_sink.h"
+#include "unit/sched/engine.h"
+#include "unit/workload/query_source.h"
+
+namespace unitdb {
+namespace {
+
+/// One resolved sub-query as seen by a shard's recording policy wrapper.
+struct SubRecord {
+  TxnId trace_id = kInvalidTxn;  ///< parent index (kInvalidTxn: injected)
+  Outcome outcome = Outcome::kPending;
+  double freshness = -1.0;
+  SimTime arrival = 0;
+  SimTime commit_time = -1;
+  SimTime resolve_time = -1;
+  int restarts = 0;
+  int pref_class = 0;
+};
+
+/// Forwards every hook to the wrapped policy and records one SubRecord per
+/// resolved sub-query. Wrapping is behavior-neutral (the same construction
+/// the differential harness uses), so a wrapped shards=1 run stays
+/// bit-identical to the bare monolithic engine. `perturb` injects the
+/// admit-off-by-one defect on this shard for oracle self-tests.
+class SubRecordingPolicy final : public Policy {
+ public:
+  SubRecordingPolicy(Policy* inner, bool perturb)
+      : inner_(inner), perturb_(perturb) {}
+
+  std::string name() const override { return inner_->name(); }
+  void Attach(EngineContext& engine) override { inner_->Attach(engine); }
+
+  bool AdmitQuery(EngineContext& engine, const Transaction& query) override {
+    const bool admit = inner_->AdmitQuery(engine, query);
+    if (admit && perturb_ && ++admitted_ == 8) {
+      return false;  // the injected defect: shed one admitted query
+    }
+    return admit;
+  }
+
+  bool BeforeQueryDispatch(EngineContext& engine,
+                           Transaction& query) override {
+    return inner_->BeforeQueryDispatch(engine, query);
+  }
+
+  void OnQueryResolved(EngineContext& engine, const Transaction& query,
+                       Outcome outcome) override {
+    SubRecord r;
+    r.trace_id = query.trace_id();
+    r.outcome = outcome;
+    r.freshness = query.observed_freshness();
+    r.arrival = query.arrival();
+    r.commit_time = query.commit_time();
+    r.resolve_time = engine.now();
+    r.restarts = query.restarts();
+    r.pref_class = query.preference_class();
+    records.push_back(r);
+    inner_->OnQueryResolved(engine, query, outcome);
+  }
+
+  void OnUpdateCommit(EngineContext& engine,
+                      const Transaction& update) override {
+    inner_->OnUpdateCommit(engine, update);
+  }
+
+  void OnUpdateSourceArrival(EngineContext& engine, ItemId item) override {
+    inner_->OnUpdateSourceArrival(engine, item);
+  }
+
+  void OnControlTick(EngineContext& engine) override {
+    inner_->OnControlTick(engine);
+  }
+
+  double AdmissionKnob() const override { return inner_->AdmissionKnob(); }
+  bool UsesPeriodicUpdates() const override {
+    return inner_->UsesPeriodicUpdates();
+  }
+
+  std::vector<SubRecord> records;
+
+ private:
+  Policy* inner_;
+  bool perturb_;
+  int admitted_ = 0;
+};
+
+/// Stamps the shard index onto every event, forwards to the shard's own
+/// JSONL file, and keeps an in-memory copy for the merged global trace.
+class ShardTagSink final : public TraceSink {
+ public:
+  ShardTagSink(TraceSink* file, int shard, std::vector<TraceEvent>* collect)
+      : file_(file), shard_(shard), collect_(collect) {}
+
+  void Emit(const TraceEvent& e) override {
+    TraceEvent tagged = e;
+    tagged.shard = shard_;
+    if (file_ != nullptr) file_->Emit(tagged);
+    if (collect_ != nullptr) collect_->push_back(tagged);
+  }
+
+  void Flush() override {
+    if (file_ != nullptr) file_->Flush();
+  }
+
+ private:
+  TraceSink* file_;
+  int shard_;
+  std::vector<TraceEvent>* collect_;
+};
+
+/// Everything one shard's run produced.
+struct ShardRunOutput {
+  RunMetrics metrics;
+  std::vector<SubRecord> records;
+  std::vector<WindowSample> series;
+  std::vector<TraceEvent> events;
+};
+
+/// Parses an explicit "a-b" / "a,b,c" item selector (the
+/// faults/scenario.h grammar, minus "*"). Returns false on malformed
+/// input, in which case the caller keeps the fault verbatim and lets
+/// FaultSchedule::Compile report the canonical error.
+bool ParseItemSelector(const std::string& items, int num_items,
+                       std::vector<ItemId>* out) {
+  size_t pos = 0;
+  while (pos <= items.size()) {
+    size_t comma = items.find(',', pos);
+    if (comma == std::string::npos) comma = items.size();
+    const std::string token = items.substr(pos, comma - pos);
+    if (token.empty()) return false;
+    const size_t dash = token.find('-');
+    char* end = nullptr;
+    const long lo = std::strtol(token.c_str(), &end, 10);
+    if (end == token.c_str()) return false;
+    long hi = lo;
+    if (dash != std::string::npos) {
+      const char* hs = token.c_str() + dash + 1;
+      hi = std::strtol(hs, &end, 10);
+      if (end == hs) return false;
+    }
+    if (lo < 0 || hi < lo || hi >= num_items) return false;
+    for (long id = lo; id <= hi; ++id) out->push_back(static_cast<ItemId>(id));
+    pos = comma + 1;
+    if (comma == items.size()) break;
+  }
+  return true;
+}
+
+/// Scopes a scenario to one shard's sub-workload (shards > 1 only; with one
+/// shard the input scenario passes through verbatim so compilation is
+/// bit-identical to the monolithic path). Each shard's fault layer draws
+/// its own decorrelated injection stream — the sharded analogue of
+/// per-replication compilation:
+///  - load steps are dropped on a shard whose sub-trace has no queries
+///    (there are no templates to clone, and the monolithic compiler
+///    rejects that as an error rather than a no-op);
+///  - outage/burst item selections are restricted to items this shard owns
+///    and sources, and the fault is dropped when nothing remains;
+///  - service-slowdown and freshness-shift windows broadcast to all shards.
+FaultScenarioSpec ScopeScenario(const FaultScenarioSpec& spec,
+                                const Workload& sub) {
+  std::vector<char> has_source(static_cast<size_t>(sub.num_items), 0);
+  for (const auto& u : sub.updates) {
+    if (u.ideal_period <= 0 || u.ideal_period >= kNoUpdates) continue;
+    if (u.item >= 0 && u.item < sub.num_items) {
+      has_source[static_cast<size_t>(u.item)] = 1;
+    }
+  }
+  const bool any_source =
+      std::find(has_source.begin(), has_source.end(), char{1}) !=
+      has_source.end();
+
+  FaultScenarioSpec scoped = spec;
+  scoped.faults.clear();
+  for (const FaultSpec& fault : spec.faults) {
+    switch (fault.kind) {
+      case FaultKind::kLoadStep:
+        if (!sub.queries.empty()) scoped.faults.push_back(fault);
+        break;
+      case FaultKind::kUpdateOutage:
+      case FaultKind::kUpdateBurst: {
+        if (fault.items == "*") {
+          if (any_source) scoped.faults.push_back(fault);
+          break;
+        }
+        std::vector<ItemId> selected;
+        if (!ParseItemSelector(fault.items, sub.num_items, &selected)) {
+          scoped.faults.push_back(fault);  // malformed: let Compile reject
+          break;
+        }
+        std::string owned;
+        for (ItemId id : selected) {
+          if (!has_source[static_cast<size_t>(id)]) continue;
+          if (!owned.empty()) owned += ',';
+          owned += std::to_string(id);
+        }
+        if (owned.empty()) break;  // nothing this shard sources: drop
+        FaultSpec f = fault;
+        f.items = std::move(owned);
+        scoped.faults.push_back(f);
+        break;
+      }
+      case FaultKind::kServiceSlowdown:
+      case FaultKind::kFreshnessShift:
+        scoped.faults.push_back(fault);
+        break;
+    }
+  }
+  return scoped;
+}
+
+/// Runs one shard's full server stack over its sub-workload.
+StatusOr<ShardRunOutput> RunOneShard(const Workload& sub, int shard,
+                                     int num_shards,
+                                     const std::string& policy_name,
+                                     const UsmWeights& weights,
+                                     const ShardedParams& params) {
+  PolicyOptions options = params.options;
+  options.unit.seed = ShardSeed(params.options.unit.seed, shard, num_shards);
+  auto policy = MakePolicy(policy_name, weights, options);
+  if (!policy.ok()) return policy.status();
+  SubRecordingPolicy recorder(policy.value().get(),
+                              params.perturb_admit_off_by_one && shard == 0);
+
+  EngineParams ep = params.engine;
+  ep.seed = ShardSeed(params.engine.seed, shard, num_shards);
+  ep.trace = nullptr;
+  ep.series = nullptr;
+  ep.counters = nullptr;
+  ep.faults = nullptr;
+
+  FaultSchedule schedule;
+  if (params.scenario != nullptr && !params.scenario->empty() &&
+      (params.fault_target_shard < 0 || params.fault_target_shard == shard)) {
+    const FaultScenarioSpec scoped = num_shards == 1
+                                         ? *params.scenario
+                                         : ScopeScenario(*params.scenario, sub);
+    if (!scoped.empty()) {
+      auto compiled = FaultSchedule::Compile(
+          scoped, sub, ShardSeed(params.fault_seed, shard, num_shards));
+      if (!compiled.ok()) return compiled.status();
+      schedule = std::move(compiled).value();
+      if (!schedule.empty()) ep.faults = &schedule;
+    }
+  }
+
+  TimeSeriesRecorder series(weights);
+  if (params.record_series) ep.series = &series;
+
+  ShardRunOutput out;
+  std::unique_ptr<JsonlTraceSink> file_sink;
+  std::unique_ptr<ShardTagSink> tag;
+  if (!params.trace_dir.empty() && !params.reference_engines) {
+    auto sink = JsonlTraceSink::Open(params.trace_dir + "/shard" +
+                                     std::to_string(shard) + ".jsonl");
+    if (!sink.ok()) return sink.status();
+    file_sink = std::move(sink).value();
+    tag = std::make_unique<ShardTagSink>(file_sink.get(), shard, &out.events);
+    ep.trace = tag.get();
+  }
+
+  if (params.reference_engines) {
+    ReferenceEngine engine(sub, &recorder, ep);
+    out.metrics = engine.Run();
+  } else {
+    Engine engine(sub, &recorder, ep);
+    out.metrics = engine.Run();
+  }
+  if (tag != nullptr) tag->Flush();
+  out.records = std::move(recorder.records);
+  if (params.record_series) out.series = series.samples();
+  return out;
+}
+
+/// Folds per-shard window series into the merged global series: samples
+/// with the same window-end instant are combined (counts / depths /
+/// utilization summed, Udrop percentiles max'd, admission knob averaged
+/// over shards that have one, USM re-derived from the merged window), in
+/// (t, shard, index) order — deterministic for any jobs count.
+std::vector<WindowSample> MergeSeries(
+    const std::vector<std::vector<WindowSample>>& per_shard,
+    const UsmWeights& weights) {
+  if (per_shard.size() == 1) return per_shard[0];
+  struct Tagged {
+    double t;
+    int shard;
+    size_t idx;
+    const WindowSample* s;
+  };
+  std::vector<Tagged> all;
+  for (size_t s = 0; s < per_shard.size(); ++s) {
+    for (size_t i = 0; i < per_shard[s].size(); ++i) {
+      all.push_back(
+          Tagged{per_shard[s][i].t_s, static_cast<int>(s), i, &per_shard[s][i]});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+    return std::tie(a.t, a.shard, a.idx) < std::tie(b.t, b.shard, b.idx);
+  });
+
+  std::vector<WindowSample> merged;
+  size_t i = 0;
+  while (i < all.size()) {
+    WindowSample m = *all[i].s;
+    double knob_sum = std::isnan(m.admission_knob) ? 0.0 : m.admission_knob;
+    int knob_n = std::isnan(m.admission_knob) ? 0 : 1;
+    size_t j = i + 1;
+    for (; j < all.size() && all[j].t == all[i].t; ++j) {
+      const WindowSample& s = *all[j].s;
+      m.window.submitted += s.window.submitted;
+      m.window.success += s.window.success;
+      m.window.rejected += s.window.rejected;
+      m.window.dmf += s.window.dmf;
+      m.window.dsf += s.window.dsf;
+      m.utilization += s.utilization;  // aggregate over N shard CPUs
+      m.ready_queries += s.ready_queries;
+      m.ready_updates += s.ready_updates;
+      m.degraded_items += s.degraded_items;
+      m.udrop_p50 = std::max(m.udrop_p50, s.udrop_p50);
+      m.udrop_p90 = std::max(m.udrop_p90, s.udrop_p90);
+      m.udrop_max = std::max(m.udrop_max, s.udrop_max);
+      if (!std::isnan(s.admission_knob)) {
+        knob_sum += s.admission_knob;
+        ++knob_n;
+      }
+    }
+    m.admission_knob = knob_n > 0
+                           ? knob_sum / static_cast<double>(knob_n)
+                           : std::numeric_limits<double>::quiet_NaN();
+    m.usm = UsmDecompose(m.window, weights);
+    merged.push_back(m);
+    i = j;
+  }
+  return merged;
+}
+
+/// Writes the merged global trace: every shard's tagged events, sorted by
+/// (time, shard, per-shard emission order).
+Status WriteMergedTrace(const std::vector<ShardRunOutput>& outputs,
+                        const std::string& dir) {
+  struct Tagged {
+    SimTime time;
+    int shard;
+    size_t idx;
+    const TraceEvent* e;
+  };
+  std::vector<Tagged> all;
+  for (size_t s = 0; s < outputs.size(); ++s) {
+    for (size_t i = 0; i < outputs[s].events.size(); ++i) {
+      all.push_back(Tagged{outputs[s].events[i].time, static_cast<int>(s), i,
+                           &outputs[s].events[i]});
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Tagged& a, const Tagged& b) {
+    return std::tie(a.time, a.shard, a.idx) < std::tie(b.time, b.shard, b.idx);
+  });
+  const std::string path = dir + "/merged.jsonl";
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return Status::Internal("cannot open " + path);
+  char buf[512];
+  for (const Tagged& t : all) {
+    const size_t n = FormatJsonl(*t.e, buf, sizeof(buf));
+    f.write(buf, static_cast<std::streamsize>(n));
+    f.put('\n');
+  }
+  f.flush();
+  if (!f.good()) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+/// Join state for one parent query while folding sub-records.
+struct ParentAgg {
+  bool any = false;
+  int expected = 1;
+  int seen = 0;
+  Outcome outcome = Outcome::kPending;
+  double freshness = std::numeric_limits<double>::infinity();
+  SimTime arrival = 0;
+  SimTime commit = -1;
+  int restarts = 0;
+  int pref_class = 0;
+  TxnId trace_id = kInvalidTxn;
+  // Merged resolution instant: lexicographic max of (resolve_time, shard,
+  // per-shard record index) over the parent's sub-queries. At shards=1 this
+  // degenerates to shard 0's resolution order, which is what makes the
+  // merged stat fold bit-identical to the monolithic engine's.
+  SimTime rt = -1;
+  int rt_shard = -1;
+  int64_t rt_pos = -1;
+};
+
+}  // namespace
+
+StatusOr<ShardPartition> PartitionWorkload(const Workload& w,
+                                           const ShardRouter& router) {
+  const int n = router.num_shards();
+  ShardPartition part;
+  part.shards.resize(static_cast<size_t>(n));
+  for (Workload& sub : part.shards) {
+    sub.num_items = w.num_items;  // global item-id space on every shard
+    sub.duration = w.duration;
+    sub.query_trace_name = w.query_trace_name;
+    sub.update_trace_name = w.update_trace_name;
+  }
+  for (const auto& u : w.updates) {
+    part.shards[static_cast<size_t>(router.ShardOf(u.item))].updates.push_back(
+        u);
+  }
+
+  // Sub-queries are re-dealt across shards, so a streaming trace is
+  // materialized here (the memory-flat path stays available per shard via
+  // each sub-workload's own plain vector).
+  std::vector<QueryRequest> queries;
+  if (w.query_source != nullptr) {
+    auto cursor = w.query_source->NewCursor();
+    QueryRequest q;
+    while (cursor->Next(&q)) queries.push_back(q);
+  } else {
+    queries = w.queries;
+  }
+
+  part.sub_count.resize(queries.size(), 0);
+  std::vector<std::vector<ItemId>> groups;
+  std::vector<int> touched;
+  for (size_t p = 0; p < queries.size(); ++p) {
+    const QueryRequest& q = queries[p];
+    router.Split(q.items, &groups, &touched);
+    if (touched.empty()) touched.push_back(0);  // defensive: empty read set
+    const auto total = static_cast<SimDuration>(q.items.size());
+    SimDuration assigned = 0;
+    for (size_t k = 0; k < touched.size(); ++k) {
+      const int s = touched[k];
+      QueryRequest sq = q;
+      sq.id = static_cast<TxnId>(p);  // parent trace index, for the join
+      sq.items = groups[static_cast<size_t>(s)];
+      if (touched.size() > 1) {
+        // Service demand proportional to the sub read-set size, each sub
+        // >= 1 tick, integer remainder on the last touched shard.
+        if (k + 1 < touched.size()) {
+          sq.exec = std::max<SimDuration>(
+              1, q.exec * static_cast<SimDuration>(sq.items.size()) / total);
+          assigned += sq.exec;
+        } else {
+          sq.exec = std::max<SimDuration>(1, q.exec - assigned);
+        }
+      }
+      part.shards[static_cast<size_t>(s)].queries.push_back(std::move(sq));
+    }
+    part.sub_count[p] = static_cast<int>(touched.size());
+    part.subqueries += static_cast<int64_t>(touched.size());
+    if (touched.size() > 1) ++part.cross_shard_queries;
+  }
+  return part;
+}
+
+Outcome CrossShardJoin(Outcome a, Outcome b) {
+  // Dominant-penalty order (paper Fig. 2): reject > deadline miss > stale.
+  // A parent succeeds only if every sub-query succeeded.
+  auto rank = [](Outcome o) {
+    switch (o) {
+      case Outcome::kRejected:
+        return 3;
+      case Outcome::kDeadlineMiss:
+        return 2;
+      case Outcome::kDataStale:
+        return 1;
+      default:
+        return 0;
+    }
+  };
+  return rank(a) >= rank(b) ? a : b;
+}
+
+StatusOr<ShardedResult> RunSharded(const Workload& workload,
+                                   const std::string& policy,
+                                   const UsmWeights& weights,
+                                   const ShardedParams& params) {
+  const int n = params.shards < 1 ? 1 : params.shards;
+  const ShardRouter router(n);
+  auto part = PartitionWorkload(workload, router);
+  if (!part.ok()) return part.status();
+
+  if (!params.trace_dir.empty() && !params.reference_engines) {
+    std::error_code ec;
+    std::filesystem::create_directories(params.trace_dir, ec);
+    if (ec) {
+      return Status::Internal("trace_dir " + params.trace_dir + ": " +
+                              ec.message());
+    }
+  }
+
+  // Run the shards — in submission order on the pool; results land by
+  // shard index, so completion order is irrelevant to every fold below.
+  std::vector<ShardRunOutput> outputs(static_cast<size_t>(n));
+  Status first_error = Status::Ok();
+  if (params.jobs > 1 && n > 1) {
+    ThreadPool pool(std::min(ResolveJobs(params.jobs), n));
+    std::vector<std::future<StatusOr<ShardRunOutput>>> futures;
+    futures.reserve(static_cast<size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      futures.push_back(pool.Submit([&, s]() {
+        return RunOneShard(part.value().shards[static_cast<size_t>(s)], s, n,
+                           policy, weights, params);
+      }));
+    }
+    for (int s = 0; s < n; ++s) {  // drain every future even after an error
+      auto r = futures[static_cast<size_t>(s)].get();
+      if (!r.ok()) {
+        if (first_error.ok()) first_error = r.status();
+      } else {
+        outputs[static_cast<size_t>(s)] = std::move(r).value();
+      }
+    }
+  } else {
+    for (int s = 0; s < n; ++s) {
+      auto r = RunOneShard(part.value().shards[static_cast<size_t>(s)], s, n,
+                           policy, weights, params);
+      if (!r.ok()) {
+        first_error = r.status();
+        break;
+      }
+      outputs[static_cast<size_t>(s)] = std::move(r).value();
+    }
+  }
+  if (!first_error.ok()) return first_error;
+
+  ShardedResult result;
+  result.cross_shard_queries = part.value().cross_shard_queries;
+  result.subqueries = part.value().subqueries;
+  result.per_shard.reserve(static_cast<size_t>(n));
+  for (const auto& o : outputs) result.per_shard.push_back(o.metrics);
+  if (params.record_series) {
+    result.per_shard_series.reserve(static_cast<size_t>(n));
+    for (auto& o : outputs) result.per_shard_series.push_back(o.series);
+    result.merged_series = MergeSeries(result.per_shard_series, weights);
+  }
+
+  // Scalar counters: shard 0's metrics as the base, every other shard
+  // summed in (max for the depth peak). duration_s is per-wall-clock and
+  // identical on every shard, so shard 0's copy stands.
+  RunMetrics& merged = result.metrics;
+  merged = outputs[0].metrics;
+  for (int s = 1; s < n; ++s) {
+    const RunMetrics& m = outputs[static_cast<size_t>(s)].metrics;
+    merged.busy_s += m.busy_s;  // aggregate over N shard CPUs
+    merged.events_processed += m.events_processed;
+    merged.events_cancelled += m.events_cancelled;
+    merged.event_compactions += m.event_compactions;
+    merged.events_compacted += m.events_compacted;
+    merged.peak_ready_depth = std::max(merged.peak_ready_depth,
+                                       m.peak_ready_depth);
+    merged.txn_live_peak += m.txn_live_peak;  // aggregate arena footprint
+    merged.txn_slots_created += m.txn_slots_created;
+    merged.txn_released += m.txn_released;
+    merged.readset_inline += m.readset_inline;
+    merged.readset_spill += m.readset_spill;
+    merged.fault_edges += m.fault_edges;
+    merged.fault_injected_queries += m.fault_injected_queries;
+    merged.fault_injected_updates += m.fault_injected_updates;
+    merged.fault_suppressed_updates += m.fault_suppressed_updates;
+    merged.preemptions += m.preemptions;
+    merged.lock_restarts += m.lock_restarts;
+    merged.update_commits += m.update_commits;
+    merged.on_demand_updates += m.on_demand_updates;
+    merged.updates_generated += m.updates_generated;
+    merged.updates_dropped += m.updates_dropped;
+    merged.update_latency_s.Merge(m.update_latency_s);
+    const size_t items = std::min(merged.per_item_accesses.size(),
+                                  m.per_item_accesses.size());
+    for (size_t i = 0; i < items; ++i) {
+      merged.per_item_accesses[i] += m.per_item_accesses[i];
+    }
+    const size_t applied = std::min(merged.per_item_applied_updates.size(),
+                                    m.per_item_applied_updates.size());
+    for (size_t i = 0; i < applied; ++i) {
+      merged.per_item_applied_updates[i] += m.per_item_applied_updates[i];
+    }
+  }
+  if (n > 1) {
+    // Per-shard registries can't be merged meaningfully (same counter names
+    // with different per-shard meanings); the per_shard metrics keep them.
+    merged.obs_counters.clear();
+    merged.obs_gauges.clear();
+  }
+
+  // Join sub-queries back into parents. Workload parents are keyed by the
+  // trace index carried in Transaction::trace_id; fault-injected queries
+  // (trace_id kInvalidTxn) are their own single-sub parents.
+  const std::vector<int>& sub_count = part.value().sub_count;
+  std::vector<ParentAgg> parents(sub_count.size());
+  std::vector<ParentAgg> injected;
+  for (int s = 0; s < n; ++s) {
+    const auto& records = outputs[static_cast<size_t>(s)].records;
+    for (size_t pos = 0; pos < records.size(); ++pos) {
+      const SubRecord& rec = records[pos];
+      ParentAgg* p;
+      if (rec.trace_id == kInvalidTxn) {
+        injected.emplace_back();
+        p = &injected.back();
+      } else {
+        if (rec.trace_id < 0 ||
+            static_cast<size_t>(rec.trace_id) >= parents.size()) {
+          return Status::Internal("sub-query resolved with unknown parent " +
+                                  std::to_string(rec.trace_id));
+        }
+        p = &parents[static_cast<size_t>(rec.trace_id)];
+        p->expected = sub_count[static_cast<size_t>(rec.trace_id)];
+      }
+      p->outcome = p->any ? CrossShardJoin(p->outcome, rec.outcome)
+                          : rec.outcome;
+      p->any = true;
+      ++p->seen;
+      if (rec.outcome == Outcome::kSuccess ||
+          rec.outcome == Outcome::kDataStale) {
+        // Committed sub: parent freshness is the min over committed subs
+        // (exactly the monolithic Eq. 1 value — QueryFreshness is itself a
+        // min over the read set), commit instant the latest sub commit.
+        p->freshness = std::min(p->freshness, rec.freshness);
+        p->commit = std::max(p->commit, rec.commit_time);
+      }
+      p->arrival = rec.arrival;
+      p->restarts += rec.restarts;
+      p->pref_class = rec.pref_class;
+      p->trace_id = rec.trace_id;
+      const auto key = std::make_tuple(rec.resolve_time, s,
+                                       static_cast<int64_t>(pos));
+      if (key > std::make_tuple(p->rt, p->rt_shard, p->rt_pos)) {
+        p->rt = rec.resolve_time;
+        p->rt_shard = s;
+        p->rt_pos = static_cast<int64_t>(pos);
+      }
+    }
+  }
+  for (size_t i = 0; i < parents.size(); ++i) {
+    if (!parents[i].any || parents[i].seen != parents[i].expected) {
+      return Status::Internal(
+          "parent " + std::to_string(i) + " joined " +
+          std::to_string(parents[i].seen) + "/" +
+          std::to_string(parents[i].expected) + " sub-queries");
+    }
+  }
+
+  // Parent-level accounting, folded in merged resolution order: sort by
+  // (last sub resolve time, shard, per-shard index) — a total order over
+  // unique keys, identical for every jobs count, and equal to shard 0's
+  // resolution order when shards=1 (bit-identical stat folds).
+  std::vector<const ParentAgg*> order;
+  order.reserve(parents.size() + injected.size());
+  for (const ParentAgg& p : parents) order.push_back(&p);
+  for (const ParentAgg& p : injected) order.push_back(&p);
+  std::sort(order.begin(), order.end(),
+            [](const ParentAgg* a, const ParentAgg* b) {
+              return std::tie(a->rt, a->rt_shard, a->rt_pos) <
+                     std::tie(b->rt, b->rt_shard, b->rt_pos);
+            });
+
+  merged.counts = OutcomeCounts{};
+  merged.per_class_counts.clear();
+  merged.query_response_s.Clear();
+  merged.query_freshness.Clear();
+  result.queries.reserve(order.size());
+  for (const ParentAgg* p : order) {
+    auto count = [&](OutcomeCounts& c) {
+      ++c.submitted;
+      switch (p->outcome) {
+        case Outcome::kSuccess:
+          ++c.success;
+          break;
+        case Outcome::kRejected:
+          ++c.rejected;
+          break;
+        case Outcome::kDeadlineMiss:
+          ++c.dmf;
+          break;
+        case Outcome::kDataStale:
+          ++c.dsf;
+          break;
+        case Outcome::kPending:
+          break;
+      }
+    };
+    count(merged.counts);
+    if (static_cast<size_t>(p->pref_class) >= merged.per_class_counts.size()) {
+      merged.per_class_counts.resize(
+          static_cast<size_t>(p->pref_class) + 1);
+    }
+    count(merged.per_class_counts[static_cast<size_t>(p->pref_class)]);
+    const bool committed = p->outcome == Outcome::kSuccess ||
+                           p->outcome == Outcome::kDataStale;
+    if (committed) {
+      merged.query_response_s.Add(SimToSeconds(p->commit - p->arrival));
+      merged.query_freshness.Add(p->freshness);
+    }
+
+    ShardQueryRecord rec;
+    rec.trace_id = p->trace_id;
+    rec.outcome = p->outcome;
+    rec.observed_freshness = committed ? p->freshness : -1.0;
+    rec.commit_time = committed ? p->commit : -1;
+    rec.resolve_time = p->rt;
+    rec.restarts = p->restarts;
+    rec.preference_class = p->pref_class;
+    rec.subqueries = p->seen;
+    result.queries.push_back(rec);
+  }
+
+  result.usm = UsmAverage(merged.counts, weights);
+  result.breakdown = UsmDecompose(merged.counts, weights);
+
+  if (!params.trace_dir.empty() && !params.reference_engines) {
+    Status s = WriteMergedTrace(outputs, params.trace_dir);
+    if (!s.ok()) return s;
+  }
+  return result;
+}
+
+}  // namespace unitdb

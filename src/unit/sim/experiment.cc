@@ -36,6 +36,30 @@ StatusOr<ExperimentResult> RunExperiment(const Workload& workload,
   return result;
 }
 
+StatusOr<ExperimentResult> RunShardedExperiment(
+    const Workload& workload, const std::string& policy,
+    const UsmWeights& weights, int shards, int jobs,
+    const EngineParams& engine, const PolicyOptions& options) {
+  ShardedParams params;
+  params.shards = shards;
+  params.jobs = jobs;
+  params.engine = engine;
+  params.options = options;
+  auto sharded = RunSharded(workload, policy, weights, params);
+  if (!sharded.ok()) return sharded.status();
+
+  ExperimentResult result;
+  result.trace = workload.update_trace_name.empty()
+                     ? workload.query_trace_name
+                     : workload.update_trace_name;
+  result.policy = policy;
+  result.weights = weights;
+  result.metrics = std::move(sharded.value().metrics);
+  result.usm = sharded.value().usm;
+  result.breakdown = sharded.value().breakdown;
+  return result;
+}
+
 StatusOr<ExperimentResult> RunTracedExperiment(
     const Workload& workload, const std::string& policy,
     const UsmWeights& weights, const ObsOptions& obs,
@@ -367,8 +391,13 @@ StatusOr<std::vector<GridCellResult>> RunGrid(const GridSpec& spec,
       agg.replications = static_cast<int>(reps);
       for (size_t i = 0; i < reps; ++i) {
         const Workload& w = workloads[cell.trace_index * reps + i];
-        auto r = RunExperiment(w, *cell.policy, cell.weighting->weights,
-                               spec.engine, spec.options);
+        auto r = spec.shards > 1
+                     ? RunShardedExperiment(w, *cell.policy,
+                                            cell.weighting->weights,
+                                            spec.shards, /*jobs=*/1,
+                                            spec.engine, spec.options)
+                     : RunExperiment(w, *cell.policy, cell.weighting->weights,
+                                     spec.engine, spec.options);
         if (!r.ok()) return StatusOr<ReplicatedResult>(r.status());
         AccumulateReplication(*r, agg);
       }

@@ -13,6 +13,7 @@
 #include "unit/obs/timeseries.h"
 #include "unit/sched/engine.h"
 #include "unit/sched/metrics.h"
+#include "unit/shard/sharded.h"
 #include "unit/sim/server.h"
 #include "unit/workload/query_trace.h"
 #include "unit/workload/update_trace.h"
@@ -41,6 +42,17 @@ StatusOr<ExperimentResult> RunExperiment(const Workload& workload,
                                          const UsmWeights& weights,
                                          const EngineParams& engine = {},
                                          const PolicyOptions& options = {});
+
+/// RunExperiment over the sharded multi-engine runner (shard/sharded.h):
+/// items and queries are partitioned across `shards` hash-routed shards,
+/// each running its own full server stack, executed on `jobs` workers.
+/// The headline metrics are the merged global view (parent-level Eq. 5
+/// accounting after the CrossShardJoin barrier); results are bit-identical
+/// for any `jobs`, and `shards=1` reproduces RunExperiment exactly.
+StatusOr<ExperimentResult> RunShardedExperiment(
+    const Workload& workload, const std::string& policy,
+    const UsmWeights& weights, int shards, int jobs = 1,
+    const EngineParams& engine = {}, const PolicyOptions& options = {});
 
 /// Observability attachments for one run. RunTracedExperiment owns the
 /// actual sinks/recorders for the duration of the run; the engine only ever
@@ -177,6 +189,10 @@ struct GridSpec {
   uint64_t base_seed = 42;
   EngineParams engine;
   PolicyOptions options;
+  /// Shards per cell (shard/sharded.h). 1 = monolithic engine; > 1 routes
+  /// every replication through the sharded runner (sequential inside the
+  /// cell — grid cells already fan out across the pool).
+  int shards = 1;
 };
 
 /// One cell of a RunGrid sweep; `result.trace` / `result.policy` identify

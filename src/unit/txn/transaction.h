@@ -65,6 +65,14 @@ class Transaction {
   SimDuration estimate() const { return estimate_; }
   void set_estimate(SimDuration e) { estimate_ = e; }
 
+  /// The QueryRequest::id this query transaction was built from — purely
+  /// observational (never read by the engine or any policy). The sharded
+  /// runner (shard/sharded.h) threads the parent query's trace index
+  /// through it so per-shard sub-query results can be joined back;
+  /// kInvalidTxn for updates and fault-injected queries.
+  TxnId trace_id() const { return trace_id_; }
+  void set_trace_id(TxnId id) { trace_id_ = id; }
+
   /// CPU utilization share qe_i / qt_i of the query (Eq. 6's DT).
   double CpuUtilizationShare() const;
 
@@ -138,6 +146,7 @@ class Transaction {
   bool on_demand_ = false;
   int preference_class_ = 0;
   SimDuration estimate_ = 0;
+  TxnId trace_id_ = kInvalidTxn;
 
   TxnState state_ = TxnState::kCreated;
   Outcome outcome_ = Outcome::kPending;

@@ -112,6 +112,83 @@ TEST(ThreadPoolTest, StressManyProducersManyTasks) {
   EXPECT_EQ(ran.load(), kProducers * kTasksPerProducer);
 }
 
+TEST(ThreadPoolTest, DestructorAloneDrainsQueuedBacklog) {
+  // No explicit Shutdown: the destructor must finish a deep queue behind a
+  // slow task, not abandon it.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    pool.Submit([]() {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    });
+    for (int i = 0; i < 40; ++i) {
+      pool.Submit([&ran]() { ++ran; });
+    }
+  }
+  EXPECT_EQ(ran.load(), 40);
+}
+
+TEST(ThreadPoolTest, ShutdownMakesEveryQueuedFutureReady) {
+  ThreadPool pool(1);
+  std::vector<std::future<int>> results;
+  pool.Submit([]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  });
+  for (int i = 0; i < 30; ++i) {
+    results.push_back(pool.Submit([i]() { return i; }));
+  }
+  pool.Shutdown();
+  // Shutdown drains rather than cancels, so no future is left dangling in
+  // a broken-promise state.
+  for (int i = 0; i < 30; ++i) EXPECT_EQ(results[i].get(), i);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmitDuringShutdownNeverLosesATask) {
+  // Producers race Shutdown: every Submit either enqueues (and the task
+  // runs before Shutdown returns) or throws; nothing is silently dropped.
+  std::atomic<int> accepted{0};
+  std::atomic<int> ran{0};
+  ThreadPool pool(2);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&pool, &accepted, &ran]() {
+      for (int i = 0; i < 500; ++i) {
+        try {
+          pool.Submit([&ran]() { ++ran; });
+          ++accepted;
+        } catch (const std::runtime_error&) {
+          return;  // pool shut down under us; later submits would throw too
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  pool.Shutdown();
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(ran.load(), accepted.load());
+}
+
+TEST(ThreadPoolTest, ZeroJobsPoolRunsTasksOnItsClampedWorker) {
+  // jobs=0 is what callers pass straight from a config default; the clamp
+  // must yield a functional single-worker pool, not a silent no-op.
+  ThreadPool pool(0);
+  ASSERT_EQ(pool.num_threads(), 1);
+  std::vector<int> order;
+  std::vector<std::future<void>> done;
+  for (int i = 0; i < 10; ++i) {
+    done.push_back(pool.Submit([i, &order]() { order.push_back(i); }));
+  }
+  for (auto& f : done) f.get();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnFreshPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // nothing queued, no worker active: must not block
+  EXPECT_EQ(pool.Submit([]() { return 3; }).get(), 3);
+}
+
 TEST(ThreadPoolTest, ResolveJobsPicksHardwareForNonPositive) {
   EXPECT_GE(ResolveJobs(0), 1);
   EXPECT_GE(ResolveJobs(-1), 1);

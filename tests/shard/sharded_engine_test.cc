@@ -1,0 +1,218 @@
+#include "unit/shard/sharded.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "unit/shard/router.h"
+#include "unit/sim/experiment.h"
+
+namespace unitdb {
+namespace {
+
+StatusOr<Workload> SmallWorkload(uint64_t seed = 42) {
+  return MakeStandardWorkload(UpdateVolume::kMedium,
+                              UpdateDistribution::kUniform, /*scale=*/0.05,
+                              seed);
+}
+
+TEST(CrossShardJoinTest, ParentSucceedsOnlyIfEverySubSucceeds) {
+  EXPECT_EQ(CrossShardJoin(Outcome::kSuccess, Outcome::kSuccess),
+            Outcome::kSuccess);
+  EXPECT_EQ(CrossShardJoin(Outcome::kSuccess, Outcome::kDataStale),
+            Outcome::kDataStale);
+  EXPECT_EQ(CrossShardJoin(Outcome::kSuccess, Outcome::kDeadlineMiss),
+            Outcome::kDeadlineMiss);
+  EXPECT_EQ(CrossShardJoin(Outcome::kSuccess, Outcome::kRejected),
+            Outcome::kRejected);
+}
+
+TEST(CrossShardJoinTest, DominantPenaltyOrderIsRejectOverDmfOverDsf) {
+  // Fig. 2 dominance: reject > deadline miss > stale.
+  EXPECT_EQ(CrossShardJoin(Outcome::kRejected, Outcome::kDeadlineMiss),
+            Outcome::kRejected);
+  EXPECT_EQ(CrossShardJoin(Outcome::kRejected, Outcome::kDataStale),
+            Outcome::kRejected);
+  EXPECT_EQ(CrossShardJoin(Outcome::kDeadlineMiss, Outcome::kDataStale),
+            Outcome::kDeadlineMiss);
+}
+
+TEST(CrossShardJoinTest, JoinIsCommutative) {
+  const Outcome all[] = {Outcome::kSuccess, Outcome::kRejected,
+                         Outcome::kDeadlineMiss, Outcome::kDataStale};
+  for (Outcome a : all) {
+    for (Outcome b : all) {
+      EXPECT_EQ(CrossShardJoin(a, b), CrossShardJoin(b, a));
+    }
+  }
+}
+
+TEST(PartitionWorkloadTest, SingleShardIsTheIdentity) {
+  auto w = SmallWorkload();
+  ASSERT_TRUE(w.ok());
+  auto part = PartitionWorkload(*w, ShardRouter(1));
+  ASSERT_TRUE(part.ok());
+  ASSERT_EQ(part->shards.size(), 1u);
+  EXPECT_EQ(part->cross_shard_queries, 0);
+  EXPECT_EQ(part->subqueries, static_cast<int64_t>(w->queries.size()));
+
+  const Workload& sub = part->shards[0];
+  ASSERT_EQ(sub.queries.size(), w->queries.size());
+  ASSERT_EQ(sub.updates.size(), w->updates.size());
+  for (size_t i = 0; i < w->queries.size(); ++i) {
+    EXPECT_EQ(sub.queries[i].arrival, w->queries[i].arrival);
+    EXPECT_EQ(sub.queries[i].exec, w->queries[i].exec);
+    EXPECT_EQ(sub.queries[i].items, w->queries[i].items);
+    // Sub id carries the parent trace index.
+    EXPECT_EQ(sub.queries[i].id, static_cast<TxnId>(i));
+  }
+}
+
+TEST(PartitionWorkloadTest, RoutesEveryUpdateToItsOwningShard) {
+  auto w = SmallWorkload();
+  ASSERT_TRUE(w.ok());
+  ShardRouter router(4);
+  auto part = PartitionWorkload(*w, router);
+  ASSERT_TRUE(part.ok());
+  size_t total = 0;
+  for (int s = 0; s < 4; ++s) {
+    for (const auto& u : part->shards[static_cast<size_t>(s)].updates) {
+      EXPECT_EQ(router.ShardOf(u.item), s);
+      ++total;
+    }
+    EXPECT_EQ(part->shards[static_cast<size_t>(s)].num_items, w->num_items);
+  }
+  EXPECT_EQ(total, w->updates.size());
+}
+
+TEST(PartitionWorkloadTest, SubQueriesConserveReadSetsAndBoundExec) {
+  auto w = SmallWorkload();
+  ASSERT_TRUE(w.ok());
+  ShardRouter router(4);
+  auto part = PartitionWorkload(*w, router);
+  ASSERT_TRUE(part.ok());
+
+  // Regroup sub-queries by parent trace index.
+  struct Parent {
+    size_t items = 0;
+    SimDuration exec = 0;
+    int subs = 0;
+  };
+  std::map<TxnId, Parent> joined;
+  for (const Workload& sub : part->shards) {
+    for (const QueryRequest& q : sub.queries) {
+      Parent& p = joined[q.id];
+      p.items += q.items.size();
+      p.exec += q.exec;
+      ++p.subs;
+    }
+  }
+  ASSERT_EQ(joined.size(), w->queries.size());
+  int64_t cross = 0;
+  int64_t subs = 0;
+  for (size_t i = 0; i < w->queries.size(); ++i) {
+    const QueryRequest& q = w->queries[i];
+    const Parent& p = joined[static_cast<TxnId>(i)];
+    EXPECT_EQ(p.items, q.items.size());
+    EXPECT_EQ(p.subs, part->sub_count[i]);
+    subs += p.subs;
+    if (p.subs > 1) ++cross;
+    if (p.subs == 1) {
+      EXPECT_EQ(p.exec, q.exec);  // untouched service demand
+    } else {
+      // Proportional split: conserved up to the >= 1-tick clamp per sub.
+      EXPECT_GE(p.exec, q.exec);
+      EXPECT_LE(p.exec, q.exec + p.subs);
+    }
+  }
+  EXPECT_EQ(cross, part->cross_shard_queries);
+  EXPECT_EQ(subs, part->subqueries);
+}
+
+TEST(ShardedEngineTest, SingleShardMatchesMonolithicBitForBit) {
+  auto w = SmallWorkload();
+  ASSERT_TRUE(w.ok());
+  const UsmWeights weights{1.0, 0.5, 1.0, 0.5};
+  for (const char* policy : {"unit", "imu", "odu", "qmf"}) {
+    auto mono = RunExperiment(*w, policy, weights);
+    ASSERT_TRUE(mono.ok()) << mono.status().ToString();
+    ShardedParams params;
+    params.shards = 1;
+    auto sharded = RunSharded(*w, policy, weights, params);
+    ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+
+    const RunMetrics& a = mono->metrics;
+    const RunMetrics& b = sharded->metrics;
+    EXPECT_EQ(a.counts.submitted, b.counts.submitted) << policy;
+    EXPECT_EQ(a.counts.success, b.counts.success) << policy;
+    EXPECT_EQ(a.counts.rejected, b.counts.rejected) << policy;
+    EXPECT_EQ(a.counts.dmf, b.counts.dmf) << policy;
+    EXPECT_EQ(a.counts.dsf, b.counts.dsf) << policy;
+    EXPECT_EQ(a.busy_s, b.busy_s) << policy;
+    EXPECT_EQ(a.preemptions, b.preemptions) << policy;
+    EXPECT_EQ(a.lock_restarts, b.lock_restarts) << policy;
+    EXPECT_EQ(a.update_commits, b.update_commits) << policy;
+    EXPECT_EQ(a.query_response_s.sum(), b.query_response_s.sum()) << policy;
+    EXPECT_EQ(a.query_freshness.sum(), b.query_freshness.sum()) << policy;
+    EXPECT_EQ(mono->usm, sharded->usm) << policy;
+    EXPECT_EQ(sharded->cross_shard_queries, 0) << policy;
+  }
+}
+
+TEST(ShardedEngineTest, ParentAccountingConservesTheTrace) {
+  auto w = SmallWorkload();
+  ASSERT_TRUE(w.ok());
+  ShardedParams params;
+  params.shards = 4;
+  auto r = RunSharded(*w, "unit", UsmWeights{1.0, 0.5, 1.0, 0.5}, params);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  // Merged outcome counts are parent-level: one resolution per input query.
+  EXPECT_EQ(r->metrics.counts.submitted,
+            static_cast<int64_t>(w->queries.size()));
+  EXPECT_EQ(r->metrics.counts.resolved(), r->metrics.counts.submitted);
+  EXPECT_EQ(r->queries.size(), w->queries.size());
+
+  // Sub-query accounting: per-shard submissions sum to the split volume.
+  int64_t shard_submitted = 0;
+  for (const RunMetrics& m : r->per_shard) {
+    shard_submitted += m.counts.submitted;
+  }
+  EXPECT_EQ(shard_submitted, r->subqueries);
+  EXPECT_GT(r->cross_shard_queries, 0);
+  EXPECT_GT(r->subqueries, static_cast<int64_t>(w->queries.size()));
+
+  // Every parent record joins at least one sub, committed parents carry a
+  // freshness in [0, 1], and the merged USM is the Eq. 5 average.
+  for (const ShardQueryRecord& q : r->queries) {
+    EXPECT_GE(q.subqueries, 1);
+    EXPECT_NE(q.outcome, Outcome::kPending);
+    if (q.outcome == Outcome::kSuccess || q.outcome == Outcome::kDataStale) {
+      EXPECT_GE(q.observed_freshness, 0.0);
+      EXPECT_LE(q.observed_freshness, 1.0);
+      EXPECT_GE(q.commit_time, 0);
+    }
+  }
+  EXPECT_GE(r->usm, -1.0);
+  EXPECT_LE(r->usm, 1.0);
+}
+
+TEST(ShardedEngineTest, ShardedExperimentWrapperMatchesRunSharded) {
+  auto w = SmallWorkload();
+  ASSERT_TRUE(w.ok());
+  const UsmWeights weights{1.0, 0.5, 1.0, 0.5};
+  ShardedParams params;
+  params.shards = 2;
+  auto direct = RunSharded(*w, "unit", weights, params);
+  ASSERT_TRUE(direct.ok());
+  auto wrapped = RunShardedExperiment(*w, "unit", weights, /*shards=*/2);
+  ASSERT_TRUE(wrapped.ok());
+  EXPECT_EQ(wrapped->usm, direct->usm);
+  EXPECT_EQ(wrapped->metrics.counts.success, direct->metrics.counts.success);
+  EXPECT_EQ(wrapped->trace, w->update_trace_name);
+}
+
+}  // namespace
+}  // namespace unitdb

@@ -7,7 +7,8 @@
 // "seed=S case=I ..." line is printed.
 //
 // Usage: diff_fuzz [cases=N] [seed=S] [case=I] [series=0|1] [stream=0|1]
-//                  [perturb=none|cflex|admit] [expect_divergence=0|1]
+//                  [shards=K] [perturb=none|cflex|admit]
+//                  [expect_divergence=0|1]
 //
 //   cases=N              number of generated cases to run (default 100)
 //   seed=S               base fuzz seed (default 1)
@@ -16,6 +17,10 @@
 //   stream=0|1           force the optimized side's streaming-workload path
 //                        off/on for every case (default: gen.h's rotation,
 //                        which streams every other 32-case block)
+//   shards=K             force the sharded dimension for every case: 0 =
+//                        monolithic diff, 1 = sharded-vs-monolithic
+//                        identity, >1 = sharded-vs-sharded-reference
+//                        (default: gen.h's rotation over {0,1,2,3})
 //   perturb=...          inject a known defect into the optimized side
 //                        (harness self-test)
 //   expect_divergence=1  invert success: exit 0 only if a divergence was
@@ -47,7 +52,7 @@ bool ParseU64(const char* s, uint64_t* out) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [cases=N] [seed=S] [case=I] [series=0|1]\n"
-               "          [stream=0|1] [perturb=none|cflex|admit]\n"
+               "          [stream=0|1] [shards=K] [perturb=none|cflex|admit]\n"
                "          [expect_divergence=0|1]\n",
                argv0);
   return 2;
@@ -60,6 +65,7 @@ int main(int argc, char** argv) {
   uint64_t seed = 1;
   int64_t only_case = -1;
   int stream_override = -1;  // -1: keep the generator's rotation
+  int shards_override = -1;  // -1: keep the generator's rotation
   unitdb::DiffOptions opts;
   bool expect_divergence = false;
 
@@ -80,6 +86,8 @@ int main(int argc, char** argv) {
       opts.compare_series = num != 0;
     } else if (key == "stream" && ParseU64(val, &num)) {
       stream_override = num != 0 ? 1 : 0;
+    } else if (key == "shards" && ParseU64(val, &num)) {
+      shards_override = static_cast<int>(num);
     } else if (key == "expect_divergence" && ParseU64(val, &num)) {
       expect_divergence = num != 0;
     } else if (key == "perturb") {
@@ -105,6 +113,7 @@ int main(int argc, char** argv) {
   for (int64_t i = begin; i < end; ++i) {
     unitdb::DiffCase c = unitdb::GenerateCase(seed, i);
     if (stream_override >= 0) c.stream_queries = stream_override == 1;
+    if (shards_override >= 0) c.shards = shards_override;
     const auto result = unitdb::RunDiff(c, opts);
     if (!result.ok()) {
       std::fprintf(stderr, "SETUP-ERROR %s: %s\n",
