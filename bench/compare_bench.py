@@ -1,26 +1,37 @@
 #!/usr/bin/env python3
 """Perf-regression gate over bench JSON output.
 
-Compares a fresh bench JSON (bench_engine_throughput's BENCH_engine.json or
-bench_scale_horizon's BENCH_scale.json) against the checked-in baseline under
-bench/baseline/ and exits non-zero if any cell regressed:
+Compares a fresh bench JSON (bench_engine_throughput's BENCH_engine.json,
+bench_scale_horizon's BENCH_scale.json, or bench_fig8_closed_loop's
+BENCH_session.json) against the checked-in baseline under bench/baseline/
+and exits non-zero if any cell regressed:
 
-  * events/sec dropped by more than --max-regression (default 25%), or
+  * events/sec dropped by more than --max-regression (default 25%); cells
+    whose baseline lacks the field (the closed-loop bench reports only
+    simulation outputs) are skipped,
   * the transaction-slab footprint (txn_live_peak) grew by more than
     --max-slab-growth (default 25%) — a memory-flatness regression; cells
-    whose baseline lacks the field are skipped.
+    whose baseline lacks the field are skipped,
+  * the session abandonment rate (abandon_rate) rose by more than
+    --max-abandon-increase (default 0.02, absolute), or
+  * the p90 client retry delay (retry_p90_s) grew by more than
+    --max-retry-p90-growth (default 25%, relative).
 
-The generous default thresholds are deliberate: the baseline is recorded on
+The generous events/sec threshold is deliberate: the baseline is recorded on
 one machine and CI runs on another, so the gate is meant to catch algorithmic
 regressions (an accidental O(n^2) admission scan, a lost fast path, a slab
-leak), not single-digit scheduling noise. Regenerate baselines after
-intentional perf changes with:
+leak), not single-digit scheduling noise. The closed-loop fields are
+deterministic simulation outputs, machine-independent by construction, so
+their thresholds are tight. Regenerate baselines after intentional changes:
 
     bench_engine_throughput scale=0.1 reps=2 out=bench/baseline/BENCH_engine.json
     bench_scale_horizon base_s=60 rate=5 reps=2 out=bench/baseline/BENCH_scale.json
+    bench_fig8_closed_loop out=bench/baseline/BENCH_session.json
 
 Usage: compare_bench.py BASELINE CURRENT [--max-regression 0.25]
                                          [--max-slab-growth 0.25]
+                                         [--max-abandon-increase 0.02]
+                                         [--max-retry-p90-growth 0.25]
 """
 
 import argparse
@@ -55,6 +66,18 @@ def main():
         default=0.25,
         help="maximum tolerated fractional txn_live_peak growth per cell",
     )
+    parser.add_argument(
+        "--max-abandon-increase",
+        type=float,
+        default=0.02,
+        help="maximum tolerated absolute abandon_rate increase per cell",
+    )
+    parser.add_argument(
+        "--max-retry-p90-growth",
+        type=float,
+        default=0.25,
+        help="maximum tolerated fractional retry_p90_s growth per cell",
+    )
     args = parser.parse_args()
 
     baseline = load_cells(args.baseline)
@@ -73,16 +96,20 @@ def main():
     )
     for (cell, policy), base in sorted(baseline.items()):
         cur = current[(cell, policy)]
-        base_eps = base["events_per_sec"]
-        cur_eps = cur["events_per_sec"]
-        delta = (cur_eps - base_eps) / base_eps if base_eps > 0 else 0.0
+        base_eps = base.get("events_per_sec")
+        cur_eps = cur.get("events_per_sec")
+        delta = 0.0
         marker = ""
-        if delta < -args.max_regression:
-            failures.append(
-                (cell, policy, "events_per_sec", base_eps, cur_eps, delta,
-                 -args.max_regression)
-            )
-            marker = "  << REGRESSION"
+        if base_eps is not None and cur_eps is not None:
+            delta = (cur_eps - base_eps) / base_eps if base_eps > 0 else 0.0
+            if delta < -args.max_regression:
+                failures.append(
+                    (cell, policy, "events_per_sec", base_eps, cur_eps,
+                     delta, -args.max_regression)
+                )
+                marker = "  << REGRESSION"
+        else:
+            base_eps = cur_eps = 0.0
 
         slab_col = ""
         base_peak = base.get("txn_live_peak")
@@ -96,6 +123,28 @@ def main():
                      growth, args.max_slab_growth)
                 )
                 marker = "  << SLAB GROWTH"
+
+        base_ar = base.get("abandon_rate")
+        cur_ar = cur.get("abandon_rate")
+        if base_ar is not None and cur_ar is not None:
+            increase = cur_ar - base_ar
+            if increase > args.max_abandon_increase:
+                failures.append(
+                    (cell, policy, "abandon_rate", base_ar, cur_ar,
+                     increase, args.max_abandon_increase)
+                )
+                marker = "  << ABANDON RATE"
+
+        base_p90 = base.get("retry_p90_s")
+        cur_p90 = cur.get("retry_p90_s")
+        if base_p90 is not None and cur_p90 is not None and base_p90 > 0:
+            growth = (cur_p90 - base_p90) / base_p90
+            if growth > args.max_retry_p90_growth:
+                failures.append(
+                    (cell, policy, "retry_p90_s", base_p90, cur_p90,
+                     growth, args.max_retry_p90_growth)
+                )
+                marker = "  << RETRY P90"
 
         name = f"{cell}/{policy}"
         print(

@@ -20,6 +20,7 @@ constexpr KindName kKindNames[] = {
     {FaultKind::kLoadStep, "load-step"},
     {FaultKind::kServiceSlowdown, "service-slowdown"},
     {FaultKind::kFreshnessShift, "freshness-shift"},
+    {FaultKind::kRetryStorm, "retry-storm"},
 };
 
 std::string FaultPrefix(size_t index) {
@@ -52,6 +53,7 @@ KindFields FieldsOf(FaultKind kind) {
       f.rate_hz = true;
       break;
     case FaultKind::kLoadStep:
+    case FaultKind::kRetryStorm:
       f.rate_hz = true;
       break;
     case FaultKind::kServiceSlowdown:

@@ -28,12 +28,18 @@ namespace unitdb {
 ///    during the window is multiplied by `factor` (server degradation).
 ///  - kFreshnessShift: `delta` is added to the freshness requirement of
 ///    queries arriving during the window (clamped to [0, 1]).
+///  - kRetryStorm: extra query arrivals at `rate_hz` (seeded Poisson,
+///    templates from the workload's own trace) with deadlines tightened to
+///    an eighth of the template's — near-certain misses that, under a
+///    closed loop (EngineParams::session), provoke organic retry waves from
+///    real sessions on top of the injected load. Raises R and Fm.
 enum class FaultKind : uint8_t {
   kUpdateOutage = 0,
   kUpdateBurst,
   kLoadStep,
   kServiceSlowdown,
   kFreshnessShift,
+  kRetryStorm,
 };
 
 /// Stable wire/spec name ("update-outage", "load-step", ...).

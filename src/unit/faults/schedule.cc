@@ -122,6 +122,7 @@ StatusOr<FaultSchedule> FaultSchedule::Compile(const FaultScenarioSpec& spec,
     switch (fault.kind) {
       case FaultKind::kUpdateBurst:
       case FaultKind::kLoadStep:
+      case FaultKind::kRetryStorm:
         edge.magnitude = fault.rate_hz;
         break;
       case FaultKind::kServiceSlowdown:
@@ -146,9 +147,11 @@ StatusOr<FaultSchedule> FaultSchedule::Compile(const FaultScenarioSpec& spec,
     }
 
     Rng rng(SplitMix64(mixed + static_cast<uint64_t>(i) + 1));
-    if (fault.kind == FaultKind::kLoadStep) {
+    if (fault.kind == FaultKind::kLoadStep ||
+        fault.kind == FaultKind::kRetryStorm) {
       if (workload.queries.empty()) {
-        return CompileError(i, "load-step needs a non-empty query trace");
+        return CompileError(i, std::string(FaultKindName(fault.kind)) +
+                                   " needs a non-empty query trace");
       }
       const double mean_gap_s = 1.0 / fault.rate_hz;
       SimTime t = start;
@@ -161,6 +164,14 @@ StatusOr<FaultSchedule> FaultSchedule::Compile(const FaultScenarioSpec& spec,
         QueryRequest q = workload.queries[pick];
         q.id = kInvalidTxn;
         q.arrival = t;
+        if (fault.kind == FaultKind::kRetryStorm) {
+          // Near-certain misses: an eighth of the template's deadline. The
+          // injected queries themselves are never retried (no trace id);
+          // their contribution is the load spike that makes *session*
+          // queries miss and re-enter.
+          q.relative_deadline =
+              std::max<SimDuration>(1, q.relative_deadline / 8);
+        }
         schedule.injected_queries_.push_back(std::move(q));
       }
     } else if (fault.kind == FaultKind::kUpdateBurst) {

@@ -53,6 +53,7 @@ class RecordingPolicy final : public Policy {
     r.observed_freshness = query.observed_freshness();
     r.commit_time = query.commit_time();
     r.restarts = query.restarts();
+    r.preference_class = query.preference_class();
     r.trace_id = query.trace_id();
     records.push_back(r);
     inner_->OnQueryResolved(engine, query, outcome);
@@ -202,6 +203,42 @@ void Compare(const DiffCase& c, const DiffOptions& opts, DiffResult* out) {
          b.fault_injected_updates);
   cmp.Eq("fault_suppressed_updates", a.fault_suppressed_updates,
          b.fault_suppressed_updates);
+  cmp.Eq("session_requests", a.session_requests, b.session_requests);
+  cmp.Eq("session_retries", a.session_retries, b.session_retries);
+  cmp.Eq("session_successes", a.session_successes, b.session_successes);
+  cmp.Eq("session_abandons", a.session_abandons, b.session_abandons);
+  cmp.Eq("queries_shed", a.queries_shed, b.queries_shed);
+  cmp.Stat("session_retry_delay_s", a.session_retry_delay_s,
+           b.session_retry_delay_s);
+
+  // Closed-loop conservation: every session request resolves to exactly one
+  // terminal outcome, and no chain retries past its budget. Checked on each
+  // side independently so a defect that silently drops a chain (the
+  // kDropRetry self-test) is caught even where the sides happen to agree.
+  if (c.engine.session.sessions > 0) {
+    const auto conservation = [&cmp](const char* side, const RunMetrics& m,
+                                     int max_retries) {
+      if (m.session_requests != m.session_successes + m.session_abandons) {
+        std::ostringstream os;
+        os << "session.conservation(" << side
+           << "): requests=" << m.session_requests
+           << " != successes=" << m.session_successes
+           << " + abandons=" << m.session_abandons;
+        cmp.Mismatch(os.str());
+      }
+      const int64_t bound =
+          m.session_requests * static_cast<int64_t>(max_retries);
+      if (m.session_retries > bound) {
+        std::ostringstream os;
+        os << "session.retry_bound(" << side
+           << "): retries=" << m.session_retries
+           << " > requests*max_retries=" << bound;
+        cmp.Mismatch(os.str());
+      }
+    };
+    conservation("optimized", a, c.engine.session.max_retries);
+    conservation("reference", b, c.engine.session.max_retries);
+  }
   cmp.Eq("per_item_accesses.size", a.per_item_accesses.size(),
          b.per_item_accesses.size());
   for (size_t i = 0;
@@ -232,6 +269,8 @@ void Compare(const DiffCase& c, const DiffOptions& opts, DiffResult* out) {
                qa.observed_freshness, qb.observed_freshness);
     cmp.Eq(Idx("queries", i, "commit_time"), qa.commit_time, qb.commit_time);
     cmp.Eq(Idx("queries", i, "restarts"), qa.restarts, qb.restarts);
+    cmp.Eq(Idx("queries", i, "preference_class"), qa.preference_class,
+           qb.preference_class);
   }
 
   // Window series, bit-for-bit, plus the naive per-window USM cross-check.
@@ -262,6 +301,9 @@ void Compare(const DiffCase& c, const DiffOptions& opts, DiffResult* out) {
                  sb.admission_knob);
       cmp.Eq(Idx("series", i, "degraded_items"), sa.degraded_items,
              sb.degraded_items);
+      cmp.Eq(Idx("series", i, "retries"), sa.retries, sb.retries);
+      cmp.Eq(Idx("series", i, "abandons"), sa.abandons, sb.abandons);
+      cmp.Eq(Idx("series", i, "shed"), sa.shed, sb.shed);
 
       // Cross-check the recorder's Eq. 5 decomposition against the naive
       // one-at-a-time accumulation (tolerance: accumulation-order error).
@@ -318,6 +360,7 @@ DiffRun ShardedToDiffRun(ShardedResult&& r) {
     rec.observed_freshness = q.observed_freshness;
     rec.commit_time = q.commit_time;
     rec.restarts = q.restarts;
+    rec.preference_class = q.preference_class;
     run.queries.push_back(rec);
   }
   run.series = std::move(r.merged_series);
@@ -360,19 +403,25 @@ StatusOr<DiffResult> RunShardedDiff(const DiffCase& c,
   sp.scenario = c.scenario.empty() ? nullptr : &c.scenario;
   sp.fault_seed = c.workload_seed;
   sp.perturb_admit_off_by_one = opts.perturb == Perturbation::kAdmitOffByOne;
+  sp.engine.session.drop_retry_at =
+      opts.perturb == Perturbation::kDropRetry ? 1 : 0;
 
   auto optimized = RunSharded(*optimized_workload, c.policy, c.weights, sp);
   if (!optimized.ok()) return optimized.status();
   // Conservation checks on the optimized side before it is consumed: every
-  // sub-query a shard saw is either a split of a parent or fault-injected,
-  // and the merged submitted count is exactly the joined parent count.
+  // sub-query a shard saw is a split of a parent, fault-injected, or a
+  // closed-loop resubmission of one of those, and the merged submitted
+  // count is exactly the joined parent count.
   int64_t shard_submitted = 0;
   int64_t shard_injected = 0;
+  int64_t shard_retries = 0;
   for (const RunMetrics& m : optimized->per_shard) {
     shard_submitted += m.counts.submitted;
     shard_injected += m.fault_injected_queries;
+    shard_retries += m.session_retries;
   }
-  const int64_t expected_subs = optimized->subqueries + shard_injected;
+  const int64_t expected_subs =
+      optimized->subqueries + shard_injected + shard_retries;
   const int64_t parent_count =
       static_cast<int64_t>(optimized->queries.size());
   const int64_t merged_submitted = optimized->metrics.counts.submitted;
@@ -389,10 +438,60 @@ StatusOr<DiffResult> RunShardedDiff(const DiffCase& c,
     params.counters = nullptr;
     params.series = opts.compare_series ? &series : nullptr;
     params.faults = schedule_ptr;
+    params.session.drop_retry_at = 0;  // perturbations hit optimized only
     ReferenceEngine engine(c.workload, &recording, params);
     result.reference.metrics = engine.Run();
     result.reference.queries = std::move(recording.records);
     result.reference.series = series.samples();
+
+    // Closed-loop runs resolve one monolithic record per *attempt*, while
+    // the sharded side joins parents over final attempts only. Collapse the
+    // reference records to the last record per parent and subtract the
+    // dropped attempts (necessarily non-committed, so the response/freshness
+    // stats are untouched) from the aggregate counts, so both sides speak
+    // parent-level.
+    if (c.engine.session.sessions > 0) {
+      std::vector<QueryRecord>& recs = result.reference.queries;
+      std::unordered_map<TxnId, size_t> last;
+      for (size_t p = 0; p < recs.size(); ++p) {
+        if (recs[p].trace_id != kInvalidTxn) last[recs[p].trace_id] = p;
+      }
+      RunMetrics& rm = result.reference.metrics;
+      std::vector<QueryRecord> finals;
+      finals.reserve(recs.size());
+      for (size_t p = 0; p < recs.size(); ++p) {
+        const QueryRecord& r = recs[p];
+        if (r.trace_id == kInvalidTxn || last[r.trace_id] == p) {
+          finals.push_back(r);
+          continue;
+        }
+        const auto drop = [&r](OutcomeCounts& counts) {
+          --counts.submitted;
+          switch (r.outcome) {
+            case Outcome::kRejected:
+              --counts.rejected;
+              break;
+            case Outcome::kDeadlineMiss:
+              --counts.dmf;
+              break;
+            case Outcome::kDataStale:
+              --counts.dsf;
+              break;
+            case Outcome::kSuccess:
+              --counts.success;
+              break;
+            case Outcome::kPending:
+              break;
+          }
+        };
+        drop(rm.counts);
+        if (static_cast<size_t>(r.preference_class) <
+            rm.per_class_counts.size()) {
+          drop(rm.per_class_counts[static_cast<size_t>(r.preference_class)]);
+        }
+      }
+      recs = std::move(finals);
+    }
 
     // Remap the monolithic records' ids to parent trace positions (the
     // identity the sharded side carries): request id -> position in the
@@ -425,6 +524,7 @@ StatusOr<DiffResult> RunShardedDiff(const DiffCase& c,
     rp.reference_engines = true;
     rp.options = c.options;  // perturbations hit the optimized side only
     rp.perturb_admit_off_by_one = false;
+    rp.engine.session.drop_retry_at = 0;
     auto reference = RunSharded(c.workload, c.policy, c.weights, rp);
     if (!reference.ok()) return reference.status();
     result.reference = ShardedToDiffRun(std::move(*reference));
@@ -478,6 +578,8 @@ StatusOr<DiffResult> RunDiff(const DiffCase& c, const DiffOptions& opts) {
     params.counters = nullptr;
     params.series = opts.compare_series ? &series : nullptr;
     params.faults = schedule_ptr;
+    params.session.drop_retry_at =
+        opts.perturb == Perturbation::kDropRetry ? 1 : 0;
     Engine engine(*optimized_workload, &recording, params);
     result.optimized.metrics = engine.Run();
     result.optimized.queries = std::move(recording.records);
@@ -495,6 +597,7 @@ StatusOr<DiffResult> RunDiff(const DiffCase& c, const DiffOptions& opts) {
     params.counters = nullptr;
     params.series = opts.compare_series ? &series : nullptr;
     params.faults = schedule_ptr;
+    params.session.drop_retry_at = 0;  // perturbations hit optimized only
     ReferenceEngine engine(c.workload, &recording, params);
     result.reference.metrics = engine.Run();
     result.reference.queries = std::move(recording.records);
@@ -573,6 +676,8 @@ std::string DescribeCase(const DiffCase& c) {
      << " faults=" << (c.scenario.empty() ? 0 : 1)
      << " stream=" << (c.stream_queries ? 1 : 0)
      << " shards=" << c.shards << " sjobs=" << c.shard_jobs
+     << " sessions=" << c.engine.session.sessions
+     << " shed=" << c.engine.shed_watermark
      << " queries=" << c.workload.queries.size()
      << " fault_windows=" << c.scenario.faults.size();
   return os.str();

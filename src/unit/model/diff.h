@@ -30,6 +30,11 @@ struct DiffCase {
 
   std::string policy = "unit";
   UsmWeights weights;
+  /// Engine tunables, including the closed-loop dimension: a case runs with
+  /// user sessions attached when `engine.session.sessions > 0` and with
+  /// overload shedding when `engine.shed_watermark > 0`. The harness pins
+  /// `engine.session.drop_retry_at` itself (see Perturbation::kDropRetry),
+  /// so cases need not set it.
   EngineParams engine;
   PolicyOptions options;
 
@@ -71,6 +76,15 @@ enum class Perturbation {
   /// guaranteed, policy-independent divergence for any case with enough
   /// queries — the robust self-test that shrinking has something to chew on.
   kAdmitOffByOne,
+  /// Closed-loop retry drop: the optimized side's session layer silently
+  /// discards the first retry decision of the run (the harness sets
+  /// SessionParams::drop_retry_at = 1 on the optimized engine only), so one
+  /// chain ends without a success or an abandon. Caught by the session
+  /// conservation cross-check and, wherever the reference chain retries on,
+  /// by per-query outcome divergence. Needs a case with sessions attached
+  /// and at least one reject/miss; diff_fuzz forces sessions on for this
+  /// perturbation.
+  kDropRetry,
 };
 
 /// Per-query observation recorded on both sides and compared field by field.
@@ -80,6 +94,7 @@ struct QueryRecord {
   double observed_freshness = 0.0;  ///< compared bit-for-bit
   SimTime commit_time = 0;
   int restarts = 0;
+  int preference_class = 0;
   /// QueryRequest::id the transaction was built from (kInvalidTxn for
   /// fault-injected queries). Sharded diffs remap both sides' `id` to the
   /// parent trace position through this, so sub-query joins are compared
@@ -129,8 +144,8 @@ StatusOr<DiffResult> RunDiff(const DiffCase& c, const DiffOptions& opts = {});
 DiffCase ShrinkCase(const DiffCase& c, const DiffOptions& opts = {});
 
 /// One-line replayable description: "seed=S case=I policy=P index=0|1
-/// compact=0|1 faults=0|1 queries=N" — paste the seed/case pair into
-/// tools/diff_fuzz replay= to reproduce.
+/// compact=0|1 faults=0|1 stream=0|1 shards=K sjobs=J sessions=N shed=W
+/// queries=N" — paste the seed/case pair into tools/diff_fuzz to reproduce.
 std::string DescribeCase(const DiffCase& c);
 
 }  // namespace unitdb

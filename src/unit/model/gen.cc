@@ -174,6 +174,26 @@ DiffCase GenerateCase(uint64_t seed, int64_t index) {
   c.options.unit.admission.usm_check_enabled = rng.Bernoulli(0.8);
   c.options.unit.seed = rng.NextU64();
 
+  // ---- Closed-loop session layer. Knobs are drawn unconditionally and
+  // strictly after every pre-existing draw, so earlier (seed, case) pairs
+  // keep byte-identical workloads and tunables; the pure index rotations
+  // only decide whether the drawn values are applied.
+  const bool sessions_on = (index / 256) % 2 == 1;
+  const bool shed_on = (index / 512) % 2 == 1;
+  SessionParams sess;
+  sess.sessions = static_cast<int>(rng.UniformInt(1, 8));
+  sess.max_retries = static_cast<int>(rng.UniformInt(1, 4));
+  sess.think_time = SecondsToSim(rng.Uniform(0.001, 0.02));
+  sess.backoff_base = SecondsToSim(rng.Uniform(0.0005, 0.01));
+  sess.backoff_cap = SecondsToSim(rng.Uniform(0.05, 0.5));
+  sess.jitter = rng.Uniform(0.0, 1.0);
+  const SimDuration patience = SecondsToSim(rng.Uniform(0.05, 2.0));
+  sess.patience = rng.Bernoulli(0.5) ? patience : 0;
+  sess.seed = rng.NextU64();
+  const int watermark = static_cast<int>(rng.UniformInt(1, 12));
+  if (sessions_on) c.engine.session = sess;
+  if (shed_on) c.engine.shed_watermark = watermark;
+
   return c;
 }
 

@@ -24,6 +24,8 @@ namespace unitdb {
 ///   stream_queries      = (index / 32) % 2 == 0
 ///   shards              = (index / 64) % 4   (0 = monolithic diff)
 ///   shard_jobs          = (index / 128) % 2 == 0 ? 1 : 2
+///   sessions attached   = (index / 256) % 2 == 1  (closed-loop clients)
+///   shed watermark set  = (index / 512) % 2 == 1  (overload shedding)
 ///
 /// Everything else is drawn from Rng(SplitMix64(seed ^ SplitMix64(index))).
 /// The knob rotations are index arithmetic only (no RNG draw), so adding a

@@ -41,6 +41,10 @@ ReferenceEngine::ReferenceEngine(const Workload& workload, Policy* policy,
   if (params_.faults != nullptr) {
     item_outage_.assign(workload.num_items, 0);
   }
+  if (params_.session.sessions > 0) {
+    session_patience_.assign(static_cast<size_t>(params_.session.sessions),
+                             params_.session.patience);
+  }
 }
 
 RunMetrics ReferenceEngine::Run() {
@@ -76,6 +80,9 @@ RunMetrics ReferenceEngine::Run() {
         break;
       case EventType::kFaultUpdateArrival:
         HandleFaultUpdateArrival(e.payload);
+        break;
+      case EventType::kClientResubmit:
+        HandleClientResubmit(e.payload);
         break;
     }
   }
@@ -278,9 +285,18 @@ void ReferenceEngine::HandleQueryArrival(int64_t query_index) {
   AdmitArrivedQuery(Queries()[query_index]);
 }
 
-void ReferenceEngine::AdmitArrivedQuery(const QueryRequest& request) {
+void ReferenceEngine::AdmitArrivedQuery(const QueryRequest& request,
+                                        bool resubmit) {
   Transaction* t = NewQueryTxn(request);
   ++metrics_.counts.submitted;
+  if (!resubmit && params_.session.sessions > 0 &&
+      t->trace_id() != kInvalidTxn) {
+    ++metrics_.session_requests;
+    RefChain c;
+    c.trace_id = t->trace_id();
+    c.request = request;
+    chains_.push_back(std::move(c));
+  }
   if (!policy_->AdmitQuery(*this, *t)) {
     t->set_state(TxnState::kAborted);
     ResolveQuery(t, Outcome::kRejected);
@@ -289,7 +305,36 @@ void ReferenceEngine::AdmitArrivedQuery(const QueryRequest& request) {
   t->set_state(TxnState::kReady);
   ReadyInsert(t);
   Push(t->absolute_deadline(), EventType::kQueryDeadline, t->id());
+  if (params_.shed_watermark > 0) MaybeShed();
   TryDispatch();
+}
+
+void ReferenceEngine::MaybeShed() {
+  while (ReadyQueryCount() > params_.shed_watermark) {
+    Transaction* victim = nullptr;
+    for (Transaction* t : ready_) {
+      if (!t->is_query()) continue;
+      if (victim == nullptr || t->arrival() < victim->arrival() ||
+          (t->arrival() == victim->arrival() && t->id() < victim->id())) {
+        victim = t;
+      }
+    }
+    assert(victim != nullptr && "query count > 0 implies a ready query");
+    ++metrics_.queries_shed;
+    // Erase the victim's pending deadline event eagerly, as the commit path
+    // does: a stale deadline left behind would advance this engine's clock
+    // (and the final window flush) past the optimized engine's, which skips
+    // tombstoned events without touching now_.
+    CancelEvent(EventType::kQueryDeadline, victim->id());
+    AbortQuery(victim, Outcome::kRejected);
+  }
+}
+
+void ReferenceEngine::HandleClientResubmit(int64_t resubmit_index) {
+  QueryRequest request =
+      resubmits_[static_cast<size_t>(resubmit_index)].request;
+  request.arrival = now_;
+  AdmitArrivedQuery(request, /*resubmit=*/true);
 }
 
 void ReferenceEngine::HandleUpdateArrival(ItemId item) {
@@ -375,6 +420,7 @@ void ReferenceEngine::HandleFaultEdge(int64_t edge_index) {
       break;
     case FaultKind::kUpdateBurst:
     case FaultKind::kLoadStep:
+    case FaultKind::kRetryStorm:
       break;
   }
 }
@@ -569,6 +615,67 @@ void ReferenceEngine::ResolveQuery(Transaction* t, Outcome outcome) {
       break;
   }
   policy_->OnQueryResolved(*this, *t, outcome);
+  if (params_.session.sessions > 0 && t->trace_id() != kInvalidTxn) {
+    OnSessionOutcome(t, outcome);
+  }
+}
+
+void ReferenceEngine::OnSessionOutcome(Transaction* t, Outcome outcome) {
+  // Naive mirror of SessionPool::OnOutcome (session/session.h): same
+  // decision order — done / retries exhausted / patience / defect hook /
+  // retry — and the same pure SessionOf / RetryDelay arithmetic, but the
+  // chain is found by a linear scan instead of a hash lookup.
+  const TxnId trace_id = t->trace_id();
+  size_t idx = chains_.size();
+  for (size_t i = 0; i < chains_.size(); ++i) {
+    if (chains_[i].trace_id == trace_id) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == chains_.size()) return;  // chain already dropped
+  const SessionParams& sp = params_.session;
+  const int session = SessionOf(sp.seed, trace_id, sp.sessions);
+  RefChain& c = chains_[idx];
+  const auto drop_chain = [this, idx] {
+    chains_.erase(chains_.begin() + static_cast<ptrdiff_t>(idx));
+  };
+  if (outcome == Outcome::kSuccess || outcome == Outcome::kDataStale) {
+    ++metrics_.session_successes;
+    drop_chain();
+    return;
+  }
+  if (c.retries >= sp.max_retries) {
+    ++metrics_.session_abandons;
+    drop_chain();
+    return;
+  }
+  const SimDuration delay =
+      RetryDelay(sp, session, trace_id, c.retries, c.prev_delay);
+  if (sp.patience > 0) {
+    SimDuration& budget = session_patience_[static_cast<size_t>(session)];
+    if (budget < delay) {
+      ++metrics_.session_abandons;
+      drop_chain();
+      return;
+    }
+    budget -= delay;
+  }
+  if (sp.drop_retry_at > 0 && ++retry_decisions_ == sp.drop_retry_at) {
+    drop_chain();  // the injected defect: decision silently dropped
+    return;
+  }
+  c.retries += 1;
+  c.prev_delay = delay;
+  SessionAttempt attempt;
+  attempt.request = c.request;
+  attempt.attempt = c.retries + 1;
+  attempt.prev_delay = delay;
+  resubmits_.push_back(std::move(attempt));
+  Push(now_ + delay, EventType::kClientResubmit,
+       static_cast<int64_t>(resubmits_.size() - 1));
+  ++metrics_.session_retries;
+  metrics_.session_retry_delay_s.Add(SimToSeconds(delay));
 }
 
 void ReferenceEngine::ReleaseLocksOf(Transaction* t) {
@@ -638,6 +745,12 @@ void ReferenceEngine::RecordWindowSample() {
   }
   s.admission_knob = policy_->AdmissionKnob();
   s.degraded_items = db_.DegradedCount();
+  s.retries = metrics_.session_retries - series_last_retries_;
+  s.abandons = metrics_.session_abandons - series_last_abandons_;
+  s.shed = metrics_.queries_shed - series_last_shed_;
+  series_last_retries_ = metrics_.session_retries;
+  series_last_abandons_ = metrics_.session_abandons;
+  series_last_shed_ = metrics_.queries_shed;
   params_.series->Record(s);
 }
 

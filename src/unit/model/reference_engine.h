@@ -15,6 +15,7 @@
 #include "unit/sched/event_queue.h"
 #include "unit/sched/metrics.h"
 #include "unit/sched/ready_queue.h"
+#include "unit/session/session.h"
 #include "unit/txn/transaction.h"
 #include "unit/workload/spec.h"
 
@@ -35,7 +36,14 @@ namespace unitdb {
 ///    and queue depths are recomputed by full sums/counts on every call;
 ///  - admission: the AdmissionIndex member is never initialized, so the
 ///    shared AdmissionController always takes its naive O(N_rq)
-///    ready-queue-scan path (no Fenwick tree, no segment tree).
+///    ready-queue-scan path (no Fenwick tree, no segment tree);
+///  - closed-loop sessions: the optimized engine's SessionPool (hash-map
+///    retry chains) is mirrored with a flat vector scanned linearly per
+///    outcome, reusing only the pure SessionOf / RetryDelay helpers — the
+///    spec-level arithmetic — so the differential harness cross-checks the
+///    session state machine itself, not a shared implementation;
+///  - overload shedding: the eviction victim (minimum (arrival, id) ready
+///    query) is found by a full scan of the ready vector.
 ///
 /// Determinism contract with the optimized engine: both push the same
 /// events in the same order (so FIFO tie-breaks at equal timestamps
@@ -145,7 +153,12 @@ class ReferenceEngine final : public EngineContext {
   void HandleFaultEdge(int64_t edge_index);
   void HandleFaultQueryArrival(int64_t injected_index);
   void HandleFaultUpdateArrival(int64_t injected_index);
-  void AdmitArrivedQuery(const QueryRequest& request);
+  void HandleClientResubmit(int64_t resubmit_index);
+  void AdmitArrivedQuery(const QueryRequest& request, bool resubmit = false);
+  /// Drop-oldest overload shedding (EngineParams::shed_watermark).
+  void MaybeShed();
+  /// Naive mirror of SessionPool::OnOutcome over the flat chain vector.
+  void OnSessionOutcome(Transaction* t, Outcome outcome);
 
   void TryDispatch();
   void StartRunning(Transaction* t);
@@ -189,9 +202,25 @@ class ReferenceEngine final : public EngineContext {
   double fault_exec_scale_ = 1.0;
   double fault_freshness_shift_ = 0.0;
 
+  /// One in-flight session retry chain (naive counterpart of
+  /// SessionPool::Chain; found by linear scan on trace id).
+  struct RefChain {
+    TxnId trace_id = kInvalidTxn;
+    QueryRequest request;
+    int retries = 0;
+    SimDuration prev_delay = 0;
+  };
+  std::vector<RefChain> chains_;
+  std::vector<SimDuration> session_patience_;
+  int64_t retry_decisions_ = 0;
+  std::vector<SessionAttempt> resubmits_;
+
   OutcomeCounts series_last_counts_;
   double series_last_busy_ = 0.0;
   SimTime series_last_sample_ = 0;
+  int64_t series_last_retries_ = 0;
+  int64_t series_last_abandons_ = 0;
+  int64_t series_last_shed_ = 0;
   std::vector<int64_t> udrop_scratch_;
 
   RunMetrics metrics_;

@@ -32,6 +32,9 @@ void AppendRowValues(const WindowSample& s, std::vector<std::string>& out) {
   out.push_back(std::to_string(s.udrop_max));
   out.push_back(FmtG(s.admission_knob));
   out.push_back(std::to_string(s.degraded_items));
+  out.push_back(std::to_string(s.retries));
+  out.push_back(std::to_string(s.abandons));
+  out.push_back(std::to_string(s.shed));
 }
 
 Status WriteStringToFile(const std::string& text, const std::string& path) {
@@ -60,7 +63,8 @@ const std::vector<std::string>& TimeSeriesRecorder::ColumnNames() {
       "dmf",         "dsf",           "usm_s",         "usm_r",
       "usm_fm",      "usm_fs",        "utilization",   "ready_queries",
       "ready_updates", "udrop_p50",   "udrop_p90",     "udrop_max",
-      "c_flex",      "degraded_items"};
+      "c_flex",      "degraded_items", "retries",      "abandons",
+      "shed"};
   return kColumns;
 }
 

@@ -26,6 +26,11 @@ struct WindowSample {
   int64_t udrop_max = 0;
   double admission_knob = 0.0;  ///< C_flex (NaN: policy has no AC knob)
   int degraded_items = 0;       ///< items with current period > ideal
+  // Closed-loop session activity over the window (all 0 when the session
+  // layer and shedding are off).
+  int64_t retries = 0;   ///< session resubmissions scheduled
+  int64_t abandons = 0;  ///< requests abandoned by their session
+  int64_t shed = 0;      ///< ready queries evicted by overload shedding
 };
 
 /// Collects WindowSamples during a run (EngineParams::series) and exports

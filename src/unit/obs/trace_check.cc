@@ -5,6 +5,7 @@
 #include <map>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "unit/faults/scenario.h"
 
@@ -75,6 +76,18 @@ class Checker {
         case TraceEventType::kFaultStop:
           ++result_.fault_stops;
           OnFaultStop(e);
+          break;
+        case TraceEventType::kSessionRetry:
+          ++result_.session_retries;
+          OnSessionRetry(e);
+          break;
+        case TraceEventType::kSessionAbandon:
+          ++result_.session_abandons;
+          OnSessionAbandon(e);
+          break;
+        case TraceEventType::kShed:
+          ++result_.sheds;
+          OnShed(e);
           break;
       }
     }
@@ -148,6 +161,7 @@ class Checker {
       Violation(2, e, "reject of a non-pending txn " + std::to_string(e.txn));
     }
     *phase = TxnPhase::kDone;
+    failed_txns_.insert(e.txn);
   }
 
   void RequireAdmitted(const TraceEvent& e, const char* what) {
@@ -194,6 +208,72 @@ class Checker {
     RequireAdmitted(e, "deadline-miss");
     auto it = txns_.find(e.txn);
     if (it != txns_.end()) it->second = TxnPhase::kDone;
+    failed_txns_.insert(e.txn);
+  }
+
+  /// Invariant 7 (shed leg): overload shedding evicts an *admitted* ready
+  /// query (it is a terminal outcome for invariant 2), the watermark must be
+  /// active (>= 1), and the pre-eviction ready depth must strictly exceed it
+  /// — shedding below or at the watermark is forbidden.
+  void OnShed(const TraceEvent& e) {
+    RequireAdmitted(e, "shed");
+    auto it = txns_.find(e.txn);
+    if (it != txns_.end()) it->second = TxnPhase::kDone;
+    failed_txns_.insert(e.txn);
+    const int64_t watermark = static_cast<int64_t>(e.magnitude);
+    if (watermark < 1) {
+      Violation(7, e, "shed with inactive watermark " +
+                       std::to_string(watermark));
+    } else if (e.resolved <= watermark) {
+      Violation(7, e, "shed at ready depth " + std::to_string(e.resolved) +
+                       " <= watermark " + std::to_string(watermark));
+    }
+  }
+
+  /// Invariant 7 (retry leg): a retry is only scheduled in reaction to a
+  /// failed attempt, so its txn must already have a reject / deadline-miss /
+  /// shed on record; per request chain the attempt counter increments from 1
+  /// and the backoff delay never shrinks.
+  void OnSessionRetry(const TraceEvent& e) {
+    if (failed_txns_.find(e.txn) == failed_txns_.end()) {
+      Violation(7, e, "retry without a prior reject/miss/shed for txn " +
+                       std::to_string(e.txn));
+    }
+    ChainState& c = chains_[e.request];
+    if (e.resolved != c.last_attempt + 1) {
+      Violation(7, e, "request " + std::to_string(e.request) +
+                       " retry attempt " + std::to_string(e.resolved) +
+                       " does not follow attempt " +
+                       std::to_string(c.last_attempt));
+    }
+    if (e.lag < 1) {
+      Violation(7, e, "retry with non-positive delay " +
+                       std::to_string(e.lag));
+    } else if (e.lag < c.last_delay) {
+      Violation(7, e, "request " + std::to_string(e.request) +
+                       " backoff delay shrank from " +
+                       std::to_string(c.last_delay) + " to " +
+                       std::to_string(e.lag));
+    }
+    c.last_attempt = e.resolved;
+    c.last_delay = e.lag;
+  }
+
+  /// Invariant 7 (abandon leg): abandonment is also a reaction to a failed
+  /// attempt and must be the chain's next attempt number.
+  void OnSessionAbandon(const TraceEvent& e) {
+    if (failed_txns_.find(e.txn) == failed_txns_.end()) {
+      Violation(7, e, "abandon without a prior reject/miss/shed for txn " +
+                       std::to_string(e.txn));
+    }
+    auto it = chains_.find(e.request);
+    const int last_attempt = it == chains_.end() ? 0 : it->second.last_attempt;
+    if (e.resolved != last_attempt + 1) {
+      Violation(7, e, "request " + std::to_string(e.request) +
+                       " abandoned at attempt " + std::to_string(e.resolved) +
+                       " after attempt " + std::to_string(last_attempt));
+    }
+    if (it != chains_.end()) chains_.erase(it);
   }
 
   void OnPeriodChange(const TraceEvent& e) {
@@ -298,8 +378,10 @@ class Checker {
         fm_pressure_ += delta;
         break;
       case FaultKind::kLoadStep:
+      case FaultKind::kRetryStorm:
         // Pressures R and Fm together — no single relieving action, so a
-        // load-step window suspends the direction check via neither tally.
+        // load-step / retry-storm window suspends the direction check via
+        // neither tally.
         fs_pressure_ += delta;
         fm_pressure_ += delta;
         break;
@@ -348,9 +430,19 @@ class Checker {
     active_faults_.erase(it);
   }
 
+  /// Per-request retry-chain state for invariant 7.
+  struct ChainState {
+    int64_t last_attempt = 0;
+    SimDuration last_delay = 0;
+  };
+
   TraceCheckResult result_;
   SimTime last_time_ = 0;
   std::unordered_map<TxnId, TxnPhase> txns_;
+  /// Txns with a recorded failure terminal (reject / deadline-miss / shed);
+  /// retries and abandons must reference one of these.
+  std::unordered_set<TxnId> failed_txns_;
+  std::unordered_map<TxnId, ChainState> chains_;
   /// Open fault windows: fault id -> kind name (ordered so the unclosed-
   /// window epilogue reports deterministically).
   std::map<int64_t, std::string> active_faults_;
@@ -385,7 +477,7 @@ std::string TraceCheckSummary(const TraceCheckResult& r) {
   }
   out += std::to_string(r.violation_count) + " violation(s)";
   out += " [per invariant:";
-  for (int i = 1; i <= 6; ++i) {
+  for (int i = 1; i <= 7; ++i) {
     if (r.invariant_violations[i] > 0) {
       out += " " + std::to_string(i) + "x" +
              std::to_string(r.invariant_violations[i]);

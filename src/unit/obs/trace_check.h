@@ -29,6 +29,9 @@ struct TraceCheckResult {
   int64_t lbc_signals = 0;
   int64_t fault_starts = 0;
   int64_t fault_stops = 0;
+  int64_t session_retries = 0;
+  int64_t session_abandons = 0;
+  int64_t sheds = 0;
   /// LBC evaluations that fired while at least one fault window was open,
   /// and how many of those chose the action relieving the pressured
   /// penalty — the adaptivity tests assert the controller actually
@@ -39,16 +42,16 @@ struct TraceCheckResult {
   int64_t violation_count = 0;
   std::vector<std::string> violations;
 
-  /// Violations per numbered invariant (index 1..6 of the list below;
+  /// Violations per numbered invariant (index 1..7 of the list below;
   /// index 0 unused). Sums to violation_count.
-  int64_t invariant_violations[7] = {0, 0, 0, 0, 0, 0, 0};
+  int64_t invariant_violations[8] = {0, 0, 0, 0, 0, 0, 0, 0};
 
   bool ok() const { return violation_count == 0; }
 
-  /// Lowest-numbered violated invariant (1..6), or 0 when ok() — the
+  /// Lowest-numbered violated invariant (1..7), or 0 when ok() — the
   /// per-invariant exit code tools/trace_check reports.
   int FirstViolatedInvariant() const {
-    for (int i = 1; i <= 6; ++i) {
+    for (int i = 1; i <= 7; ++i) {
       if (invariant_violations[i] > 0) return i;
     }
     return 0;
@@ -78,6 +81,13 @@ struct TraceCheckResult {
 ///     update-burst / service-slowdown -> Fm), an LBC evaluation whose
 ///     pressured ratio is the strict maximum must emit the signal that
 ///     relieves it ("upgrade" for Fs, "degrade+tighten" for Fm).
+///  7. Closed-loop session discipline: every session-retry / session-abandon
+///     pairs with a prior reject, deadline-miss, or shed of the same
+///     attempt's transaction; per request chain, attempt numbers increment
+///     from 1 and retry delays are non-decreasing; shed events carry an
+///     active watermark (>= 1) and a pre-eviction depth strictly above it.
+///     (Applies to single-engine traces; a merged sharded trace interleaves
+///     per-shard id spaces and is validated per shard file instead.)
 TraceCheckResult CheckTrace(const std::vector<TraceEvent>& events);
 
 /// One-paragraph summary ("N events, M violations" + the first few) used by
@@ -85,7 +95,7 @@ TraceCheckResult CheckTrace(const std::vector<TraceEvent>& events);
 std::string TraceCheckSummary(const TraceCheckResult& result);
 
 /// Process exit code for a checked trace: 0 when every invariant holds,
-/// otherwise the number (1..6) of the lowest violated invariant. Shared by
+/// otherwise the number (1..7) of the lowest violated invariant. Shared by
 /// tools/trace_check so scripts can tell a lifecycle leak (2) from an Eq. 1
 /// accounting bug (3) without parsing the report.
 int TraceCheckExitCode(const TraceCheckResult& result);

@@ -27,6 +27,9 @@ constexpr TypeName kTypeNames[] = {
     {TraceEventType::kLbcSignal, "lbc"},
     {TraceEventType::kFaultStart, "fault-start"},
     {TraceEventType::kFaultStop, "fault-stop"},
+    {TraceEventType::kSessionRetry, "session-retry"},
+    {TraceEventType::kSessionAbandon, "session-abandon"},
+    {TraceEventType::kShed, "shed"},
 };
 
 }  // namespace
@@ -167,6 +170,24 @@ size_t FormatJsonl(const TraceEvent& e, char* buf, size_t cap) {
       a.Int("item", e.item);
       a.Int("items", e.resolved);
       a.Double("mag", e.magnitude);
+      break;
+    case TraceEventType::kSessionRetry:
+      a.Int("txn", e.txn);
+      a.Int("session", e.session);
+      a.Int("request", e.request);
+      a.Int("attempt", e.resolved);
+      a.Int("delay", e.lag);
+      break;
+    case TraceEventType::kSessionAbandon:
+      a.Int("txn", e.txn);
+      a.Int("session", e.session);
+      a.Int("request", e.request);
+      a.Int("attempt", e.resolved);
+      break;
+    case TraceEventType::kShed:
+      a.Int("txn", e.txn);
+      a.Int("depth", e.resolved);
+      a.Int("watermark", static_cast<int64_t>(e.magnitude));
       break;
   }
   return a.Finish();

@@ -28,6 +28,9 @@ enum class TraceEventType : uint8_t {
   kLbcSignal,         ///< LBC adaptive-allocation evaluation + its signal
   kFaultStart,        ///< a fault-schedule disturbance window opened
   kFaultStop,         ///< the window closed (effects restored)
+  kSessionRetry,      ///< a user session scheduled a resubmission
+  kSessionAbandon,    ///< a user session gave up on a request
+  kShed,              ///< ready query evicted by overload shedding
 };
 
 /// Stable wire name of an event type ("query-arrival", "admit", ...).
@@ -77,6 +80,14 @@ struct TraceEvent {
   /// monolithic run, and the field is omitted from the serialized form so
   /// non-sharded goldens are unchanged.
   int32_t shard = -1;
+
+  // Closed-loop session fields (kSessionRetry / kSessionAbandon): the home
+  // session and the trace-level request id the retried/abandoned attempt
+  // belonged to. `resolved` carries the attempt number, and `lag` the retry
+  // delay (kSessionRetry only). Emitted only for session event kinds, so
+  // pre-session goldens are unchanged.
+  int64_t session = -1;
+  TxnId request = kInvalidTxn;
 
   void set_reason(const char* s) {
     // Truncation to the fixed buffer is deliberate; memcpy with an explicit

@@ -112,6 +112,12 @@ Status SetField(TraceEvent* e, const char* key, LineCursor& cur) {
   else if (std::strcmp(key, "util") == 0) e->utilization = dv;
   else if (std::strcmp(key, "knob0") == 0) e->knob_before = dv;
   else if (std::strcmp(key, "knob") == 0) e->knob = dv;
+  else if (std::strcmp(key, "session") == 0) e->session = iv;
+  else if (std::strcmp(key, "request") == 0) e->request = static_cast<TxnId>(iv);
+  else if (std::strcmp(key, "attempt") == 0) e->resolved = iv;
+  else if (std::strcmp(key, "delay") == 0) e->lag = iv;
+  else if (std::strcmp(key, "depth") == 0) e->resolved = iv;
+  else if (std::strcmp(key, "watermark") == 0) e->magnitude = static_cast<double>(iv);
   else {
     return Status(StatusCode::kInvalidArgument,
                   std::string("unknown trace key \"") + key + "\"");

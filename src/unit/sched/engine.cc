@@ -30,7 +30,8 @@ Engine::Engine(const Workload& workload, Policy* policy, EngineParams params)
       locks_(workload.num_items),
       ready_(params.discipline),
       rng_(params.seed),
-      pending_updates_per_item_(workload.num_items, 0) {
+      pending_updates_per_item_(workload.num_items, 0),
+      sessions_(params.session) {
   assert(policy_ != nullptr);
   db_.SetSourceHorizon(workload.duration);
   Status s = db_.ApplySpecs(workload.updates);
@@ -40,9 +41,13 @@ Engine::Engine(const Workload& workload, Policy* policy, EngineParams params)
   metrics_.duration_s = SimToSeconds(workload.duration);
   // The admission index precomputes ranks from the materialized query list;
   // a streamed workload has none, so fall back to the naive admission scan
-  // (bit-identical decisions, just O(N_rq) per arrival).
+  // (bit-identical decisions, just O(N_rq) per arrival). Session
+  // resubmissions likewise have no precomputed rank — a single un-indexed
+  // ready query would make the index's answers wrong, so the closed loop
+  // also falls back to the scan.
   if (params_.use_admission_index && workload.query_source == nullptr &&
-      params_.discipline == QueueDiscipline::kEdf) {
+      params_.discipline == QueueDiscipline::kEdf &&
+      params_.session.sessions == 0) {
     admission_index_.Init(workload, params_.faults != nullptr
                                         ? &params_.faults->injected_queries()
                                         : nullptr);
@@ -98,6 +103,9 @@ RunMetrics Engine::Run() {
         break;
       case EventType::kFaultUpdateArrival:
         HandleFaultUpdateArrival(e.payload);
+        break;
+      case EventType::kClientResubmit:
+        HandleClientResubmit(e.payload);
         break;
     }
   }
@@ -257,9 +265,14 @@ void Engine::HandleQueryArrival(int64_t query_index) {
   AdmitArrivedQuery(request, rank);
 }
 
-void Engine::AdmitArrivedQuery(const QueryRequest& request, int32_t rank) {
+void Engine::AdmitArrivedQuery(const QueryRequest& request, int32_t rank,
+                               bool resubmit) {
   Transaction* t = NewQueryTxn(request, rank);
   ++metrics_.counts.submitted;
+  if (!resubmit && sessions_.Eligible(t->trace_id())) {
+    ++metrics_.session_requests;
+    sessions_.OnSubmit(t->trace_id(), request);
+  }
   if (tracing()) TraceQueryArrival(*t);
   if (!policy_->AdmitQuery(*this, *t)) {
     t->set_state(TxnState::kAborted);
@@ -271,7 +284,41 @@ void Engine::AdmitArrivedQuery(const QueryRequest& request, int32_t rank) {
   ReadyInsert(t);
   events_.Push(t->absolute_deadline(), EventType::kQueryDeadline,
                t->slab_handle());
+  if (params_.shed_watermark > 0) MaybeShed();
   TryDispatch();
+}
+
+void Engine::MaybeShed() {
+  while (ready_.query_count() > params_.shed_watermark) {
+    // Victim: oldest ready query under the total order (arrival, id) — a
+    // unique key, so the pick is deterministic regardless of the hash map's
+    // iteration order. The query admitted just now carries the largest id
+    // among equal arrivals and is therefore never the victim.
+    Transaction* victim = nullptr;
+    for (const auto& [id, q] : live_queries_) {
+      if (q->state() != TxnState::kReady) continue;
+      if (victim == nullptr || q->arrival() < victim->arrival() ||
+          (q->arrival() == victim->arrival() && q->id() < victim->id())) {
+        victim = q;
+      }
+    }
+    if (victim == nullptr) return;  // defensive: depth counts say otherwise
+    shed_depth_ = ready_.query_count();
+    resolving_shed_ = true;
+    ++metrics_.queries_shed;
+    AbortQuery(victim, Outcome::kRejected);
+    resolving_shed_ = false;
+  }
+}
+
+void Engine::HandleClientResubmit(int64_t resubmit_index) {
+  QueryRequest request =
+      resubmits_[static_cast<size_t>(resubmit_index)].request;
+  // The retry arrives now: its deadline clock restarts, and any active
+  // fault adjustments (slowdown, freshness shift) apply to this attempt
+  // exactly as they would to a fresh arrival.
+  request.arrival = now_;
+  AdmitArrivedQuery(request, /*rank=*/-1, /*resubmit=*/true);
 }
 
 void Engine::HandleUpdateArrival(ItemId item) {
@@ -370,6 +417,7 @@ void Engine::HandleFaultEdge(int64_t edge_index) {
       break;
     case FaultKind::kUpdateBurst:
     case FaultKind::kLoadStep:
+    case FaultKind::kRetryStorm:
       // Injection is pre-materialized; the edges only mark the window for
       // the trace (and the checker's response-direction invariant).
       break;
@@ -596,6 +644,36 @@ void Engine::ResolveQuery(Transaction* t, Outcome outcome) {
       break;
   }
   policy_->OnQueryResolved(*this, *t, outcome);
+  if (sessions_.Eligible(t->trace_id())) {
+    const SessionDecision d = sessions_.OnOutcome(t->trace_id(), outcome);
+    switch (d.kind) {
+      case SessionDecision::kRetry: {
+        const QueryRequest* original = sessions_.Request(t->trace_id());
+        assert(original != nullptr && "retry decision keeps the chain");
+        resubmits_.push_back(
+            SessionAttempt{*original, d.attempt + 1, d.delay});
+        events_.Push(now_ + d.delay, EventType::kClientResubmit,
+                     static_cast<int64_t>(resubmits_.size() - 1));
+        ++metrics_.session_retries;
+        metrics_.session_retry_delay_s.Add(SimToSeconds(d.delay));
+        if (tracing()) {
+          TraceSessionEvent(TraceEventType::kSessionRetry, *t, d);
+        }
+        break;
+      }
+      case SessionDecision::kAbandon:
+        ++metrics_.session_abandons;
+        if (tracing()) {
+          TraceSessionEvent(TraceEventType::kSessionAbandon, *t, d);
+        }
+        break;
+      case SessionDecision::kDone:
+        ++metrics_.session_successes;
+        break;
+      case SessionDecision::kNone:
+        break;
+    }
+  }
   // Terminal: recycle the slot (and the read set's storage). Outstanding
   // deadline/completion events carry the now-stale slab handle and resolve
   // to nullptr.
@@ -719,6 +797,16 @@ void Engine::TraceQueryResolution(const Transaction& t, Outcome outcome) {
   e.txn = t.id();
   switch (outcome) {
     case Outcome::kRejected:
+      if (resolving_shed_) {
+        // Overload-shedding eviction: same outcome accounting as a reject,
+        // distinct trace kind carrying the pre-eviction ready depth and the
+        // watermark so the checker can verify depth > watermark.
+        e.type = TraceEventType::kShed;
+        e.set_reason("shed");
+        e.resolved = shed_depth_;
+        e.magnitude = static_cast<double>(params_.shed_watermark);
+        break;
+      }
       e.type = TraceEventType::kReject;
       e.set_reason(pending_reject_reason_ != nullptr ? pending_reject_reason_
                                                      : "policy");
@@ -746,6 +834,20 @@ void Engine::TraceQueryResolution(const Transaction& t, Outcome outcome) {
       return;  // unreachable (ResolveQuery asserts)
   }
   pending_reject_reason_ = nullptr;
+  params_.trace->Emit(e);
+}
+
+UNIT_COLD void Engine::TraceSessionEvent(TraceEventType type,
+                                         const Transaction& t,
+                                         const SessionDecision& d) {
+  TraceEvent e;
+  e.time = now_;
+  e.type = type;
+  e.txn = t.id();
+  e.session = d.session;
+  e.request = t.trace_id();
+  e.resolved = d.attempt;
+  if (type == TraceEventType::kSessionRetry) e.lag = d.delay;
   params_.trace->Emit(e);
 }
 
@@ -790,6 +892,12 @@ void Engine::RecordWindowSample() {
   }
   s.admission_knob = policy_->AdmissionKnob();
   s.degraded_items = db_.DegradedCount();
+  s.retries = metrics_.session_retries - series_last_retries_;
+  s.abandons = metrics_.session_abandons - series_last_abandons_;
+  s.shed = metrics_.queries_shed - series_last_shed_;
+  series_last_retries_ = metrics_.session_retries;
+  series_last_abandons_ = metrics_.session_abandons;
+  series_last_shed_ = metrics_.queries_shed;
   params_.series->Record(s);
 }
 

@@ -15,6 +15,7 @@
 #include "unit/sched/event_queue.h"
 #include "unit/sched/metrics.h"
 #include "unit/sched/ready_queue.h"
+#include "unit/session/session.h"
 #include "unit/txn/transaction.h"
 #include "unit/txn/txn_slab.h"
 #include "unit/workload/query_source.h"
@@ -152,9 +153,12 @@ class Engine final : public EngineContext {
   void TraceSimpleEvent(TraceEventType type, TxnId txn);
   void TraceItemEvent(TraceEventType type, ItemId item);
   void TraceUpdateApply(const Transaction& t);
-  /// Emits the terminal trace event (reject / deadline-miss / commit) for a
-  /// query being resolved.
+  /// Emits the terminal trace event (reject / deadline-miss / commit / shed)
+  /// for a query being resolved.
   void TraceQueryResolution(const Transaction& t, Outcome outcome);
+  /// Emits a kSessionRetry / kSessionAbandon event for a session decision.
+  void TraceSessionEvent(TraceEventType type, const Transaction& t,
+                         const SessionDecision& d);
   /// Emits the kFaultStart / kFaultStop event for a processed edge.
   void TraceFaultEdge(const FaultEdge& edge);
   /// Appends one WindowSample to params_.series (no-op when unset).
@@ -175,8 +179,18 @@ class Engine final : public EngineContext {
   void HandleFaultQueryArrival(int64_t injected_index);
   /// Burst delivery: a forced source message the server must ingest.
   void HandleFaultUpdateArrival(int64_t injected_index);
-  /// Arrival-side admission path shared by workload and injected queries.
-  void AdmitArrivedQuery(const QueryRequest& request, int32_t rank);
+  /// Session retry firing: resubmits the original request at the current
+  /// instant through the shared admission path.
+  void HandleClientResubmit(int64_t resubmit_index);
+  /// Arrival-side admission path shared by workload arrivals, injected
+  /// queries, and session resubmissions (`resubmit` marks the latter so the
+  /// request is not re-registered with its session).
+  void AdmitArrivedQuery(const QueryRequest& request, int32_t rank,
+                         bool resubmit = false);
+  /// Overload shedding: while more than EngineParams::shed_watermark queries
+  /// sit in the ready queue, evicts the oldest (min (arrival, id)) with a
+  /// rejection. Called only when the watermark is set.
+  void MaybeShed();
 
   /// Core dispatch loop: preempts, acquires locks (applying 2PL-HP aborts),
   /// starts the highest-priority runnable transaction.
@@ -231,6 +245,17 @@ class Engine final : public EngineContext {
   SimTime now_ = 0;
   bool ran_ = false;
 
+  // Closed-loop session state (inert when params_.session.sessions == 0).
+  // Resubmissions are parked in resubmits_ and referenced by index from
+  // kClientResubmit event payloads, keeping events POD.
+  SessionPool sessions_;
+  std::vector<SessionAttempt> resubmits_;
+  // Overload-shedding state: resolving_shed_ flags the ResolveQuery calls
+  // made on shedding victims so their terminal trace event is kShed (with
+  // the pre-eviction depth) instead of kReject.
+  bool resolving_shed_ = false;
+  int shed_depth_ = 0;
+
   // Fault-layer state (sized/used only when params_.faults is set). The
   // outage counter nests overlapping windows; the scalars hold the single
   // active slowdown factor / freshness shift (scenario validation forbids
@@ -244,6 +269,9 @@ class Engine final : public EngineContext {
   OutcomeCounts series_last_counts_;
   double series_last_busy_ = 0.0;
   SimTime series_last_sample_ = 0;
+  int64_t series_last_retries_ = 0;
+  int64_t series_last_abandons_ = 0;
+  int64_t series_last_shed_ = 0;
   std::vector<int64_t> udrop_scratch_;
 
   RunMetrics metrics_;

@@ -8,6 +8,7 @@
 
 #include "unit/common/types.h"
 #include "unit/sched/ready_queue.h"
+#include "unit/session/session.h"
 #include "unit/txn/outcome.h"
 #include "unit/txn/transaction.h"
 
@@ -48,6 +49,18 @@ struct EngineParams {
   /// Periodically compacts tombstoned (lazily cancelled) events out of the
   /// event heap. Pop order of live events is unaffected either way.
   bool compact_events = true;
+
+  /// Closed-loop client sessions (src/unit/session/): retry-with-backoff /
+  /// abandon reactions to rejected and deadline-missed queries. The default
+  /// (sessions == 0) is a strict behavioral no-op.
+  SessionParams session;
+
+  /// Overload shedding in admission: whenever an admitted arrival leaves
+  /// more than `shed_watermark` queries in the ready queue, the oldest
+  /// ready query (min (arrival, id)) is evicted with a rejection until the
+  /// depth is back at the watermark. 0 (the default) disables shedding and
+  /// is a strict behavioral no-op.
+  int shed_watermark = 0;
 
   // --- observability hooks (src/unit/obs/; all non-owning, may be null) ---
   // Tracing is strictly read-only with respect to engine and policy state:

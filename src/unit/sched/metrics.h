@@ -59,6 +59,16 @@ struct RunMetrics {
   int64_t fault_injected_updates = 0;    ///< burst update deliveries ingested
   int64_t fault_suppressed_updates = 0;  ///< deliveries swallowed by outages
 
+  // --- closed-loop session telemetry (src/unit/session/; all 0 when
+  // SessionParams::sessions == 0 and shedding is off) ---
+  int64_t session_requests = 0;   ///< distinct trace requests entering a session
+  int64_t session_retries = 0;    ///< resubmissions scheduled by sessions
+  int64_t session_successes = 0;  ///< requests that eventually committed
+  int64_t session_abandons = 0;   ///< requests given up (retries/patience spent)
+  int64_t queries_shed = 0;       ///< ready queries evicted by overload shedding
+  /// Client-observed retry delay (think + backoff + jitter), seconds.
+  RunningStat session_retry_delay_s;
+
   int64_t preemptions = 0;
   int64_t lock_restarts = 0;      ///< 2PL-HP aborts of shared holders
   int64_t update_commits = 0;

@@ -9,6 +9,7 @@
 #include <limits>
 #include <memory>
 #include <tuple>
+#include <unordered_map>
 #include <utility>
 
 #include "unit/common/thread_pool.h"
@@ -193,6 +194,9 @@ FaultScenarioSpec ScopeScenario(const FaultScenarioSpec& spec,
   for (const FaultSpec& fault : spec.faults) {
     switch (fault.kind) {
       case FaultKind::kLoadStep:
+      case FaultKind::kRetryStorm:
+        // Both clone query templates from the sub-trace; drop on a shard
+        // with nothing to clone.
         if (!sub.queries.empty()) scoped.faults.push_back(fault);
         break;
       case FaultKind::kUpdateOutage:
@@ -334,6 +338,9 @@ std::vector<WindowSample> MergeSeries(
       m.ready_queries += s.ready_queries;
       m.ready_updates += s.ready_updates;
       m.degraded_items += s.degraded_items;
+      m.retries += s.retries;
+      m.abandons += s.abandons;
+      m.shed += s.shed;
       m.udrop_p50 = std::max(m.udrop_p50, s.udrop_p50);
       m.udrop_p90 = std::max(m.udrop_p90, s.udrop_p90);
       m.udrop_max = std::max(m.udrop_max, s.udrop_max);
@@ -583,6 +590,12 @@ StatusOr<ShardedResult> RunSharded(const Workload& workload,
     merged.updates_generated += m.updates_generated;
     merged.updates_dropped += m.updates_dropped;
     merged.update_latency_s.Merge(m.update_latency_s);
+    merged.session_requests += m.session_requests;
+    merged.session_retries += m.session_retries;
+    merged.session_successes += m.session_successes;
+    merged.session_abandons += m.session_abandons;
+    merged.queries_shed += m.queries_shed;
+    merged.session_retry_delay_s.Merge(m.session_retry_delay_s);
     const size_t items = std::min(merged.per_item_accesses.size(),
                                   m.per_item_accesses.size());
     for (size_t i = 0; i < items; ++i) {
@@ -607,9 +620,30 @@ StatusOr<ShardedResult> RunSharded(const Workload& workload,
   const std::vector<int>& sub_count = part.value().sub_count;
   std::vector<ParentAgg> parents(sub_count.size());
   std::vector<ParentAgg> injected;
+  // Closed-loop runs resolve one sub-record per *attempt* of a parent's
+  // sub-query on its home shard. The parent join is over final outcomes, so
+  // pre-filter each shard's records to the last record per parent (original
+  // positions preserved for the (resolve_time, shard, pos) merge key;
+  // injected queries have no sessions and every record kept). When sessions
+  // are off the mask is all-ones and the join below is unchanged.
+  const bool closed_loop = params.engine.session.sessions > 0;
   for (int s = 0; s < n; ++s) {
     const auto& records = outputs[static_cast<size_t>(s)].records;
+    std::vector<char> keep;
+    if (closed_loop) {
+      keep.assign(records.size(), 0);
+      std::unordered_map<TxnId, size_t> last;
+      for (size_t pos = 0; pos < records.size(); ++pos) {
+        if (records[pos].trace_id == kInvalidTxn) {
+          keep[pos] = 1;
+        } else {
+          last[records[pos].trace_id] = pos;
+        }
+      }
+      for (const auto& [id, pos] : last) keep[pos] = 1;
+    }
     for (size_t pos = 0; pos < records.size(); ++pos) {
+      if (closed_loop && keep[pos] == 0) continue;
       const SubRecord& rec = records[pos];
       ParentAgg* p;
       if (rec.trace_id == kInvalidTxn) {

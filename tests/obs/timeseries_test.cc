@@ -32,10 +32,13 @@ WindowSample Sample(double t_s) {
 
 TEST(TimeSeriesRecorderTest, ColumnNamesAreStable) {
   const auto& cols = TimeSeriesRecorder::ColumnNames();
-  ASSERT_EQ(cols.size(), 18u);
+  ASSERT_EQ(cols.size(), 21u);
   EXPECT_EQ(cols.front(), "t_s");
   EXPECT_EQ(cols[6], "usm_s");
-  EXPECT_EQ(cols.back(), "degraded_items");
+  EXPECT_EQ(cols[17], "degraded_items");
+  EXPECT_EQ(cols[18], "retries");
+  EXPECT_EQ(cols[19], "abandons");
+  EXPECT_EQ(cols.back(), "shed");
 }
 
 TEST(TimeSeriesRecorderTest, RecordDerivesTheUsmDecomposition) {

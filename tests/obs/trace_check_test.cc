@@ -286,7 +286,7 @@ TEST(TraceCheckExitCodeTest, CleanTraceIsZero) {
   const TraceCheckResult r = CheckTrace(ValidTrace());
   EXPECT_EQ(TraceCheckExitCode(r), 0);
   EXPECT_EQ(r.FirstViolatedInvariant(), 0);
-  for (int i = 1; i <= 6; ++i) EXPECT_EQ(r.invariant_violations[i], 0);
+  for (int i = 1; i <= 7; ++i) EXPECT_EQ(r.invariant_violations[i], 0);
 }
 
 TEST(TraceCheckExitCodeTest, TimestampRegressionIsInvariant1) {
@@ -365,7 +365,7 @@ TEST(TraceCheckExitCodeTest, PerInvariantCountsSumToTotal) {
   t.push_back(Ev(2000, TraceEventType::kAdmit, 77));  // invariant 2 (+ 1)
   const TraceCheckResult r = CheckTrace(t);
   int64_t sum = 0;
-  for (int i = 1; i <= 6; ++i) sum += r.invariant_violations[i];
+  for (int i = 1; i <= 7; ++i) sum += r.invariant_violations[i];
   EXPECT_EQ(sum, r.violation_count);
 }
 
@@ -375,6 +375,138 @@ TEST(TraceCheckExitCodeTest, MessagesCarryTheInvariantTag) {
   ASSERT_FALSE(r.violations.empty());
   EXPECT_NE(r.violations[0].find("[invariant 2]"), std::string::npos)
       << r.violations[0];
+}
+
+// --- Invariant 7: closed-loop session discipline ------------------------
+
+TraceEvent Retry(SimTime t, TxnId txn, TxnId request, int64_t attempt,
+                 SimDuration delay) {
+  TraceEvent e = Ev(t, TraceEventType::kSessionRetry, txn);
+  e.session = 0;
+  e.request = request;
+  e.resolved = attempt;
+  e.lag = delay;
+  return e;
+}
+
+TraceEvent Abandon(SimTime t, TxnId txn, TxnId request, int64_t attempt) {
+  TraceEvent e = Ev(t, TraceEventType::kSessionAbandon, txn);
+  e.session = 0;
+  e.request = request;
+  e.resolved = attempt;
+  return e;
+}
+
+TraceEvent Shed(SimTime t, TxnId txn, int64_t depth, int64_t watermark) {
+  TraceEvent e = Ev(t, TraceEventType::kShed, txn);
+  e.resolved = depth;
+  e.magnitude = static_cast<double>(watermark);
+  return e;
+}
+
+TraceEvent Reject(SimTime t, TxnId txn) {
+  TraceEvent e = Ev(t, TraceEventType::kReject, txn);
+  e.set_reason("deadline");
+  return e;
+}
+
+// One request chain: attempt 1 rejected -> retry, attempt 2 (txn 1) misses
+// its deadline -> retry with a longer delay, attempt 3 (txn 2) is shed ->
+// the session abandons.
+std::vector<TraceEvent> SessionTrace() {
+  std::vector<TraceEvent> t;
+  t.push_back(Arrival(10, 0));
+  t.push_back(Reject(10, 0));
+  t.push_back(Retry(10, 0, 0, 1, 100));
+  t.push_back(Arrival(110, 1));
+  t.push_back(Ev(110, TraceEventType::kAdmit, 1));
+  t.push_back(Ev(1110, TraceEventType::kDeadlineMiss, 1));
+  t.push_back(Retry(1110, 1, 0, 2, 150));
+  t.push_back(Arrival(1260, 2));
+  t.push_back(Ev(1260, TraceEventType::kAdmit, 2));
+  t.push_back(Shed(1300, 2, 5, 4));
+  t.push_back(Abandon(1300, 2, 0, 3));
+  return t;
+}
+
+TEST(TraceCheckSessionTest, ValidSessionTracePasses) {
+  const TraceCheckResult r = CheckTrace(SessionTrace());
+  EXPECT_TRUE(r.ok()) << TraceCheckSummary(r);
+  EXPECT_EQ(r.session_retries, 2);
+  EXPECT_EQ(r.session_abandons, 1);
+  EXPECT_EQ(r.sheds, 1);
+}
+
+TEST(TraceCheckSessionTest, ShedIsATerminalOutcome) {
+  // An admitted query evicted by shedding needs no further terminal event
+  // (invariant 2), and a second terminal for it is flagged.
+  std::vector<TraceEvent> t = {Arrival(1, 0), Ev(1, TraceEventType::kAdmit, 0),
+                               Shed(5, 0, 3, 2)};
+  EXPECT_TRUE(CheckTrace(t).ok());
+  t.push_back(Commit(10, 0, 0, 0.9, "success"));
+  const TraceCheckResult r = CheckTrace(t);
+  EXPECT_GT(r.invariant_violations[2], 0);
+}
+
+TEST(TraceCheckSessionTest, RetryWithoutFailureIsInvariant7) {
+  // txn 0 committed successfully; a retry for it has no failed attempt to
+  // pair with.
+  std::vector<TraceEvent> t = {Arrival(1, 0), Ev(1, TraceEventType::kAdmit, 0),
+                               Commit(10, 0, 0, 0.9, "success"),
+                               Retry(10, 0, 0, 1, 100)};
+  const TraceCheckResult r = CheckTrace(t);
+  EXPECT_GT(r.invariant_violations[7], 0);
+  EXPECT_EQ(TraceCheckExitCode(r), 7);
+}
+
+TEST(TraceCheckSessionTest, AbandonWithoutFailureIsInvariant7) {
+  const TraceCheckResult r = CheckTrace({Abandon(1, 0, 0, 1)});
+  EXPECT_GT(r.invariant_violations[7], 0);
+  EXPECT_EQ(TraceCheckExitCode(r), 7);
+}
+
+TEST(TraceCheckSessionTest, AttemptNumberMustIncrement) {
+  auto t = SessionTrace();
+  t[6].resolved = 3;  // second retry claims attempt 3 after attempt 1
+  const TraceCheckResult r = CheckTrace(t);
+  EXPECT_GT(r.invariant_violations[7], 0);
+}
+
+TEST(TraceCheckSessionTest, BackoffDelayMustNotShrink) {
+  auto t = SessionTrace();
+  t[6].lag = 50;  // second retry delay below the first's 100
+  const TraceCheckResult r = CheckTrace(t);
+  EXPECT_GT(r.invariant_violations[7], 0);
+  EXPECT_EQ(TraceCheckExitCode(r), 7);
+}
+
+TEST(TraceCheckSessionTest, RetryDelayMustBePositive) {
+  std::vector<TraceEvent> t = {Arrival(1, 0), Reject(1, 0),
+                               Retry(1, 0, 0, 1, 0)};
+  const TraceCheckResult r = CheckTrace(t);
+  EXPECT_GT(r.invariant_violations[7], 0);
+}
+
+TEST(TraceCheckSessionTest, ShedAtOrBelowWatermarkIsInvariant7) {
+  std::vector<TraceEvent> t = {Arrival(1, 0), Ev(1, TraceEventType::kAdmit, 0),
+                               Shed(5, 0, 2, 2)};  // depth == watermark
+  const TraceCheckResult r = CheckTrace(t);
+  EXPECT_GT(r.invariant_violations[7], 0);
+  EXPECT_EQ(TraceCheckExitCode(r), 7);
+}
+
+TEST(TraceCheckSessionTest, ShedWithInactiveWatermarkIsInvariant7) {
+  std::vector<TraceEvent> t = {Arrival(1, 0), Ev(1, TraceEventType::kAdmit, 0),
+                               Shed(5, 0, 3, 0)};  // watermark off => no sheds
+  const TraceCheckResult r = CheckTrace(t);
+  EXPECT_GT(r.invariant_violations[7], 0);
+}
+
+TEST(TraceCheckSessionTest, AbandonAttemptMustFollowChain) {
+  auto t = SessionTrace();
+  t.back().resolved = 5;  // abandon claims attempt 5 after attempt 2
+  const TraceCheckResult r = CheckTrace(t);
+  EXPECT_GT(r.invariant_violations[7], 0);
 }
 
 }  // namespace

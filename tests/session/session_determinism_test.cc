@@ -1,0 +1,173 @@
+// Closed-loop determinism: with sessions, shedding, and a retry storm all
+// active, the sharded runner must stay bit-identical for any jobs count —
+// merged metrics (session scalars included), per-parent outcome sequences,
+// the merged window series, and the shard-tagged trace files byte for byte.
+// Retries re-enter each shard through kClientResubmit events ordered by
+// (time, seq), and the session/jitter draws are pure hashes of
+// (seed, trace_id, attempt), so no interleaving can move a decision.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "unit/faults/scenario.h"
+#include "unit/shard/sharded.h"
+#include "unit/sim/experiment.h"
+
+namespace unitdb {
+namespace {
+
+StatusOr<Workload> SmallWorkload() {
+  return MakeStandardWorkload(UpdateVolume::kMedium,
+                              UpdateDistribution::kUniform, /*scale=*/0.05,
+                              /*seed=*/42);
+}
+
+StatusOr<FaultScenarioSpec> StormScenario(const Workload& w) {
+  const double dur = SimToSeconds(w.duration);
+  return FaultScenarioSpec::Parse(
+      "fault0.kind = retry-storm\n"
+      "fault0.start_s = " + std::to_string(0.4 * dur) + "\n"
+      "fault0.end_s = " + std::to_string(0.7 * dur) + "\n"
+      "fault0.rate_hz = 60\n");
+}
+
+std::string Slurp(const std::filesystem::path& p) {
+  std::ifstream f(p, std::ios::binary);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+void ExpectIdentical(const ShardedResult& a, const ShardedResult& b,
+                     int jobs) {
+  EXPECT_EQ(a.metrics.counts.submitted, b.metrics.counts.submitted) << jobs;
+  EXPECT_EQ(a.metrics.counts.success, b.metrics.counts.success) << jobs;
+  EXPECT_EQ(a.metrics.counts.rejected, b.metrics.counts.rejected) << jobs;
+  EXPECT_EQ(a.metrics.counts.dmf, b.metrics.counts.dmf) << jobs;
+  EXPECT_EQ(a.metrics.counts.dsf, b.metrics.counts.dsf) << jobs;
+  EXPECT_EQ(a.metrics.busy_s, b.metrics.busy_s) << jobs;
+  EXPECT_EQ(a.metrics.session_requests, b.metrics.session_requests) << jobs;
+  EXPECT_EQ(a.metrics.session_retries, b.metrics.session_retries) << jobs;
+  EXPECT_EQ(a.metrics.session_successes, b.metrics.session_successes) << jobs;
+  EXPECT_EQ(a.metrics.session_abandons, b.metrics.session_abandons) << jobs;
+  EXPECT_EQ(a.metrics.queries_shed, b.metrics.queries_shed) << jobs;
+  EXPECT_EQ(a.metrics.session_retry_delay_s.sum(),
+            b.metrics.session_retry_delay_s.sum())
+      << jobs;
+  EXPECT_EQ(a.metrics.query_response_s.sum(), b.metrics.query_response_s.sum())
+      << jobs;
+  EXPECT_EQ(a.metrics.query_freshness.sum(), b.metrics.query_freshness.sum())
+      << jobs;
+  EXPECT_EQ(a.usm, b.usm) << jobs;
+  EXPECT_EQ(a.subqueries, b.subqueries) << jobs;
+
+  // The per-parent resolution sequence IS the users' view of the run: same
+  // parents, same outcomes, same resolve times, in the same merged order.
+  ASSERT_EQ(a.queries.size(), b.queries.size()) << jobs;
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].trace_id, b.queries[i].trace_id) << jobs;
+    EXPECT_EQ(a.queries[i].outcome, b.queries[i].outcome) << jobs;
+    EXPECT_EQ(a.queries[i].resolve_time, b.queries[i].resolve_time) << jobs;
+  }
+
+  ASSERT_EQ(a.merged_series.size(), b.merged_series.size()) << jobs;
+  for (size_t i = 0; i < a.merged_series.size(); ++i) {
+    const WindowSample& x = a.merged_series[i];
+    const WindowSample& y = b.merged_series[i];
+    EXPECT_EQ(x.t_s, y.t_s) << jobs;
+    EXPECT_EQ(x.retries, y.retries) << jobs;
+    EXPECT_EQ(x.abandons, y.abandons) << jobs;
+    EXPECT_EQ(x.shed, y.shed) << jobs;
+    EXPECT_EQ(x.utilization, y.utilization) << jobs;
+  }
+}
+
+class SessionDeterminismTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SessionDeterminismTest, JobsCountNeverChangesClosedLoopRuns) {
+  const int shards = GetParam();
+  auto w = SmallWorkload();
+  ASSERT_TRUE(w.ok());
+  auto spec = StormScenario(*w);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  const UsmWeights weights{1.0, 0.5, 1.0, 0.5};
+  const std::filesystem::path root =
+      std::filesystem::path(testing::TempDir()) /
+      ("session_jobs_invariance_s" + std::to_string(shards));
+
+  ShardedParams base;
+  base.shards = shards;
+  base.record_series = true;
+  base.scenario = &*spec;
+  base.engine.session.sessions = 6;
+  base.engine.session.max_retries = 3;
+  base.engine.session.patience = SecondsToSim(2.0);
+  base.engine.shed_watermark = 5;
+
+  ShardedParams ref = base;
+  ref.jobs = 1;
+  ref.trace_dir = (root / "jobs1").string();
+  auto r1 = RunSharded(*w, "unit", weights, ref);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_GT(r1->metrics.session_requests, 0);
+  EXPECT_GT(r1->metrics.session_retries, 0) << "storm produced no retries";
+  EXPECT_EQ(r1->metrics.session_requests,
+            r1->metrics.session_successes + r1->metrics.session_abandons);
+
+  for (int jobs : {2, 8}) {
+    ShardedParams p = base;
+    p.jobs = jobs;
+    p.trace_dir = (root / ("jobs" + std::to_string(jobs))).string();
+    auto r = RunSharded(*w, "unit", weights, p);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ExpectIdentical(*r1, *r, jobs);
+
+    for (int s = 0; s < shards; ++s) {
+      const std::string name = "shard" + std::to_string(s) + ".jsonl";
+      const std::string want =
+          Slurp(std::filesystem::path(ref.trace_dir) / name);
+      const std::string got = Slurp(std::filesystem::path(p.trace_dir) / name);
+      ASSERT_FALSE(want.empty());
+      EXPECT_EQ(want, got) << name << " jobs=" << jobs;
+    }
+    const std::string merged_want =
+        Slurp(std::filesystem::path(ref.trace_dir) / "merged.jsonl");
+    const std::string merged_got =
+        Slurp(std::filesystem::path(p.trace_dir) / "merged.jsonl");
+    ASSERT_FALSE(merged_want.empty());
+    EXPECT_EQ(merged_want, merged_got) << "merged.jsonl jobs=" << jobs;
+  }
+  std::filesystem::remove_all(root);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, SessionDeterminismTest,
+                         ::testing::Values(1, 4));
+
+TEST(SessionDeterminismTest2, RepeatedClosedLoopRunsAreReproducible) {
+  auto w = SmallWorkload();
+  ASSERT_TRUE(w.ok());
+  auto spec = StormScenario(*w);
+  ASSERT_TRUE(spec.ok());
+  ShardedParams p;
+  p.shards = 3;
+  p.jobs = 3;
+  p.record_series = true;
+  p.scenario = &*spec;
+  p.engine.session.sessions = 4;
+  p.engine.shed_watermark = 4;
+  const UsmWeights weights{1.0, 0.5, 1.0, 0.5};
+  auto a = RunSharded(*w, "unit", weights, p);
+  auto b = RunSharded(*w, "unit", weights, p);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectIdentical(*a, *b, /*jobs=*/3);
+}
+
+}  // namespace
+}  // namespace unitdb

@@ -7,7 +7,8 @@
 // "seed=S case=I ..." line is printed.
 //
 // Usage: diff_fuzz [cases=N] [seed=S] [case=I] [series=0|1] [stream=0|1]
-//                  [shards=K] [perturb=none|cflex|admit]
+//                  [shards=K] [sessions=N] [shed=W]
+//                  [perturb=none|cflex|admit|dropretry]
 //                  [expect_divergence=0|1]
 //
 //   cases=N              number of generated cases to run (default 100)
@@ -21,8 +22,19 @@
 //                        monolithic diff, 1 = sharded-vs-monolithic
 //                        identity, >1 = sharded-vs-sharded-reference
 //                        (default: gen.h's rotation over {0,1,2,3})
+//   sessions=N           force the closed-loop session count for every
+//                        case: 0 = open-loop, N > 0 attaches N user
+//                        sessions with the generator's retry/backoff knobs
+//                        when the case drew them, defaults otherwise
+//                        (default: gen.h's rotation, sessions every other
+//                        256-case block)
+//   shed=W               force the overload-shedding watermark for every
+//                        case: 0 = shedding off, W > 0 = drop-oldest above
+//                        a ready depth of W (default: gen.h's rotation)
 //   perturb=...          inject a known defect into the optimized side
-//                        (harness self-test)
+//                        (harness self-test); dropretry needs a closed
+//                        loop, so it forces sessions on for cases without
+//                        them
 //   expect_divergence=1  invert success: exit 0 only if a divergence was
 //                        found, caught, and shrunk (self-test mode)
 //
@@ -52,7 +64,8 @@ bool ParseU64(const char* s, uint64_t* out) {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [cases=N] [seed=S] [case=I] [series=0|1]\n"
-               "          [stream=0|1] [shards=K] [perturb=none|cflex|admit]\n"
+               "          [stream=0|1] [shards=K] [sessions=N] [shed=W]\n"
+               "          [perturb=none|cflex|admit|dropretry]\n"
                "          [expect_divergence=0|1]\n",
                argv0);
   return 2;
@@ -64,8 +77,10 @@ int main(int argc, char** argv) {
   uint64_t cases = 100;
   uint64_t seed = 1;
   int64_t only_case = -1;
-  int stream_override = -1;  // -1: keep the generator's rotation
-  int shards_override = -1;  // -1: keep the generator's rotation
+  int stream_override = -1;    // -1: keep the generator's rotation
+  int shards_override = -1;    // -1: keep the generator's rotation
+  int sessions_override = -1;  // -1: keep the generator's rotation
+  int shed_override = -1;      // -1: keep the generator's rotation
   unitdb::DiffOptions opts;
   bool expect_divergence = false;
 
@@ -88,6 +103,10 @@ int main(int argc, char** argv) {
       stream_override = num != 0 ? 1 : 0;
     } else if (key == "shards" && ParseU64(val, &num)) {
       shards_override = static_cast<int>(num);
+    } else if (key == "sessions" && ParseU64(val, &num)) {
+      sessions_override = static_cast<int>(num);
+    } else if (key == "shed" && ParseU64(val, &num)) {
+      shed_override = static_cast<int>(num);
     } else if (key == "expect_divergence" && ParseU64(val, &num)) {
       expect_divergence = num != 0;
     } else if (key == "perturb") {
@@ -97,6 +116,8 @@ int main(int argc, char** argv) {
         opts.perturb = unitdb::Perturbation::kCFlexStep;
       } else if (std::strcmp(val, "admit") == 0) {
         opts.perturb = unitdb::Perturbation::kAdmitOffByOne;
+      } else if (std::strcmp(val, "dropretry") == 0) {
+        opts.perturb = unitdb::Perturbation::kDropRetry;
       } else {
         return Usage(argv[0]);
       }
@@ -114,6 +135,12 @@ int main(int argc, char** argv) {
     unitdb::DiffCase c = unitdb::GenerateCase(seed, i);
     if (stream_override >= 0) c.stream_queries = stream_override == 1;
     if (shards_override >= 0) c.shards = shards_override;
+    if (sessions_override >= 0) c.engine.session.sessions = sessions_override;
+    if (shed_override >= 0) c.engine.shed_watermark = shed_override;
+    if (opts.perturb == unitdb::Perturbation::kDropRetry &&
+        c.engine.session.sessions == 0) {
+      c.engine.session.sessions = 4;  // the defect needs a closed loop
+    }
     const auto result = unitdb::RunDiff(c, opts);
     if (!result.ok()) {
       std::fprintf(stderr, "SETUP-ERROR %s: %s\n",

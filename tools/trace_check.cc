@@ -10,14 +10,16 @@
 //
 // Exit codes (distinct per violated invariant; see obs/trace_check.h):
 //   0    every invariant holds in every file
-//   1-6  number of the lowest violated invariant across all files
+//   1-7  number of the lowest violated invariant across all files
 //          1 timestamps non-decreasing
 //          2 per-query lifecycle
 //          3 Eq. 1 freshness accounting
 //          4 LBC dominant-penalty rule / knob movement
 //          5 update & period-change sanity
 //          6 fault-window pairing & response direction
-//   7    trace file unreadable or parse error (writer/checker schema drift)
+//          7 closed-loop session discipline (retry pairing, backoff
+//            monotonicity, shed watermark)
+//   8    trace file unreadable or parse error (writer/checker schema drift)
 //   64   usage error
 
 #include <cstdio>
@@ -49,5 +51,5 @@ int main(int argc, char** argv) {
     }
   }
   if (worst_invariant > 0) return worst_invariant;
-  return read_error ? 7 : 0;
+  return read_error ? 8 : 0;
 }
