@@ -97,7 +97,7 @@ int Main(int argc, char** argv) {
     return 1;
   }
   if (Status s = config->ExpectKeys({"scale", "seed", "seeds", "jobs",
-                                     "shard", "grid", "trace_dir",
+                                     "shard", "shards", "grid", "trace_dir",
                                      "trace_cell"});
       !s.ok()) {
     std::cerr << s.ToString() << "\n";
@@ -124,9 +124,12 @@ int Main(int argc, char** argv) {
   spec.policies = policies;
   spec.scale = scale;
   spec.base_seed = seed;
-  spec.shards = static_cast<int>(config->GetInt("shard", 1));
+  // `shards=` is the canonical spelling (matching diff_fuzz and the README
+  // knobs table); `shard=` stays accepted for older scripts.
+  spec.shards =
+      static_cast<int>(config->GetInt("shards", config->GetInt("shard", 1)));
   if (spec.shards > 1) {
-    std::cout << "(sharded runner: shard=" << spec.shards
+    std::cout << "(sharded runner: shards=" << spec.shards
               << ", parent-level Eq. 5 accounting)\n";
   }
 

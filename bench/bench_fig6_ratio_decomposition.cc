@@ -75,7 +75,7 @@ int Main(int argc, char** argv) {
     return 1;
   }
   if (Status s = config->ExpectKeys(
-          {"scale", "seed", "jobs", "shard", "trace_dir"});
+          {"scale", "seed", "jobs", "shard", "shards", "trace_dir"});
       !s.ok()) {
     std::cerr << s.ToString() << "\n";
     return 1;
@@ -91,7 +91,9 @@ int Main(int argc, char** argv) {
   spec.distributions = {UpdateDistribution::kUniform};
   spec.scale = scale;
   spec.base_seed = seed;
-  spec.shards = static_cast<int>(config->GetInt("shard", 1));
+  // `shards=` is the canonical spelling; `shard=` stays accepted.
+  spec.shards =
+      static_cast<int>(config->GetInt("shards", config->GetInt("shard", 1)));
 
   std::cout << "=== Figure 6: outcome-ratio decomposition (med-unif) ===\n";
   if (spec.shards > 1) {

@@ -35,7 +35,8 @@ int Main(int argc, char** argv) {
     std::cerr << config.status().ToString() << "\n";
     return 1;
   }
-  if (Status s = config->ExpectKeys({"scale", "seed", "jobs", "shard"});
+  if (Status s = config->ExpectKeys({"scale", "seed", "jobs", "shard",
+                                     "shards"});
       !s.ok()) {
     std::cerr << s.ToString() << "\n";
     return 1;
@@ -43,7 +44,9 @@ int Main(int argc, char** argv) {
   const double scale = config->GetDouble("scale", 1.0);
   const uint64_t seed = config->GetInt("seed", 42);
   const int jobs = ResolveJobs(static_cast<int>(config->GetInt("jobs", 0)));
-  const int shard = static_cast<int>(config->GetInt("shard", 0));
+  // `shards=` is the canonical spelling; `shard=` stays accepted.
+  const int shard =
+      static_cast<int>(config->GetInt("shards", config->GetInt("shard", 0)));
 
   std::cout << "=== Table 1: update traces ===\n"
             << "(paper: 6144 / 30000 / 61440 updates = 15% / 75% / 150% CPU;\n"

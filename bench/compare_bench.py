@@ -2,36 +2,41 @@
 """Perf-regression gate over bench JSON output.
 
 Compares a fresh bench JSON (bench_engine_throughput's BENCH_engine.json,
-bench_scale_horizon's BENCH_scale.json, or bench_fig8_closed_loop's
-BENCH_session.json) against the checked-in baseline under bench/baseline/
-and exits non-zero if any cell regressed:
+bench_scale_horizon's BENCH_scale.json, bench_fig8_closed_loop's
+BENCH_session.json, or bench_fig9_cache's BENCH_cache.json) against the
+checked-in baseline under bench/baseline/ and exits non-zero if any cell
+regressed. Every gate skips cells whose baseline lacks the field, so one
+script serves every bench:
 
-  * events/sec dropped by more than --max-regression (default 25%); cells
-    whose baseline lacks the field (the closed-loop bench reports only
-    simulation outputs) are skipped,
+  * events/sec dropped by more than --max-regression (default 25%),
   * the transaction-slab footprint (txn_live_peak) grew by more than
-    --max-slab-growth (default 25%) — a memory-flatness regression; cells
-    whose baseline lacks the field are skipped,
+    --max-slab-growth (default 25%) — a memory-flatness regression,
   * the session abandonment rate (abandon_rate) rose by more than
-    --max-abandon-increase (default 0.02, absolute), or
+    --max-abandon-increase (default 0.02, absolute),
   * the p90 client retry delay (retry_p90_s) grew by more than
-    --max-retry-p90-growth (default 25%, relative).
+    --max-retry-p90-growth (default 25%, relative), or
+  * the result-cache hit rate (hit_rate) dropped by more than
+    --max-hit-rate-drop (default 0.05, absolute); capacity-0 cells report
+    hit_rate 0.0 in both files and never trip it.
 
 The generous events/sec threshold is deliberate: the baseline is recorded on
 one machine and CI runs on another, so the gate is meant to catch algorithmic
 regressions (an accidental O(n^2) admission scan, a lost fast path, a slab
-leak), not single-digit scheduling noise. The closed-loop fields are
-deterministic simulation outputs, machine-independent by construction, so
-their thresholds are tight. Regenerate baselines after intentional changes:
+leak), not single-digit scheduling noise. The closed-loop and cache fields
+are deterministic simulation outputs, machine-independent by construction,
+so their thresholds are tight. See bench/README.md for the full gate policy.
+Regenerate baselines after intentional changes:
 
     bench_engine_throughput scale=0.1 reps=2 out=bench/baseline/BENCH_engine.json
     bench_scale_horizon base_s=60 rate=5 reps=2 out=bench/baseline/BENCH_scale.json
     bench_fig8_closed_loop out=bench/baseline/BENCH_session.json
+    bench_fig9_cache out=bench/baseline/BENCH_cache.json
 
 Usage: compare_bench.py BASELINE CURRENT [--max-regression 0.25]
                                          [--max-slab-growth 0.25]
                                          [--max-abandon-increase 0.02]
                                          [--max-retry-p90-growth 0.25]
+                                         [--max-hit-rate-drop 0.05]
 """
 
 import argparse
@@ -51,7 +56,12 @@ def load_cells(path):
 
 
 def main():
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    # RawDescription keeps the full module docstring — with every gate flag
+    # and the baseline-regeneration recipes — readable in --help output.
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     parser.add_argument("baseline")
     parser.add_argument("current")
     parser.add_argument(
@@ -77,6 +87,12 @@ def main():
         type=float,
         default=0.25,
         help="maximum tolerated fractional retry_p90_s growth per cell",
+    )
+    parser.add_argument(
+        "--max-hit-rate-drop",
+        type=float,
+        default=0.05,
+        help="maximum tolerated absolute cache hit_rate drop per cell",
     )
     args = parser.parse_args()
 
@@ -145,6 +161,17 @@ def main():
                      growth, args.max_retry_p90_growth)
                 )
                 marker = "  << RETRY P90"
+
+        base_hr = base.get("hit_rate")
+        cur_hr = cur.get("hit_rate")
+        if base_hr is not None and cur_hr is not None:
+            drop = base_hr - cur_hr
+            if drop > args.max_hit_rate_drop:
+                failures.append(
+                    (cell, policy, "hit_rate", base_hr, cur_hr,
+                     -drop, -args.max_hit_rate_drop)
+                )
+                marker = "  << HIT RATE"
 
         name = f"{cell}/{policy}"
         print(

@@ -1,0 +1,113 @@
+#ifndef UNIT_CACHE_RESULT_CACHE_H_
+#define UNIT_CACHE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+
+#include "unit/common/item_span.h"
+#include "unit/common/types.h"
+
+namespace unitdb {
+
+/// Freshness-aware query result cache (per engine, hence per shard).
+///
+/// The cache is keyed on read-set item ids. An entry for item i means "a
+/// committed query read i's currently installed generation, and no newer
+/// generation has been installed since" — entries are erased the instant the
+/// update applier commits a new version, so the cached answer is always the
+/// same stored data engine execution would read. A query whose entire read
+/// set is covered by valid entries is answered on arrival (before admission
+/// control) as a Success with the items' *live* Eq. 1 freshness
+/// 1/(1 + max Udrop): because invalidation tracks installation, the live
+/// Udrop is exactly the staleness of the cached generation, and a hit can
+/// never report fresher data than execution would have. A `qf_i` check
+/// rejects hits whose cached staleness would make the query a DSF (the
+/// query falls through to normal execution instead).
+///
+/// `capacity == 0` (the default) disables the cache and is a strict
+/// behavioral no-op: the engine takes zero cache branches, so metrics,
+/// traces, and series are bit-identical to a build without the feature —
+/// the same contract sessions (session/session.h) and overload shedding
+/// (EngineParams::shed_watermark) honor.
+struct CacheParams {
+  /// Maximum number of item entries (0 disables the cache). Eviction is
+  /// FIFO by first population: deterministic, and identical between the
+  /// optimized index below and the reference engine's linear-scan mirror.
+  int capacity = 0;
+  /// Staleness bound for serving a hit: a covered query is still executed
+  /// (counted as a stale skip) when the read set's max Udrop exceeds this.
+  /// -1 (the default) leaves only the per-query `qf_i` check.
+  int64_t max_hit_udrop = -1;
+
+  bool enabled() const { return capacity > 0; }
+};
+
+/// The optimized engine's cache index: O(1) expected lookup/populate via a
+/// hash map, FIFO eviction through a stamp queue with lazy tombstones (an
+/// invalidated entry's queue node is skipped when it surfaces). Observable
+/// behavior — which lookups hit, which populate evicts what — is identical
+/// to the reference engine's naive flat-vector implementation
+/// (model/reference_engine.cc), and the differential oracle pins that.
+class ResultCache {
+ public:
+  ResultCache() = default;
+  explicit ResultCache(const CacheParams& params) : params_(params) {}
+
+  const CacheParams& params() const { return params_; }
+  bool enabled() const { return params_.enabled(); }
+  int64_t size() const { return static_cast<int64_t>(map_.size()); }
+
+  /// True iff every item of `items` has a valid entry. (An empty read set
+  /// is trivially covered, matching QueryFreshness's vacuous min of 1.0.)
+  bool Covers(ItemSpan items) const {
+    for (ItemId item : items) {
+      if (map_.find(item) == map_.end()) return false;
+    }
+    return true;
+  }
+
+  /// Records that a committed query read `item`'s installed generation.
+  /// Present entries are left in place (their generation is unchanged, or
+  /// an invalidation would have erased them); new entries evict the oldest
+  /// live entry when the cache is full.
+  void Populate(ItemId item) {
+    if (map_.find(item) != map_.end()) return;
+    if (size() >= params_.capacity) EvictOldest();
+    map_.emplace(item, stamp_);
+    fifo_.emplace_back(stamp_, item);
+    ++stamp_;
+  }
+
+  /// Drops `item`'s entry because a newer generation was just installed.
+  /// Returns whether an entry was actually present (the caller counts and
+  /// traces invalidations only for real erasures).
+  bool Invalidate(ItemId item) { return map_.erase(item) > 0; }
+
+ private:
+  void EvictOldest() {
+    while (!fifo_.empty()) {
+      const auto [stamp, item] = fifo_.front();
+      fifo_.pop_front();
+      auto it = map_.find(item);
+      if (it != map_.end() && it->second == stamp) {
+        map_.erase(it);
+        return;
+      }
+      // Stale queue node: the entry was invalidated (or re-populated under
+      // a newer stamp) after this node was queued. Skip it.
+    }
+  }
+
+  CacheParams params_;
+  /// item -> stamp of its live entry.
+  std::unordered_map<ItemId, uint64_t> map_;
+  /// (stamp, item) in population order; lazily pruned tombstones.
+  std::deque<std::pair<uint64_t, ItemId>> fifo_;
+  uint64_t stamp_ = 0;
+};
+
+}  // namespace unitdb
+
+#endif  // UNIT_CACHE_RESULT_CACHE_H_

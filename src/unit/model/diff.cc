@@ -210,6 +210,10 @@ void Compare(const DiffCase& c, const DiffOptions& opts, DiffResult* out) {
   cmp.Eq("queries_shed", a.queries_shed, b.queries_shed);
   cmp.Stat("session_retry_delay_s", a.session_retry_delay_s,
            b.session_retry_delay_s);
+  cmp.Eq("cache_hits", a.cache_hits, b.cache_hits);
+  cmp.Eq("cache_misses", a.cache_misses, b.cache_misses);
+  cmp.Eq("cache_invalidations", a.cache_invalidations, b.cache_invalidations);
+  cmp.Eq("cache_stale_skips", a.cache_stale_skips, b.cache_stale_skips);
 
   // Closed-loop conservation: every session request resolves to exactly one
   // terminal outcome, and no chain retries past its budget. Checked on each
@@ -304,6 +308,9 @@ void Compare(const DiffCase& c, const DiffOptions& opts, DiffResult* out) {
       cmp.Eq(Idx("series", i, "retries"), sa.retries, sb.retries);
       cmp.Eq(Idx("series", i, "abandons"), sa.abandons, sb.abandons);
       cmp.Eq(Idx("series", i, "shed"), sa.shed, sb.shed);
+      cmp.Eq(Idx("series", i, "cache_hits"), sa.cache_hits, sb.cache_hits);
+      cmp.Eq(Idx("series", i, "cache_invalidations"), sa.cache_invalidations,
+             sb.cache_invalidations);
 
       // Cross-check the recorder's Eq. 5 decomposition against the naive
       // one-at-a-time accumulation (tolerance: accumulation-order error).
@@ -678,6 +685,7 @@ std::string DescribeCase(const DiffCase& c) {
      << " shards=" << c.shards << " sjobs=" << c.shard_jobs
      << " sessions=" << c.engine.session.sessions
      << " shed=" << c.engine.shed_watermark
+     << " cache=" << c.engine.cache.capacity
      << " queries=" << c.workload.queries.size()
      << " fault_windows=" << c.scenario.faults.size();
   return os.str();

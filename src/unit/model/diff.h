@@ -145,7 +145,8 @@ DiffCase ShrinkCase(const DiffCase& c, const DiffOptions& opts = {});
 
 /// One-line replayable description: "seed=S case=I policy=P index=0|1
 /// compact=0|1 faults=0|1 stream=0|1 shards=K sjobs=J sessions=N shed=W
-/// queries=N" — paste the seed/case pair into tools/diff_fuzz to reproduce.
+/// cache=C queries=N" — paste the seed/case pair into tools/diff_fuzz to
+/// reproduce.
 std::string DescribeCase(const DiffCase& c);
 
 }  // namespace unitdb

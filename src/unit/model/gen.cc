@@ -194,6 +194,13 @@ DiffCase GenerateCase(uint64_t seed, int64_t index) {
   if (sessions_on) c.engine.session = sess;
   if (shed_on) c.engine.shed_watermark = watermark;
 
+  // ---- Result cache. Same compatibility discipline as the session layer:
+  // knobs are drawn unconditionally after every pre-existing draw, and a
+  // pure index rotation decides whether they apply.
+  const bool cache_on = (index / 1024) % 2 == 1;
+  const int cache_capacity = static_cast<int>(rng.UniformInt(4, 64));
+  if (cache_on) c.engine.cache.capacity = cache_capacity;
+
   return c;
 }
 

@@ -26,6 +26,7 @@ namespace unitdb {
 ///   shard_jobs          = (index / 128) % 2 == 0 ? 1 : 2
 ///   sessions attached   = (index / 256) % 2 == 1  (closed-loop clients)
 ///   shed watermark set  = (index / 512) % 2 == 1  (overload shedding)
+///   result cache on     = (index / 1024) % 2 == 1 (freshness-aware cache)
 ///
 /// Everything else is drawn from Rng(SplitMix64(seed ^ SplitMix64(index))).
 /// The knob rotations are index arithmetic only (no RNG draw), so adding a

@@ -297,6 +297,10 @@ void ReferenceEngine::AdmitArrivedQuery(const QueryRequest& request,
     c.request = request;
     chains_.push_back(std::move(c));
   }
+  // Result cache sits before admission control, as in the optimized engine:
+  // a covered, fresh-enough query is answered immediately and never enters
+  // the ready queue (its deadline event is never pushed).
+  if (params_.cache.capacity > 0 && TryServeFromCache(t)) return;
   if (!policy_->AdmitQuery(*this, *t)) {
     t->set_state(TxnState::kAborted);
     ResolveQuery(t, Outcome::kRejected);
@@ -328,6 +332,64 @@ void ReferenceEngine::MaybeShed() {
     CancelEvent(EventType::kQueryDeadline, victim->id());
     AbortQuery(victim, Outcome::kRejected);
   }
+}
+
+bool ReferenceEngine::RefCacheCovers(const Transaction& t) const {
+  for (ItemId item : t.items()) {
+    if (std::find(cache_items_.begin(), cache_items_.end(), item) ==
+        cache_items_.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ReferenceEngine::RefCachePopulate(ItemId item) {
+  if (std::find(cache_items_.begin(), cache_items_.end(), item) !=
+      cache_items_.end()) {
+    return;  // present entries keep their original population slot
+  }
+  if (cache_items_.size() >= static_cast<size_t>(params_.cache.capacity)) {
+    cache_items_.erase(cache_items_.begin());  // FIFO: evict the oldest
+  }
+  cache_items_.push_back(item);
+}
+
+bool ReferenceEngine::RefCacheInvalidate(ItemId item) {
+  auto it = std::find(cache_items_.begin(), cache_items_.end(), item);
+  if (it == cache_items_.end()) return false;
+  cache_items_.erase(it);
+  return true;
+}
+
+bool ReferenceEngine::TryServeFromCache(Transaction* t) {
+  if (!RefCacheCovers(*t)) {
+    ++metrics_.cache_misses;
+    return false;
+  }
+  // Entries are invalidated on every newer install, so each covered item's
+  // live Udrop is exactly the staleness of its cached data (see the
+  // optimized Engine::TryServeFromCache).
+  int64_t udrop = 0;
+  for (ItemId item : t->items()) {
+    udrop = std::max(udrop, db_.Udrop(item, now_));
+  }
+  const double freshness = 1.0 / (1.0 + static_cast<double>(udrop));
+  if (freshness < t->freshness_req() ||
+      (params_.cache.max_hit_udrop >= 0 &&
+       udrop > params_.cache.max_hit_udrop)) {
+    ++metrics_.cache_stale_skips;
+    return false;
+  }
+  ++metrics_.cache_hits;
+  t->set_observed_freshness(freshness);
+  t->set_state(TxnState::kCommitted);
+  t->set_commit_time(now_);
+  for (ItemId item : t->items()) db_.RecordAccess(item);
+  metrics_.query_response_s.Add(SimToSeconds(now_ - t->arrival()));
+  metrics_.query_freshness.Add(freshness);
+  ResolveQuery(t, Outcome::kSuccess);
+  return true;
 }
 
 void ReferenceEngine::HandleClientResubmit(int64_t resubmit_index) {
@@ -697,6 +759,9 @@ void ReferenceEngine::CompleteRunning(Transaction* t) {
     --pending_updates_per_item_[t->update_item()];
     ++metrics_.update_commits;
     metrics_.update_latency_s.Add(SimToSeconds(now_ - t->arrival()));
+    if (params_.cache.capacity > 0 && RefCacheInvalidate(t->update_item())) {
+      ++metrics_.cache_invalidations;
+    }
     ReleaseLocksOf(t);
     policy_->OnUpdateCommit(*this, *t);
     return;
@@ -707,6 +772,9 @@ void ReferenceEngine::CompleteRunning(Transaction* t) {
   const double freshness = db_.QueryFreshness(t->items(), now_);
   t->set_observed_freshness(freshness);
   for (ItemId item : t->items()) db_.RecordAccess(item);
+  if (params_.cache.capacity > 0) {
+    for (ItemId item : t->items()) RefCachePopulate(item);
+  }
   ReleaseLocksOf(t);
   metrics_.query_response_s.Add(SimToSeconds(now_ - t->arrival()));
   metrics_.query_freshness.Add(freshness);
@@ -751,6 +819,11 @@ void ReferenceEngine::RecordWindowSample() {
   series_last_retries_ = metrics_.session_retries;
   series_last_abandons_ = metrics_.session_abandons;
   series_last_shed_ = metrics_.queries_shed;
+  s.cache_hits = metrics_.cache_hits - series_last_cache_hits_;
+  s.cache_invalidations =
+      metrics_.cache_invalidations - series_last_cache_invalidations_;
+  series_last_cache_hits_ = metrics_.cache_hits;
+  series_last_cache_invalidations_ = metrics_.cache_invalidations;
   params_.series->Record(s);
 }
 

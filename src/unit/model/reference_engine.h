@@ -43,7 +43,12 @@ namespace unitdb {
 ///    spec-level arithmetic — so the differential harness cross-checks the
 ///    session state machine itself, not a shared implementation;
 ///  - overload shedding: the eviction victim (minimum (arrival, id) ready
-///    query) is found by a full scan of the ready vector.
+///    query) is found by a full scan of the ready vector;
+///  - result cache: the optimized engine's indexed ResultCache (hash map +
+///    FIFO stamp deque with lazy tombstones) is mirrored with a flat vector
+///    kept in first-population order and scanned linearly for coverage,
+///    eviction, and invalidation — identical hit/miss/evict/skip decisions
+///    from the simplest possible representation.
 ///
 /// Determinism contract with the optimized engine: both push the same
 /// events in the same order (so FIFO tie-breaks at equal timestamps
@@ -157,6 +162,14 @@ class ReferenceEngine final : public EngineContext {
   void AdmitArrivedQuery(const QueryRequest& request, bool resubmit = false);
   /// Drop-oldest overload shedding (EngineParams::shed_watermark).
   void MaybeShed();
+  /// Naive mirror of the result-cache hit path (cache/result_cache.h): the
+  /// flat vector is kept in first-population order, so erase-front eviction
+  /// and linear membership scans reproduce the optimized cache's decisions
+  /// exactly.
+  bool TryServeFromCache(Transaction* t);
+  bool RefCacheCovers(const Transaction& t) const;
+  void RefCachePopulate(ItemId item);
+  bool RefCacheInvalidate(ItemId item);
   /// Naive mirror of SessionPool::OnOutcome over the flat chain vector.
   void OnSessionOutcome(Transaction* t, Outcome outcome);
 
@@ -221,7 +234,12 @@ class ReferenceEngine final : public EngineContext {
   int64_t series_last_retries_ = 0;
   int64_t series_last_abandons_ = 0;
   int64_t series_last_shed_ = 0;
+  int64_t series_last_cache_hits_ = 0;
+  int64_t series_last_cache_invalidations_ = 0;
   std::vector<int64_t> udrop_scratch_;
+
+  /// Naive result cache: item ids in first-population order (front oldest).
+  std::vector<ItemId> cache_items_;
 
   RunMetrics metrics_;
 };

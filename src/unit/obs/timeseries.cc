@@ -35,6 +35,8 @@ void AppendRowValues(const WindowSample& s, std::vector<std::string>& out) {
   out.push_back(std::to_string(s.retries));
   out.push_back(std::to_string(s.abandons));
   out.push_back(std::to_string(s.shed));
+  out.push_back(std::to_string(s.cache_hits));
+  out.push_back(std::to_string(s.cache_invalidations));
 }
 
 Status WriteStringToFile(const std::string& text, const std::string& path) {
@@ -64,7 +66,7 @@ const std::vector<std::string>& TimeSeriesRecorder::ColumnNames() {
       "usm_fm",      "usm_fs",        "utilization",   "ready_queries",
       "ready_updates", "udrop_p50",   "udrop_p90",     "udrop_max",
       "c_flex",      "degraded_items", "retries",      "abandons",
-      "shed"};
+      "shed",        "cache_hits",    "cache_inval"};
   return kColumns;
 }
 

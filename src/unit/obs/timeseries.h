@@ -31,6 +31,9 @@ struct WindowSample {
   int64_t retries = 0;   ///< session resubmissions scheduled
   int64_t abandons = 0;  ///< requests abandoned by their session
   int64_t shed = 0;      ///< ready queries evicted by overload shedding
+  // Result-cache activity over the window (all 0 when the cache is off).
+  int64_t cache_hits = 0;           ///< queries answered from cache
+  int64_t cache_invalidations = 0;  ///< entries erased by update installs
 };
 
 /// Collects WindowSamples during a run (EngineParams::series) and exports

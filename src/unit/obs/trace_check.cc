@@ -1,11 +1,14 @@
 #include "unit/obs/trace_check.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <map>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "unit/faults/scenario.h"
 
@@ -22,7 +25,8 @@ enum class TxnPhase { kArrived, kAdmitted, kDone };
 class Checker {
  public:
   TraceCheckResult Run(const std::vector<TraceEvent>& events) {
-    for (const TraceEvent& e : events) {
+    for (size_t pos = 0; pos < events.size(); ++pos) {
+      const TraceEvent& e = events[pos];
       ++result_.events;
       CheckTime(e);
       switch (e.type) {
@@ -54,6 +58,7 @@ class Checker {
           break;
         case TraceEventType::kUpdateArrival:
           ++result_.update_arrivals;
+          arrivals_[e.item].push_back(e.time);
           break;
         case TraceEventType::kUpdateDrop:
           ++result_.update_drops;
@@ -61,6 +66,9 @@ class Checker {
         case TraceEventType::kUpdateApply:
           ++result_.update_applies;
           if (e.lag < 0) Violation(5, e, "update-apply with negative lag");
+          applies_[e.item].emplace_back(static_cast<int64_t>(pos),
+                                        e.time - e.lag);
+          last_apply_[e.item] = {e.time, e.txn};
           break;
         case TraceEventType::kPeriodChange:
           OnPeriodChange(e);
@@ -89,6 +97,14 @@ class Checker {
           ++result_.sheds;
           OnShed(e);
           break;
+        case TraceEventType::kCacheHit:
+          ++result_.cache_hits;
+          OnCacheHit(e, static_cast<int64_t>(pos));
+          break;
+        case TraceEventType::kCacheInvalidate:
+          ++result_.cache_invalidations;
+          OnCacheInvalidate(e);
+          break;
       }
     }
     // Invariant 2 epilogue: nothing admitted may be left without a terminal
@@ -104,6 +120,26 @@ class Checker {
     for (const auto& [fault, kind] : active_faults_) {
       Record(6, "fault " + std::to_string(fault) + " (" + kind +
                     ") started but never stopped");
+    }
+    // Invariant 8 epilogue (staleness leg): re-derive each hit's Udrop from
+    // the item's update history. Deferred to the end so same-instant grid
+    // arrivals serialized after the hit still count (the engine's
+    // generation-at-time is analytic, independent of event order), while
+    // applies are replayed in trace order, which IS engine order. The model
+    // is exact only for fault-free traces with periodic arrivals — bursts
+    // and outages skew the grid, and on-demand-only runs emit no arrival
+    // events — so other traces skip this leg.
+    if (!saw_fault_ && result_.update_arrivals > 0) {
+      for (const HitCheck& h : hits_) {
+        const int64_t expected = ModelUdrop(h);
+        if (expected != h.udrop) {
+          Record(8, "t=" + std::to_string(h.time) + " cache-hit: udrop " +
+                        std::to_string(h.udrop) + " for item " +
+                        std::to_string(h.item) +
+                        " contradicts the item's update history (expected " +
+                        std::to_string(expected) + ")");
+        }
+      }
     }
     return result_;
   }
@@ -276,6 +312,94 @@ class Checker {
     if (it != chains_.end()) chains_.erase(it);
   }
 
+  /// One cache hit queued for the invariant 8 history epilogue.
+  struct HitCheck {
+    int64_t pos = 0;  ///< trace position (applies before it are installed)
+    SimTime time = 0;
+    ItemId item = kInvalidItem;
+    int64_t udrop = 0;
+  };
+
+  /// Invariant 8 (hit leg): a hit is served on arrival, before admission —
+  /// the terminal outcome of a still-pending txn (lifecycle itself is
+  /// invariant 2, matching kShed). The hit must carry an active capacity, a
+  /// "success" outcome, Eq. 1-consistent freshness, and freshness meeting
+  /// the requirement; its Udrop claim is deferred to the history epilogue.
+  void OnCacheHit(const TraceEvent& e, int64_t pos) {
+    TxnPhase* phase = Find(e, "cache-hit");
+    if (phase != nullptr) {
+      if (*phase != TxnPhase::kArrived) {
+        Violation(2, e, "cache-hit of a non-pending txn " +
+                         std::to_string(e.txn));
+      }
+      *phase = TxnPhase::kDone;
+    }
+    if (e.resolved < 1) {
+      Violation(8, e, "cache hit with the cache disabled (capacity " +
+                       std::to_string(e.resolved) + ")");
+    }
+    if (std::strcmp(e.reason, "success") != 0) {
+      Violation(8, e, std::string("cache hit with outcome \"") + e.reason +
+                       "\" (hits are only ever served as success)");
+      return;
+    }
+    if (e.udrop < 0) {
+      Violation(8, e, "cache hit without Udrop accounting");
+      return;
+    }
+    const double expected = 1.0 / (1.0 + static_cast<double>(e.udrop));
+    if (std::fabs(e.freshness - expected) > kFreshnessEps) {
+      Violation(8, e, "hit freshness " + std::to_string(e.freshness) +
+                       " != 1/(1+Udrop) = " + std::to_string(expected));
+    }
+    if (e.freshness < e.freshness_req) {
+      Violation(8, e, "hit served below the required freshness (" +
+                       std::to_string(e.freshness) + " < " +
+                       std::to_string(e.freshness_req) + ")");
+    }
+    if (e.item >= 0) {
+      hits_.push_back({pos, e.time, e.item, e.udrop});
+    }
+  }
+
+  /// Invariant 8 (invalidate leg): an entry is only erased by the update
+  /// install that supersedes it — the same-instant apply of the same txn on
+  /// the same item, which the engine emits immediately before.
+  void OnCacheInvalidate(const TraceEvent& e) {
+    auto it = last_apply_.find(e.item);
+    if (it == last_apply_.end() || it->second.first != e.time ||
+        it->second.second != e.txn) {
+      Violation(8, e, "cache-invalidate of item " + std::to_string(e.item) +
+                       " not paired with the update-apply installing it");
+    }
+  }
+
+  /// Highest generation of `item` at or before `t` under the grid model:
+  /// the n-th update arrival is generation n - 1 (-1 before the first).
+  int64_t GenerationAt(ItemId item, SimTime t) const {
+    auto it = arrivals_.find(item);
+    if (it == arrivals_.end()) return -1;
+    const std::vector<SimTime>& a = it->second;
+    return static_cast<int64_t>(std::upper_bound(a.begin(), a.end(), t) -
+                                a.begin()) -
+           1;
+  }
+
+  /// The Udrop the database would report for the hit's item at hit time:
+  /// generation at hit time minus the highest generation installed by the
+  /// applies that precede the hit in trace order.
+  int64_t ModelUdrop(const HitCheck& h) const {
+    int64_t installed = -1;
+    auto it = applies_.find(h.item);
+    if (it != applies_.end()) {
+      for (const auto& [pos, value_time] : it->second) {
+        if (pos >= h.pos) break;  // applies are recorded in trace order
+        installed = std::max(installed, GenerationAt(h.item, value_time));
+      }
+    }
+    return std::max<int64_t>(0, GenerationAt(h.item, h.time) - installed);
+  }
+
   void OnPeriodChange(const TraceEvent& e) {
     if (std::strcmp(e.reason, "degrade") == 0) {
       if (e.period_to <= e.period_from) {
@@ -389,6 +513,7 @@ class Checker {
   }
 
   void OnFaultStart(const TraceEvent& e) {
+    saw_fault_ = true;
     FaultKind kind;
     if (!FaultKindFromName(e.reason, &kind)) {
       Violation(6, e, std::string("unknown fault kind \"") + e.reason + "\"");
@@ -414,6 +539,7 @@ class Checker {
   }
 
   void OnFaultStop(const TraceEvent& e) {
+    saw_fault_ = true;
     auto it = active_faults_.find(e.txn);
     if (it == active_faults_.end()) {
       Violation(6, e, "stop without start for fault " + std::to_string(e.txn));
@@ -448,6 +574,17 @@ class Checker {
   std::map<int64_t, std::string> active_faults_;
   int fs_pressure_ = 0;
   int fm_pressure_ = 0;
+
+  // Invariant 8 state: per-item update-arrival grid and apply history
+  // ((trace position, value time) pairs), the most recent apply per item
+  // (for invalidate pairing), the queued hits, and whether any fault event
+  // was seen (which disables the history leg).
+  std::unordered_map<ItemId, std::vector<SimTime>> arrivals_;
+  std::unordered_map<ItemId, std::vector<std::pair<int64_t, SimTime>>>
+      applies_;
+  std::unordered_map<ItemId, std::pair<SimTime, TxnId>> last_apply_;
+  std::vector<HitCheck> hits_;
+  bool saw_fault_ = false;
 };
 
 }  // namespace
@@ -477,7 +614,7 @@ std::string TraceCheckSummary(const TraceCheckResult& r) {
   }
   out += std::to_string(r.violation_count) + " violation(s)";
   out += " [per invariant:";
-  for (int i = 1; i <= 7; ++i) {
+  for (int i = 1; i <= 8; ++i) {
     if (r.invariant_violations[i] > 0) {
       out += " " + std::to_string(i) + "x" +
              std::to_string(r.invariant_violations[i]);

@@ -32,6 +32,8 @@ struct TraceCheckResult {
   int64_t session_retries = 0;
   int64_t session_abandons = 0;
   int64_t sheds = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_invalidations = 0;
   /// LBC evaluations that fired while at least one fault window was open,
   /// and how many of those chose the action relieving the pressured
   /// penalty — the adaptivity tests assert the controller actually
@@ -42,16 +44,16 @@ struct TraceCheckResult {
   int64_t violation_count = 0;
   std::vector<std::string> violations;
 
-  /// Violations per numbered invariant (index 1..7 of the list below;
+  /// Violations per numbered invariant (index 1..8 of the list below;
   /// index 0 unused). Sums to violation_count.
-  int64_t invariant_violations[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  int64_t invariant_violations[9] = {0, 0, 0, 0, 0, 0, 0, 0, 0};
 
   bool ok() const { return violation_count == 0; }
 
-  /// Lowest-numbered violated invariant (1..7), or 0 when ok() — the
+  /// Lowest-numbered violated invariant (1..8), or 0 when ok() — the
   /// per-invariant exit code tools/trace_check reports.
   int FirstViolatedInvariant() const {
-    for (int i = 1; i <= 7; ++i) {
+    for (int i = 1; i <= 8; ++i) {
       if (invariant_violations[i] > 0) return i;
     }
     return 0;
@@ -88,6 +90,19 @@ struct TraceCheckResult {
 ///     active watermark (>= 1) and a pre-eviction depth strictly above it.
 ///     (Applies to single-engine traces; a merged sharded trace interleaves
 ///     per-shard id spaces and is validated per shard file instead.)
+///  8. Result-cache discipline: a cache-hit happens on arrival (its txn must
+///     be pending, never admitted) and is only ever served as "success" with
+///     an active capacity (>= 1), Eq. 1-consistent freshness, and freshness
+///     meeting the query's requirement; every cache-invalidate pairs with
+///     the same-instant update-apply of the same txn on the same item; and
+///     — the staleness leg — each hit's reported Udrop is re-derived from
+///     the item's own update history (arrivals lie on the ideal grid, so
+///     generation-at-time is the count of arrivals at or before that time,
+///     and an apply installs the generation of its value time). The history
+///     model is exact only for fault-free traces with periodic update
+///     arrivals; traces with fault windows or no arrival events skip that
+///     one leg (the other cache checks still apply). Like invariant 7, this
+///     applies to single-engine traces.
 TraceCheckResult CheckTrace(const std::vector<TraceEvent>& events);
 
 /// One-paragraph summary ("N events, M violations" + the first few) used by
@@ -95,7 +110,7 @@ TraceCheckResult CheckTrace(const std::vector<TraceEvent>& events);
 std::string TraceCheckSummary(const TraceCheckResult& result);
 
 /// Process exit code for a checked trace: 0 when every invariant holds,
-/// otherwise the number (1..7) of the lowest violated invariant. Shared by
+/// otherwise the number (1..8) of the lowest violated invariant. Shared by
 /// tools/trace_check so scripts can tell a lifecycle leak (2) from an Eq. 1
 /// accounting bug (3) without parsing the report.
 int TraceCheckExitCode(const TraceCheckResult& result);

@@ -30,6 +30,8 @@ constexpr TypeName kTypeNames[] = {
     {TraceEventType::kSessionRetry, "session-retry"},
     {TraceEventType::kSessionAbandon, "session-abandon"},
     {TraceEventType::kShed, "shed"},
+    {TraceEventType::kCacheHit, "cache-hit"},
+    {TraceEventType::kCacheInvalidate, "cache-invalidate"},
 };
 
 }  // namespace
@@ -188,6 +190,23 @@ size_t FormatJsonl(const TraceEvent& e, char* buf, size_t cap) {
       a.Int("txn", e.txn);
       a.Int("depth", e.resolved);
       a.Int("watermark", static_cast<int64_t>(e.magnitude));
+      break;
+    case TraceEventType::kCacheHit:
+      // `item` is the staleness-dominant read-set item (the arg max of
+      // Udrop — the item whose history the checker verifies `udrop`
+      // against), and `capacity` the active cache capacity, so a hit
+      // emitted with the cache off is checkable as a violation.
+      a.Int("txn", e.txn);
+      a.Str("outcome", e.reason);
+      a.Double("freshness", e.freshness);
+      a.Double("freq", e.freshness_req);
+      a.Int("udrop", e.udrop);
+      a.Int("item", e.item);
+      a.Int("capacity", e.resolved);
+      break;
+    case TraceEventType::kCacheInvalidate:
+      a.Int("item", e.item);
+      a.Int("txn", e.txn);
       break;
   }
   return a.Finish();

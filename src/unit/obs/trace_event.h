@@ -31,6 +31,8 @@ enum class TraceEventType : uint8_t {
   kSessionRetry,      ///< a user session scheduled a resubmission
   kSessionAbandon,    ///< a user session gave up on a request
   kShed,              ///< ready query evicted by overload shedding
+  kCacheHit,          ///< query answered from the result cache on arrival
+  kCacheInvalidate,   ///< cache entry erased by an update install
 };
 
 /// Stable wire name of an event type ("query-arrival", "admit", ...).

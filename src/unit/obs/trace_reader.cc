@@ -117,6 +117,7 @@ Status SetField(TraceEvent* e, const char* key, LineCursor& cur) {
   else if (std::strcmp(key, "attempt") == 0) e->resolved = iv;
   else if (std::strcmp(key, "delay") == 0) e->lag = iv;
   else if (std::strcmp(key, "depth") == 0) e->resolved = iv;
+  else if (std::strcmp(key, "capacity") == 0) e->resolved = iv;
   else if (std::strcmp(key, "watermark") == 0) e->magnitude = static_cast<double>(iv);
   else {
     return Status(StatusCode::kInvalidArgument,

@@ -31,7 +31,8 @@ Engine::Engine(const Workload& workload, Policy* policy, EngineParams params)
       ready_(params.discipline),
       rng_(params.seed),
       pending_updates_per_item_(workload.num_items, 0),
-      sessions_(params.session) {
+      sessions_(params.session),
+      cache_(params.cache) {
   assert(policy_ != nullptr);
   db_.SetSourceHorizon(workload.duration);
   Status s = db_.ApplySpecs(workload.updates);
@@ -274,6 +275,10 @@ void Engine::AdmitArrivedQuery(const QueryRequest& request, int32_t rank,
     sessions_.OnSubmit(t->trace_id(), request);
   }
   if (tracing()) TraceQueryArrival(*t);
+  // Result cache sits before admission control: a covered, fresh-enough
+  // query is answered immediately and never enters the ready queue (no
+  // deadline event is pushed, so the event clock is untouched).
+  if (cache_.enabled() && TryServeFromCache(t)) return;
   if (!policy_->AdmitQuery(*this, *t)) {
     t->set_state(TxnState::kAborted);
     ResolveQuery(t, Outcome::kRejected);
@@ -309,6 +314,49 @@ void Engine::MaybeShed() {
     AbortQuery(victim, Outcome::kRejected);
     resolving_shed_ = false;
   }
+}
+
+bool Engine::TryServeFromCache(Transaction* t) {
+  if (!cache_.Covers(t->items())) {
+    ++metrics_.cache_misses;
+    return false;
+  }
+  // Entries are invalidated whenever a newer generation is installed, so
+  // the live Udrop of each covered item is exactly the staleness of its
+  // cached data: the hit reports the same Eq. 1 freshness an instantaneous
+  // execution would observe on the same stored generations.
+  int64_t udrop = 0;
+  ItemId dominant = kInvalidItem;
+  for (ItemId item : t->items()) {
+    const int64_t u = db_.Udrop(item, now_);
+    if (dominant == kInvalidItem || u > udrop) {
+      udrop = u;
+      dominant = item;
+    }
+  }
+  const double freshness = 1.0 / (1.0 + static_cast<double>(udrop));
+  // qf_i check (plus the optional staleness bound): serving a hit that
+  // fails the query's freshness requirement would manufacture a DSF the
+  // engine might have avoided, so execute it instead.
+  if (freshness < t->freshness_req() ||
+      (params_.cache.max_hit_udrop >= 0 &&
+       udrop > params_.cache.max_hit_udrop)) {
+    ++metrics_.cache_stale_skips;
+    return false;
+  }
+  ++metrics_.cache_hits;
+  t->set_observed_freshness(freshness);
+  t->set_state(TxnState::kCommitted);
+  t->set_commit_time(now_);
+  for (ItemId item : t->items()) db_.RecordAccess(item);
+  metrics_.query_response_s.Add(SimToSeconds(now_ - t->arrival()));
+  metrics_.query_freshness.Add(freshness);
+  resolving_cache_hit_ = true;
+  cache_hit_item_ = dominant;
+  cache_hit_udrop_ = udrop;
+  ResolveQuery(t, Outcome::kSuccess);
+  resolving_cache_hit_ = false;
+  return true;
 }
 
 void Engine::HandleClientResubmit(int64_t resubmit_index) {
@@ -702,6 +750,10 @@ void Engine::CompleteRunning(Transaction* t) {
     ++metrics_.update_commits;
     metrics_.update_latency_s.Add(SimToSeconds(now_ - t->arrival()));
     if (tracing()) TraceUpdateApply(*t);
+    if (cache_.enabled() && cache_.Invalidate(t->update_item())) {
+      ++metrics_.cache_invalidations;
+      if (tracing()) TraceCacheInvalidate(t->update_item(), t->id());
+    }
     ReleaseLocksOf(t);
     policy_->OnUpdateCommit(*this, *t);
     txns_.Release(t);  // updates are terminal at commit
@@ -716,6 +768,11 @@ void Engine::CompleteRunning(Transaction* t) {
   const double freshness = db_.QueryFreshness(t->items(), now_);
   t->set_observed_freshness(freshness);
   for (ItemId item : t->items()) db_.RecordAccess(item);
+  // The commit read each item's installed generation: cache the read set so
+  // later queries over these items can be served on arrival.
+  if (cache_.enabled()) {
+    for (ItemId item : t->items()) cache_.Populate(item);
+  }
   ReleaseLocksOf(t);
   metrics_.query_response_s.Add(SimToSeconds(now_ - t->arrival()));
   metrics_.query_freshness.Add(freshness);
@@ -816,6 +873,20 @@ void Engine::TraceQueryResolution(const Transaction& t, Outcome outcome) {
       break;
     case Outcome::kSuccess:
     case Outcome::kDataStale: {
+      if (resolving_cache_hit_) {
+        // Cache hit: distinct trace kind carrying the staleness-dominant
+        // read-set item and its Udrop at hit time (which invariant 8
+        // re-verifies against the item's update history), plus the active
+        // capacity so a hit with the cache off is checkable.
+        e.type = TraceEventType::kCacheHit;
+        e.set_reason("success");
+        e.freshness = t.observed_freshness();
+        e.freshness_req = t.freshness_req();
+        e.udrop = cache_hit_udrop_;
+        e.item = cache_hit_item_;
+        e.resolved = params_.cache.capacity;
+        break;
+      }
       e.type = TraceEventType::kCommit;
       e.set_reason(outcome == Outcome::kSuccess ? "success" : "dsf");
       e.freshness = t.observed_freshness();
@@ -848,6 +919,15 @@ UNIT_COLD void Engine::TraceSessionEvent(TraceEventType type,
   e.request = t.trace_id();
   e.resolved = d.attempt;
   if (type == TraceEventType::kSessionRetry) e.lag = d.delay;
+  params_.trace->Emit(e);
+}
+
+UNIT_COLD void Engine::TraceCacheInvalidate(ItemId item, TxnId txn) {
+  TraceEvent e;
+  e.time = now_;
+  e.type = TraceEventType::kCacheInvalidate;
+  e.item = item;
+  e.txn = txn;
   params_.trace->Emit(e);
 }
 
@@ -898,6 +978,11 @@ void Engine::RecordWindowSample() {
   series_last_retries_ = metrics_.session_retries;
   series_last_abandons_ = metrics_.session_abandons;
   series_last_shed_ = metrics_.queries_shed;
+  s.cache_hits = metrics_.cache_hits - series_last_cache_hits_;
+  s.cache_invalidations =
+      metrics_.cache_invalidations - series_last_cache_invalidations_;
+  series_last_cache_hits_ = metrics_.cache_hits;
+  series_last_cache_invalidations_ = metrics_.cache_invalidations;
   params_.series->Record(s);
 }
 

@@ -159,6 +159,8 @@ class Engine final : public EngineContext {
   /// Emits a kSessionRetry / kSessionAbandon event for a session decision.
   void TraceSessionEvent(TraceEventType type, const Transaction& t,
                          const SessionDecision& d);
+  /// Emits the kCacheInvalidate event for an erased cache entry.
+  void TraceCacheInvalidate(ItemId item, TxnId txn);
   /// Emits the kFaultStart / kFaultStop event for a processed edge.
   void TraceFaultEdge(const FaultEdge& edge);
   /// Appends one WindowSample to params_.series (no-op when unset).
@@ -191,6 +193,11 @@ class Engine final : public EngineContext {
   /// sit in the ready queue, evicts the oldest (min (arrival, id)) with a
   /// rejection. Called only when the watermark is set.
   void MaybeShed();
+  /// Result-cache arrival check (called only when the cache is enabled,
+  /// before admission control): resolves `t` as a Success from cache and
+  /// returns true when its whole read set is covered and fresh enough;
+  /// otherwise counts the miss / stale skip and returns false.
+  bool TryServeFromCache(Transaction* t);
 
   /// Core dispatch loop: preempts, acquires locks (applying 2PL-HP aborts),
   /// starts the highest-priority runnable transaction.
@@ -256,6 +263,15 @@ class Engine final : public EngineContext {
   bool resolving_shed_ = false;
   int shed_depth_ = 0;
 
+  // Result-cache state (inert when params_.cache.capacity == 0).
+  // resolving_cache_hit_ flags the ResolveQuery call made on a cache hit so
+  // its terminal trace event is kCacheHit (carrying the staleness-dominant
+  // item and its Udrop) instead of kCommit.
+  ResultCache cache_;
+  bool resolving_cache_hit_ = false;
+  ItemId cache_hit_item_ = kInvalidItem;
+  int64_t cache_hit_udrop_ = 0;
+
   // Fault-layer state (sized/used only when params_.faults is set). The
   // outage counter nests overlapping windows; the scalars hold the single
   // active slowdown factor / freshness shift (scenario validation forbids
@@ -272,6 +288,8 @@ class Engine final : public EngineContext {
   int64_t series_last_retries_ = 0;
   int64_t series_last_abandons_ = 0;
   int64_t series_last_shed_ = 0;
+  int64_t series_last_cache_hits_ = 0;
+  int64_t series_last_cache_invalidations_ = 0;
   std::vector<int64_t> udrop_scratch_;
 
   RunMetrics metrics_;

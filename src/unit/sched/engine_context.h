@@ -6,6 +6,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "unit/cache/result_cache.h"
 #include "unit/common/types.h"
 #include "unit/sched/ready_queue.h"
 #include "unit/session/session.h"
@@ -61,6 +62,14 @@ struct EngineParams {
   /// depth is back at the watermark. 0 (the default) disables shedding and
   /// is a strict behavioral no-op.
   int shed_watermark = 0;
+
+  /// Freshness-aware result cache (src/unit/cache/): queries whose entire
+  /// read set has valid cache entries are answered on arrival — before
+  /// admission control, never entering the ready queue — as a Success with
+  /// the items' live Eq. 1 freshness; entries are invalidated when the
+  /// update applier installs a new generation. The default
+  /// (capacity == 0) disables the cache and is a strict behavioral no-op.
+  CacheParams cache;
 
   // --- observability hooks (src/unit/obs/; all non-owning, may be null) ---
   // Tracing is strictly read-only with respect to engine and policy state:

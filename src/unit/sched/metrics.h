@@ -69,6 +69,13 @@ struct RunMetrics {
   /// Client-observed retry delay (think + backoff + jitter), seconds.
   RunningStat session_retry_delay_s;
 
+  // --- result-cache telemetry (src/unit/cache/; all 0 when
+  // CacheParams::capacity == 0) ---
+  int64_t cache_hits = 0;           ///< queries answered from cache on arrival
+  int64_t cache_misses = 0;         ///< arrivals with an uncovered read set
+  int64_t cache_invalidations = 0;  ///< entries erased by update installs
+  int64_t cache_stale_skips = 0;    ///< covered arrivals too stale to serve
+
   int64_t preemptions = 0;
   int64_t lock_restarts = 0;      ///< 2PL-HP aborts of shared holders
   int64_t update_commits = 0;

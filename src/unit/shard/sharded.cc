@@ -341,6 +341,8 @@ std::vector<WindowSample> MergeSeries(
       m.retries += s.retries;
       m.abandons += s.abandons;
       m.shed += s.shed;
+      m.cache_hits += s.cache_hits;
+      m.cache_invalidations += s.cache_invalidations;
       m.udrop_p50 = std::max(m.udrop_p50, s.udrop_p50);
       m.udrop_p90 = std::max(m.udrop_p90, s.udrop_p90);
       m.udrop_max = std::max(m.udrop_max, s.udrop_max);
@@ -596,6 +598,10 @@ StatusOr<ShardedResult> RunSharded(const Workload& workload,
     merged.session_abandons += m.session_abandons;
     merged.queries_shed += m.queries_shed;
     merged.session_retry_delay_s.Merge(m.session_retry_delay_s);
+    merged.cache_hits += m.cache_hits;
+    merged.cache_misses += m.cache_misses;
+    merged.cache_invalidations += m.cache_invalidations;
+    merged.cache_stale_skips += m.cache_stale_skips;
     const size_t items = std::min(merged.per_item_accesses.size(),
                                   m.per_item_accesses.size());
     for (size_t i = 0; i < items; ++i) {

@@ -1,0 +1,114 @@
+// Unit tests for the result-cache index (cache/result_cache.h): coverage
+// lookups, FIFO-by-first-population eviction, invalidation, and the lazy
+// tombstone discipline of the stamp queue. The reference engine mirrors
+// these semantics with a flat vector; the differential oracle pins the two
+// against each other at run level, so these tests pin the *intended*
+// semantics directly.
+
+#include "unit/cache/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace unitdb {
+namespace {
+
+TEST(CacheParamsTest, DisabledByDefault) {
+  CacheParams p;
+  EXPECT_EQ(p.capacity, 0);
+  EXPECT_EQ(p.max_hit_udrop, -1);
+  EXPECT_FALSE(p.enabled());
+  p.capacity = 1;
+  EXPECT_TRUE(p.enabled());
+}
+
+ResultCache MakeCache(int capacity) {
+  CacheParams p;
+  p.capacity = capacity;
+  return ResultCache(p);
+}
+
+TEST(ResultCacheTest, EmptyReadSetIsTriviallyCovered) {
+  ResultCache c = MakeCache(4);
+  EXPECT_TRUE(c.Covers(ItemSpan{}));
+  EXPECT_FALSE(c.Covers({ItemId{1}}));
+}
+
+TEST(ResultCacheTest, PopulateMakesItemsCovered) {
+  ResultCache c = MakeCache(4);
+  c.Populate(1);
+  c.Populate(2);
+  EXPECT_EQ(c.size(), 2);
+  EXPECT_TRUE(c.Covers({ItemId{1}}));
+  EXPECT_TRUE(c.Covers({ItemId{1}, ItemId{2}}));
+  EXPECT_FALSE(c.Covers({ItemId{1}, ItemId{3}}));  // one uncovered item
+}
+
+TEST(ResultCacheTest, EvictionIsFifoByFirstPopulation) {
+  ResultCache c = MakeCache(2);
+  c.Populate(1);
+  c.Populate(2);
+  c.Populate(3);  // full: evicts 1, the oldest
+  EXPECT_EQ(c.size(), 2);
+  EXPECT_FALSE(c.Covers({ItemId{1}}));
+  EXPECT_TRUE(c.Covers({ItemId{2}, ItemId{3}}));
+}
+
+TEST(ResultCacheTest, RepopulatingAPresentEntryKeepsItsSlot) {
+  ResultCache c = MakeCache(2);
+  c.Populate(1);
+  c.Populate(2);
+  c.Populate(1);  // no-op: 1 keeps its original (oldest) position
+  c.Populate(3);  // evicts 1, not 2
+  EXPECT_FALSE(c.Covers({ItemId{1}}));
+  EXPECT_TRUE(c.Covers({ItemId{2}, ItemId{3}}));
+}
+
+TEST(ResultCacheTest, InvalidateErasesAndReportsPresence) {
+  ResultCache c = MakeCache(4);
+  c.Populate(1);
+  EXPECT_TRUE(c.Invalidate(1));
+  EXPECT_FALSE(c.Covers({ItemId{1}}));
+  EXPECT_EQ(c.size(), 0);
+  EXPECT_FALSE(c.Invalidate(1));  // already gone
+  EXPECT_FALSE(c.Invalidate(9));  // never present
+}
+
+TEST(ResultCacheTest, EvictionSkipsInvalidatedTombstones) {
+  ResultCache c = MakeCache(2);
+  c.Populate(1);
+  c.Populate(2);
+  c.Invalidate(1);  // leaves a stale node at the front of the queue
+  c.Populate(3);    // room available, no eviction
+  EXPECT_EQ(c.size(), 2);
+  c.Populate(4);  // full again: must evict 2 (oldest live), skipping 1's node
+  EXPECT_FALSE(c.Covers({ItemId{2}}));
+  EXPECT_TRUE(c.Covers({ItemId{3}, ItemId{4}}));
+}
+
+TEST(ResultCacheTest, RepopulationAfterInvalidateIsYoungAgain) {
+  ResultCache c = MakeCache(2);
+  c.Populate(1);
+  c.Populate(2);
+  c.Invalidate(1);
+  c.Populate(1);  // fresh entry: now the youngest, with a stale old node
+  c.Populate(3);  // evicts 2, the oldest live entry
+  EXPECT_TRUE(c.Covers({ItemId{1}, ItemId{3}}));
+  EXPECT_FALSE(c.Covers({ItemId{2}}));
+}
+
+TEST(ResultCacheTest, CapacityOneChurnsDeterministically) {
+  ResultCache c = MakeCache(1);
+  for (ItemId item = 0; item < 50; ++item) {
+    c.Populate(item);
+    EXPECT_EQ(c.size(), 1);
+    EXPECT_TRUE(c.Covers({item}));
+    if (item > 0) {
+      EXPECT_FALSE(c.Covers({item - 1}));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace unitdb

@@ -32,13 +32,15 @@ WindowSample Sample(double t_s) {
 
 TEST(TimeSeriesRecorderTest, ColumnNamesAreStable) {
   const auto& cols = TimeSeriesRecorder::ColumnNames();
-  ASSERT_EQ(cols.size(), 21u);
+  ASSERT_EQ(cols.size(), 23u);
   EXPECT_EQ(cols.front(), "t_s");
   EXPECT_EQ(cols[6], "usm_s");
   EXPECT_EQ(cols[17], "degraded_items");
   EXPECT_EQ(cols[18], "retries");
   EXPECT_EQ(cols[19], "abandons");
-  EXPECT_EQ(cols.back(), "shed");
+  EXPECT_EQ(cols[20], "shed");
+  EXPECT_EQ(cols[21], "cache_hits");
+  EXPECT_EQ(cols.back(), "cache_inval");
 }
 
 TEST(TimeSeriesRecorderTest, RecordDerivesTheUsmDecomposition) {

@@ -286,7 +286,7 @@ TEST(TraceCheckExitCodeTest, CleanTraceIsZero) {
   const TraceCheckResult r = CheckTrace(ValidTrace());
   EXPECT_EQ(TraceCheckExitCode(r), 0);
   EXPECT_EQ(r.FirstViolatedInvariant(), 0);
-  for (int i = 1; i <= 7; ++i) EXPECT_EQ(r.invariant_violations[i], 0);
+  for (int i = 1; i <= 8; ++i) EXPECT_EQ(r.invariant_violations[i], 0);
 }
 
 TEST(TraceCheckExitCodeTest, TimestampRegressionIsInvariant1) {
@@ -365,7 +365,7 @@ TEST(TraceCheckExitCodeTest, PerInvariantCountsSumToTotal) {
   t.push_back(Ev(2000, TraceEventType::kAdmit, 77));  // invariant 2 (+ 1)
   const TraceCheckResult r = CheckTrace(t);
   int64_t sum = 0;
-  for (int i = 1; i <= 7; ++i) sum += r.invariant_violations[i];
+  for (int i = 1; i <= 8; ++i) sum += r.invariant_violations[i];
   EXPECT_EQ(sum, r.violation_count);
 }
 
@@ -507,6 +507,172 @@ TEST(TraceCheckSessionTest, AbandonAttemptMustFollowChain) {
   t.back().resolved = 5;  // abandon claims attempt 5 after attempt 2
   const TraceCheckResult r = CheckTrace(t);
   EXPECT_GT(r.invariant_violations[7], 0);
+}
+
+// --- Invariant 8: result-cache discipline -------------------------------
+
+TraceEvent CacheHit(SimTime t, TxnId txn, int64_t udrop, double freshness_req,
+                    ItemId item, int64_t capacity) {
+  TraceEvent e = Ev(t, TraceEventType::kCacheHit, txn);
+  e.set_reason("success");
+  e.udrop = udrop;
+  e.freshness = 1.0 / (1.0 + static_cast<double>(udrop));
+  e.freshness_req = freshness_req;
+  e.item = item;
+  e.resolved = capacity;
+  return e;
+}
+
+TraceEvent UpdateArrival(SimTime t, ItemId item) {
+  TraceEvent e = Ev(t, TraceEventType::kUpdateArrival);
+  e.item = item;
+  return e;
+}
+
+TraceEvent UpdateApply(SimTime t, TxnId txn, ItemId item, SimDuration lag) {
+  TraceEvent e = Ev(t, TraceEventType::kUpdateApply, txn);
+  e.item = item;
+  e.lag = lag;
+  e.set_reason("periodic");
+  return e;
+}
+
+TraceEvent CacheInvalidate(SimTime t, ItemId item, TxnId txn) {
+  TraceEvent e = Ev(t, TraceEventType::kCacheInvalidate, txn);
+  e.item = item;
+  return e;
+}
+
+// Item 5's ideal grid is {100, 200, 300}. Generation 0 is installed at
+// t=110 (value time 100) and generation 2 at t=310 (value time 300), so a
+// hit at t=250 sees Udrop 1 (generation 1 live, 0 installed) and a hit at
+// t=400 sees Udrop 0 again.
+std::vector<TraceEvent> CacheTrace() {
+  std::vector<TraceEvent> t;
+  t.push_back(UpdateArrival(100, 5));
+  t.push_back(UpdateApply(110, 100, 5, 10));  // installs generation 0
+  t.push_back(Arrival(120, 0));
+  t.push_back(Ev(120, TraceEventType::kAdmit, 0));
+  t.push_back(Commit(150, 0, 0, 0.5, "success"));  // populates item 5
+  t.push_back(UpdateArrival(200, 5));
+  t.push_back(Arrival(250, 1));
+  t.push_back(CacheHit(250, 1, 1, 0.4, 5, 8));
+  t.push_back(UpdateArrival(300, 5));
+  t.push_back(UpdateApply(310, 101, 5, 10));  // installs generation 2
+  t.push_back(CacheInvalidate(310, 5, 101));
+  t.push_back(Arrival(400, 2));
+  t.push_back(CacheHit(400, 2, 0, 0.9, 5, 8));
+  return t;
+}
+
+TEST(TraceCheckCacheTest, ValidCacheTracePasses) {
+  const TraceCheckResult r = CheckTrace(CacheTrace());
+  EXPECT_TRUE(r.ok()) << TraceCheckSummary(r);
+  EXPECT_EQ(r.cache_hits, 2);
+  EXPECT_EQ(r.cache_invalidations, 1);
+}
+
+TEST(TraceCheckCacheTest, CacheHitIsATerminalOutcome) {
+  // A hit resolves its txn; a second terminal for it is an invariant-2
+  // lifecycle violation.
+  auto t = CacheTrace();
+  t.push_back(Commit(500, 1, 0, 0.4, "success"));
+  const TraceCheckResult r = CheckTrace(t);
+  EXPECT_GT(r.invariant_violations[2], 0);
+  EXPECT_EQ(TraceCheckExitCode(r), 2);
+}
+
+TEST(TraceCheckCacheTest, CacheHitOfAnAdmittedTxnIsInvariant2) {
+  // Hits are served on arrival, before admission control ever sees the
+  // query; a hit for an already-admitted txn is a lifecycle violation.
+  std::vector<TraceEvent> t = {Arrival(1, 0),
+                               Ev(1, TraceEventType::kAdmit, 0),
+                               CacheHit(5, 0, 0, 0.5, -1, 8)};
+  const TraceCheckResult r = CheckTrace(t);
+  EXPECT_GT(r.invariant_violations[2], 0);
+}
+
+TEST(TraceCheckCacheTest, HitUnderreportingStalenessIsInvariant8) {
+  // The t=250 hit claims Udrop 0 (freshness 1.0) while generation 1 is live
+  // and only generation 0 installed — fresher than the engine could serve.
+  auto t = CacheTrace();
+  t[7].udrop = 0;
+  t[7].freshness = 1.0;
+  const TraceCheckResult r = CheckTrace(t);
+  EXPECT_GT(r.invariant_violations[8], 0);
+  EXPECT_EQ(TraceCheckExitCode(r), 8);
+}
+
+TEST(TraceCheckCacheTest, HitIgnoringAnInstallIsInvariant8) {
+  // The t=400 hit claims Udrop 2 as if the t=310 install (and its
+  // invalidation) never happened.
+  auto t = CacheTrace();
+  t[12].udrop = 2;
+  t[12].freshness = 1.0 / 3.0;
+  t[12].freshness_req = 0.2;
+  const TraceCheckResult r = CheckTrace(t);
+  EXPECT_GT(r.invariant_violations[8], 0);
+  EXPECT_EQ(TraceCheckExitCode(r), 8);
+}
+
+TEST(TraceCheckCacheTest, HitWithCacheDisabledIsInvariant8) {
+  auto t = CacheTrace();
+  t[7].resolved = 0;  // capacity 0: the cache is off, yet a hit was served
+  const TraceCheckResult r = CheckTrace(t);
+  EXPECT_GT(r.invariant_violations[8], 0);
+  EXPECT_EQ(TraceCheckExitCode(r), 8);
+}
+
+TEST(TraceCheckCacheTest, HitBelowRequiredFreshnessIsInvariant8) {
+  // freshness 1/(1+4) = 0.2 < req 0.5: the qf check should have skipped it.
+  std::vector<TraceEvent> t = {Arrival(1, 0),
+                               CacheHit(1, 0, 4, 0.5, -1, 8)};
+  const TraceCheckResult r = CheckTrace(t);
+  EXPECT_GT(r.invariant_violations[8], 0);
+  EXPECT_EQ(TraceCheckExitCode(r), 8);
+}
+
+TEST(TraceCheckCacheTest, HitFreshnessUdropMismatchIsInvariant8) {
+  auto t = CacheTrace();
+  t[7].freshness = 0.9;  // != 1/(1+1)
+  const TraceCheckResult r = CheckTrace(t);
+  EXPECT_GT(r.invariant_violations[8], 0);
+}
+
+TEST(TraceCheckCacheTest, HitWithNonSuccessOutcomeIsInvariant8) {
+  auto t = CacheTrace();
+  t[7].set_reason("dsf");
+  const TraceCheckResult r = CheckTrace(t);
+  EXPECT_GT(r.invariant_violations[8], 0);
+}
+
+TEST(TraceCheckCacheTest, InvalidateWithoutApplyIsInvariant8) {
+  const TraceCheckResult r = CheckTrace({CacheInvalidate(10, 5, 100)});
+  EXPECT_GT(r.invariant_violations[8], 0);
+  EXPECT_EQ(TraceCheckExitCode(r), 8);
+}
+
+TEST(TraceCheckCacheTest, InvalidateByADifferentTxnIsInvariant8) {
+  auto t = CacheTrace();
+  t[10].txn = 999;  // not the txn whose apply installed the new version
+  const TraceCheckResult r = CheckTrace(t);
+  EXPECT_GT(r.invariant_violations[8], 0);
+}
+
+TEST(TraceCheckCacheTest, FaultWindowsDisableTheHistoryLeg) {
+  // With a fault window in the trace the arrival grid is unreliable, so the
+  // history cross-check must not fire — but the inline hit checks still do.
+  auto t = CacheTrace();
+  t[7].udrop = 0;  // would contradict the history in a fault-free trace
+  t[7].freshness = 1.0;
+  TraceEvent start = Ev(500, TraceEventType::kFaultStart, 0);
+  start.set_reason("service-slowdown");
+  start.magnitude = 1.5;
+  TraceEvent stop = Ev(600, TraceEventType::kFaultStop, 0);
+  stop.set_reason("service-slowdown");
+  t.push_back(start);
+  t.push_back(stop);
+  EXPECT_TRUE(CheckTrace(t).ok()) << TraceCheckSummary(CheckTrace(t));
 }
 
 }  // namespace

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Checks relative markdown links in the repo's *.md files.
+
+Scans the given files (or, with no arguments, every tracked-looking *.md
+under the current directory, docs/, bench/, and tools/) for inline links
+and validates the local ones:
+
+  * `[text](path)` and `[text](path#anchor)` must point at an existing file
+    or directory, resolved relative to the file containing the link;
+  * bare intra-file anchors `[text](#anchor)` and external schemes
+    (http/https/mailto) are skipped — this is a file-existence checker,
+    not a network crawler or a heading parser;
+  * fenced code blocks are skipped, so shell snippets mentioning
+    `foo(bar)` never false-positive.
+
+Stdlib only. Exit codes: 0 all links resolve, 1 at least one broken link.
+
+Usage: check_md_links.py [FILE.md ...]
+"""
+
+import glob
+import os
+import re
+import sys
+
+# Inline markdown link: [text](target). Images ![alt](target) match too via
+# the leading [. Nested brackets in the text are out of scope.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_links(path):
+    """Yields (line_number, target) for links outside fenced code blocks."""
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                yield lineno, m.group(1)
+
+
+def check_file(path):
+    broken = []
+    base = os.path.dirname(os.path.abspath(path))
+    for lineno, target in iter_links(path):
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        local = target.split("#", 1)[0]
+        if not local:
+            continue
+        resolved = os.path.normpath(os.path.join(base, local))
+        if not os.path.exists(resolved):
+            broken.append((lineno, target, resolved))
+    return broken
+
+
+def main(argv):
+    files = argv[1:]
+    if not files:
+        patterns = ["*.md", "docs/*.md", "bench/*.md", "tools/*.md"]
+        files = sorted(p for pat in patterns for p in glob.glob(pat))
+    if not files:
+        print("check_md_links: no markdown files found")
+        return 1
+
+    total_links = 0
+    failures = 0
+    for path in files:
+        broken = check_file(path)
+        total_links += sum(1 for _ in iter_links(path))
+        for lineno, target, resolved in broken:
+            print(f"{path}:{lineno}: broken link '{target}' "
+                  f"(resolved to {resolved})")
+            failures += 1
+    status = "ok" if failures == 0 else f"{failures} broken"
+    print(f"check_md_links: {len(files)} files, {total_links} links, {status}")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

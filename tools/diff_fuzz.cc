@@ -7,7 +7,7 @@
 // "seed=S case=I ..." line is printed.
 //
 // Usage: diff_fuzz [cases=N] [seed=S] [case=I] [series=0|1] [stream=0|1]
-//                  [shards=K] [sessions=N] [shed=W]
+//                  [shards=K] [sessions=N] [shed=W] [cache=C]
 //                  [perturb=none|cflex|admit|dropretry]
 //                  [expect_divergence=0|1]
 //
@@ -31,6 +31,10 @@
 //   shed=W               force the overload-shedding watermark for every
 //                        case: 0 = shedding off, W > 0 = drop-oldest above
 //                        a ready depth of W (default: gen.h's rotation)
+//   cache=C              force the result-cache capacity for every case:
+//                        0 = cache off, C > 0 = C item entries per engine
+//                        (default: gen.h's rotation, cache every other
+//                        1024-case block)
 //   perturb=...          inject a known defect into the optimized side
 //                        (harness self-test); dropretry needs a closed
 //                        loop, so it forces sessions on for cases without
@@ -65,7 +69,7 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [cases=N] [seed=S] [case=I] [series=0|1]\n"
                "          [stream=0|1] [shards=K] [sessions=N] [shed=W]\n"
-               "          [perturb=none|cflex|admit|dropretry]\n"
+               "          [cache=C] [perturb=none|cflex|admit|dropretry]\n"
                "          [expect_divergence=0|1]\n",
                argv0);
   return 2;
@@ -81,6 +85,7 @@ int main(int argc, char** argv) {
   int shards_override = -1;    // -1: keep the generator's rotation
   int sessions_override = -1;  // -1: keep the generator's rotation
   int shed_override = -1;      // -1: keep the generator's rotation
+  int cache_override = -1;     // -1: keep the generator's rotation
   unitdb::DiffOptions opts;
   bool expect_divergence = false;
 
@@ -107,6 +112,8 @@ int main(int argc, char** argv) {
       sessions_override = static_cast<int>(num);
     } else if (key == "shed" && ParseU64(val, &num)) {
       shed_override = static_cast<int>(num);
+    } else if (key == "cache" && ParseU64(val, &num)) {
+      cache_override = static_cast<int>(num);
     } else if (key == "expect_divergence" && ParseU64(val, &num)) {
       expect_divergence = num != 0;
     } else if (key == "perturb") {
@@ -137,6 +144,7 @@ int main(int argc, char** argv) {
     if (shards_override >= 0) c.shards = shards_override;
     if (sessions_override >= 0) c.engine.session.sessions = sessions_override;
     if (shed_override >= 0) c.engine.shed_watermark = shed_override;
+    if (cache_override >= 0) c.engine.cache.capacity = cache_override;
     if (opts.perturb == unitdb::Perturbation::kDropRetry &&
         c.engine.session.sessions == 0) {
       c.engine.session.sessions = 4;  // the defect needs a closed loop

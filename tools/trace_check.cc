@@ -10,7 +10,7 @@
 //
 // Exit codes (distinct per violated invariant; see obs/trace_check.h):
 //   0    every invariant holds in every file
-//   1-7  number of the lowest violated invariant across all files
+//   1-8  number of the lowest violated invariant across all files
 //          1 timestamps non-decreasing
 //          2 per-query lifecycle
 //          3 Eq. 1 freshness accounting
@@ -19,7 +19,9 @@
 //          6 fault-window pairing & response direction
 //          7 closed-loop session discipline (retry pairing, backoff
 //            monotonicity, shed watermark)
-//   8    trace file unreadable or parse error (writer/checker schema drift)
+//          8 result-cache discipline (hit freshness/Udrop vs the item's
+//            update history, active capacity, invalidate pairing)
+//   9    trace file unreadable or parse error (writer/checker schema drift)
 //   64   usage error
 
 #include <cstdio>
@@ -51,5 +53,5 @@ int main(int argc, char** argv) {
     }
   }
   if (worst_invariant > 0) return worst_invariant;
-  return read_error ? 8 : 0;
+  return read_error ? 9 : 0;
 }
